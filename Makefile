@@ -1,0 +1,33 @@
+# Opprentice reproduction — convenience targets.
+GO ?= go
+
+.PHONY: all build test vet race bench eval eval-html fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/service/ ./internal/alerting/ ./internal/tsdb/ ./internal/ml/forest/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (writes results_medium.txt + HTML).
+eval:
+	$(GO) run ./cmd/evalbench -run all -scale medium -o results_medium.txt -html results_medium.html
+
+fuzz:
+	$(GO) test -fuzz=FuzzPRCurve -fuzztime=30s ./internal/stats/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/timeseries/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

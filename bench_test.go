@@ -1,0 +1,229 @@
+package opprentice
+
+// One benchmark per evaluation table/figure (regenerating it end to end at
+// small scale), plus the §5.8 microbenchmarks — feature-extraction lag,
+// classification lag, training time — and the design ablations listed in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"fmt"
+	"testing"
+
+	"opprentice/internal/core"
+	"opprentice/internal/detectors"
+	"opprentice/internal/experiments"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+)
+
+// benchOptions keeps full-experiment benches tractable: small data, small
+// forests. Shapes are scale-stable; evalbench -scale medium gives the
+// reported numbers.
+func benchOptions() experiments.Options {
+	return experiments.Options{Scale: kpigen.Small, Seed: 1, Trees: 12}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	m, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table and figure benchmarks, one per evaluation artifact.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "T1") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "F1") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "T3") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "F5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "F6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "F7") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "F9") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "T4") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "F10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "F11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "F12") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "F14") }
+
+func BenchmarkFig13(b *testing.B) {
+	// Fig 13 runs 5-fold cross-validation every week; use the smallest
+	// forest that preserves the comparison.
+	m, _ := experiments.Find("F13")
+	o := benchOptions()
+	o.Trees = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPipeline prepares a KPI + features + trained forest shared by the
+// §5.8 microbenchmarks.
+type benchPipeline struct {
+	dets   []detectors.Detector
+	feats  *core.Features
+	labels []bool
+	model  *forest.Forest
+	row    []float64
+	values []float64
+	ppw    int
+}
+
+func newBenchPipeline(b *testing.B, trees int) *benchPipeline {
+	b.Helper()
+	p := kpigen.SRT(kpigen.Small)
+	d := kpigen.Generate(p, 1)
+	dets, err := detectors.Registry(p.Interval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feats, err := core.Extract(d.Series, dets, core.ExtractConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ppw, err := d.Series.PointsPerWeek()
+	if err != nil {
+		b.Fatal(err)
+	}
+	trainHi := core.InitWeeks * ppw
+	model := forest.Train(feats.Imputed(0, trainHi), d.Labels[:trainHi],
+		forest.Config{Trees: trees, Seed: 1})
+	return &benchPipeline{
+		dets:   dets,
+		feats:  feats,
+		labels: d.Labels,
+		model:  model,
+		row:    make([]float64, len(dets)),
+		values: d.Series.Values,
+		ppw:    ppw,
+	}
+}
+
+// BenchmarkDetectionLag measures the per-point feature-extraction cost of
+// all 133 configurations — the dominant term of the paper's 0.15 s/point
+// detection lag (§5.8).
+func BenchmarkDetectionLag(b *testing.B) {
+	p := newBenchPipeline(b, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := p.values[i%len(p.values)]
+		for j, d := range p.dets {
+			sev, ready := d.Step(v)
+			if ready {
+				p.row[j] = sev
+			} else {
+				p.row[j] = 0
+			}
+		}
+	}
+}
+
+// BenchmarkClassification measures the per-point classification cost of a
+// trained forest — the paper reports < 0.0001 s/point (§5.8).
+func BenchmarkClassification(b *testing.B) {
+	p := newBenchPipeline(b, 60)
+	cols := p.feats.Imputed(0, p.feats.NumPoints())
+	for j := range cols {
+		p.row[j] = cols[j][len(cols[j])-1]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.model.Prob(p.row)
+	}
+}
+
+// BenchmarkTrainingTime measures one incremental-retraining round on 8
+// weeks of data — the paper reports < 5 minutes (§5.8).
+func BenchmarkTrainingTime(b *testing.B) {
+	p := newBenchPipeline(b, 60)
+	trainHi := core.InitWeeks * p.ppw
+	cols := p.feats.Imputed(0, trainHi)
+	labels := p.labels[:trainHi]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forest.Train(cols, labels, forest.Config{Trees: 60, Seed: int64(i)})
+	}
+}
+
+// BenchmarkAblationForest sweeps the ensemble size: accuracy-per-cost of the
+// forest's main knob.
+func BenchmarkAblationForest(b *testing.B) {
+	for _, trees := range []int{10, 30, 60, 120} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) {
+			p := newBenchPipeline(b, 15)
+			trainHi := core.InitWeeks * p.ppw
+			cols := p.feats.Imputed(0, trainHi)
+			labels := p.labels[:trainHi]
+			test := p.feats.Imputed(trainHi, p.feats.NumPoints())
+			testLabels := p.labels[trainHi:]
+			b.ResetTimer()
+			var auc float64
+			for i := 0; i < b.N; i++ {
+				m := forest.Train(cols, labels, forest.Config{Trees: trees, Seed: 1})
+				auc = stats.AUCPR(m.ProbAll(test), testLabels)
+			}
+			b.ReportMetric(auc, "aucpr")
+		})
+	}
+}
+
+// BenchmarkAblationBinnedSplits sweeps the split granularity (quantile bin
+// count) of the CART trees: coarse bins are faster, fine bins are exact.
+func BenchmarkAblationBinnedSplits(b *testing.B) {
+	for _, bins := range []int{8, 32, 256} {
+		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			p := newBenchPipeline(b, 15)
+			trainHi := core.InitWeeks * p.ppw
+			cols := p.feats.Imputed(0, trainHi)
+			labels := p.labels[:trainHi]
+			test := p.feats.Imputed(trainHi, p.feats.NumPoints())
+			testLabels := p.labels[trainHi:]
+			b.ResetTimer()
+			var auc float64
+			for i := 0; i < b.N; i++ {
+				m := forest.Train(cols, labels, forest.Config{Trees: 30, MaxBins: bins, Seed: 1})
+				auc = stats.AUCPR(m.ProbAll(test), testLabels)
+			}
+			b.ReportMetric(auc, "aucpr")
+		})
+	}
+}
+
+// BenchmarkEWMAvsCV contrasts the cost of the two cThld prediction methods:
+// EWMA is arithmetic; cross-validation retrains the forest per fold (§4.5.2).
+func BenchmarkEWMAvsCV(b *testing.B) {
+	b.Run("ewma", func(b *testing.B) {
+		pred := core.NewCThldPredictor(0.8)
+		pred.Seed(0.5)
+		for i := 0; i < b.N; i++ {
+			pred.Observe(0.4)
+			_ = pred.Predict()
+		}
+	})
+	b.Run("cv5", func(b *testing.B) {
+		p := newBenchPipeline(b, 8)
+		trainHi := core.InitWeeks * p.ppw
+		cols := p.feats.Imputed(0, trainHi)
+		labels := p.labels[:trainHi]
+		pref := stats.Preference{Recall: 0.66, Precision: 0.66}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.CrossValidateCThld(cols, labels, 5, 1000, forest.Config{Trees: 8, Seed: 1}, pref)
+		}
+	})
+}

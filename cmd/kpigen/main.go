@@ -1,0 +1,75 @@
+// Command kpigen emits the synthetic case-study KPIs as labeled CSV, for
+// feeding cmd/opprentice, cmd/labeltool or external tooling.
+//
+// Usage:
+//
+//	kpigen -kpi pv -scale medium -seed 1 -o pv.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opprentice/internal/kpigen"
+	"opprentice/internal/timeseries"
+)
+
+func main() {
+	var (
+		kpi      = flag.String("kpi", "pv", "which KPI: pv, sr, srt")
+		scale    = flag.String("scale", "medium", "dataset scale: small, medium, full")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		noLabels = flag.Bool("no-labels", false, "omit the ground-truth label column")
+	)
+	flag.Parse()
+
+	var sc kpigen.Scale
+	switch strings.ToLower(*scale) {
+	case "small":
+		sc = kpigen.Small
+	case "medium":
+		sc = kpigen.Medium
+	case "full":
+		sc = kpigen.Full
+	default:
+		fmt.Fprintf(os.Stderr, "kpigen: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var profile *kpigen.Profile
+	for _, p := range kpigen.Profiles(sc) {
+		if p.Name == strings.ToLower(*kpi) {
+			profile = &p
+			break
+		}
+	}
+	if profile == nil {
+		fmt.Fprintf(os.Stderr, "kpigen: unknown KPI %q (want pv, sr or srt)\n", *kpi)
+		os.Exit(2)
+	}
+	d := kpigen.Generate(*profile, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kpigen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	labels := d.Labels
+	if *noLabels {
+		labels = nil
+	}
+	if err := timeseries.WriteCSV(w, d.Series, labels); err != nil {
+		fmt.Fprintln(os.Stderr, "kpigen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "kpigen: %s — %d points, %d weeks, %.1f%% anomalous (%d windows)\n",
+		profile.Name, d.Series.Len(), profile.Weeks,
+		100*d.Labels.Fraction(), len(d.Labels.Windows()))
+}

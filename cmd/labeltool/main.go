@@ -1,0 +1,232 @@
+// Command labeltool is the terminal counterpart of the paper's labeling tool
+// (§4.2): it renders a KPI as an ASCII line graph and lets the operator
+// navigate (forward, backward, zoom) and label whole windows of anomalies,
+// which is what keeps labeling down to minutes per month of data.
+//
+// Usage:
+//
+//	labeltool -input pv.csv -o labeled.csv
+//
+// Commands at the prompt:
+//
+//	n / p         move forward / backward one screen
+//	zi / zo       zoom in / out
+//	g <index>     jump to point index
+//	l <a> <b>     label points [a, b] anomalous
+//	u <a> <b>     clear labels on [a, b]
+//	w             list labeled windows
+//	s             save and continue, q: save and quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"opprentice/internal/timeseries"
+)
+
+func main() {
+	var (
+		input = flag.String("input", "", "CSV to label (timestamp,value[,label])")
+		out   = flag.String("o", "", "output CSV (default: overwrite input)")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = *input
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labeltool:", err)
+		os.Exit(1)
+	}
+	series, labels, err := timeseries.ReadCSV(f, *input)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labeltool:", err)
+		os.Exit(1)
+	}
+	if labels == nil {
+		labels = make(timeseries.Labels, series.Len())
+	}
+	tool := &tool{series: series, labels: labels, outPath: *out, span: 240}
+	tool.run(os.Stdin, os.Stdout)
+}
+
+type tool struct {
+	series  *timeseries.Series
+	labels  timeseries.Labels
+	outPath string
+	pos     int // left edge of the viewport
+	span    int // viewport width in points
+}
+
+func (t *tool) run(in *os.File, w *os.File) {
+	t.render(w)
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(w, "> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprint(w, "> ")
+			continue
+		}
+		switch fields[0] {
+		case "n":
+			t.pos = clamp(t.pos+t.span, 0, max(0, t.series.Len()-t.span))
+		case "p":
+			t.pos = clamp(t.pos-t.span, 0, max(0, t.series.Len()-t.span))
+		case "zi":
+			t.span = max(20, t.span/2)
+		case "zo":
+			t.span = min(t.series.Len(), t.span*2)
+		case "g":
+			if i, ok := atoi(fields, 1); ok {
+				t.pos = clamp(i, 0, max(0, t.series.Len()-t.span))
+			}
+		case "l", "u":
+			a, okA := atoi(fields, 1)
+			b, okB := atoi(fields, 2)
+			if !okA || !okB || a > b {
+				fmt.Fprintln(w, "usage: l <start> <end> (inclusive indices)")
+				break
+			}
+			val := fields[0] == "l"
+			for i := clamp(a, 0, t.series.Len()-1); i <= clamp(b, 0, t.series.Len()-1); i++ {
+				t.labels[i] = val
+			}
+		case "w":
+			for _, win := range t.labels.Windows() {
+				fmt.Fprintf(w, "  [%d, %d) %d points\n", win.Start, win.End, win.Len())
+			}
+			fmt.Fprintf(w, "  %d windows, %d anomalous points\n", len(t.labels.Windows()), t.labels.Count())
+		case "s", "q":
+			if err := t.save(); err != nil {
+				fmt.Fprintln(w, "save failed:", err)
+			} else {
+				fmt.Fprintln(w, "saved to", t.outPath)
+			}
+			if fields[0] == "q" {
+				return
+			}
+		case "h", "help", "?":
+			fmt.Fprintln(w, "commands: n p zi zo g <i> | l <a> <b> u <a> <b> | w s q")
+		default:
+			fmt.Fprintln(w, "unknown command (h for help)")
+		}
+		if fields[0] != "w" && fields[0] != "s" {
+			t.render(w)
+		}
+		fmt.Fprint(w, "> ")
+	}
+}
+
+// render draws the viewport as an ASCII plot with labeled points shown '#'
+// and, like the paper's tool (Fig 4), the same window one week earlier
+// overlaid in a light '.' trace to aid seasonal comparison.
+func (t *tool) render(w *os.File) {
+	lo := t.pos
+	hi := min(t.series.Len(), lo+t.span)
+	vals := t.series.Values[lo:hi]
+	labs := t.labels[lo:hi]
+	ppw, _ := t.series.PointsPerWeek()
+	const width, height = 100, 14
+	cells := min(width, len(vals))
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	buckets := make([]float64, cells)
+	prevWeek := make([]float64, cells)
+	hasPrev := make([]bool, cells)
+	anom := make([]bool, cells)
+	for b := 0; b < cells; b++ {
+		s, e := b*len(vals)/cells, (b+1)*len(vals)/cells
+		if e <= s {
+			e = s + 1
+		}
+		sum := 0.0
+		prevSum, prevN := 0.0, 0
+		for i := s; i < e; i++ {
+			sum += vals[i]
+			anom[b] = anom[b] || labs[i]
+			if ppw > 0 && lo+i-ppw >= 0 {
+				prevSum += t.series.Values[lo+i-ppw]
+				prevN++
+			}
+		}
+		buckets[b] = sum / float64(e-s)
+		minV = math.Min(minV, buckets[b])
+		maxV = math.Max(maxV, buckets[b])
+		if prevN > 0 {
+			prevWeek[b] = prevSum / float64(prevN)
+			hasPrev[b] = true
+			minV = math.Min(minV, prevWeek[b])
+			maxV = math.Max(maxV, prevWeek[b])
+		}
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cells))
+	}
+	// Light last-week trace first so the current curve draws over it.
+	for b := range prevWeek {
+		if !hasPrev[b] {
+			continue
+		}
+		row := int((maxV - prevWeek[b]) / (maxV - minV) * float64(height-1))
+		grid[row][b] = '.'
+	}
+	for b, v := range buckets {
+		row := int((maxV - v) / (maxV - minV) * float64(height-1))
+		ch := byte('*')
+		if anom[b] {
+			ch = '#'
+		}
+		grid[row][b] = ch
+	}
+	fmt.Fprintf(w, "\n%s  points [%d, %d) of %d  (# = labeled anomalous, . = same window last week)\n",
+		t.series.Name, lo, hi, t.series.Len())
+	fmt.Fprintf(w, "%s .. %s\n", t.series.TimeAt(lo).Format("2006-01-02 15:04"),
+		t.series.TimeAt(hi-1).Format("2006-01-02 15:04"))
+	fmt.Fprintf(w, "max %.4g\n", maxV)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s\n", row)
+	}
+	fmt.Fprintf(w, "min %.4g\n", minV)
+}
+
+func (t *tool) save() error {
+	f, err := os.Create(t.outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return timeseries.WriteCSV(f, t.series, t.labels)
+}
+
+func atoi(fields []string, i int) (int, bool) {
+	if i >= len(fields) {
+		return 0, false
+	}
+	v, err := strconv.Atoi(fields[i])
+	return v, err == nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

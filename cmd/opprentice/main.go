@@ -1,0 +1,155 @@
+// Command opprentice trains the framework on labeled KPI data and runs the
+// full weekly detection loop, reporting per-week accuracy against the
+// operators' preference and the anomalous windows it would have alerted on.
+//
+// Usage:
+//
+//	opprentice -input pv.csv -recall 0.66 -precision 0.66
+//	opprentice -kpi srt -scale medium          # synthetic data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"opprentice/internal/core"
+	"opprentice/internal/detectors"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+	"opprentice/internal/timeseries"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "labeled CSV (timestamp,value,label); mutually exclusive with -kpi")
+		kpi       = flag.String("kpi", "", "synthetic KPI: pv, sr, srt")
+		scale     = flag.String("scale", "medium", "synthetic scale: small, medium, full")
+		seed      = flag.Int64("seed", 1, "random seed")
+		recall    = flag.Float64("recall", 0.66, "accuracy preference: minimum recall")
+		precision = flag.Float64("precision", 0.66, "accuracy preference: minimum precision")
+		trees     = flag.Int("trees", 60, "random forest size")
+		withCV    = flag.Bool("cv", false, "also run the 5-fold cThld baseline each week (slow)")
+		extended  = flag.Bool("extended", false, "add the emerging detectors (CUSUM, rate-of-change) to the pool")
+		minDur    = flag.Int("min-duration", 1, "report only alerted windows of at least this many points (§6 duration filter)")
+	)
+	flag.Parse()
+
+	series, labels, err := loadData(*input, *kpi, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprentice:", err)
+		os.Exit(1)
+	}
+	ppw, err := series.PointsPerWeek()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprentice:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("data: %s — %d points at %v interval (%d weeks), %.1f%% labeled anomalous\n",
+		series.Name, series.Len(), series.Interval, series.Len()/ppw, 100*labels.Fraction())
+
+	var dets []detectors.Detector
+	var err2 error
+	if *extended {
+		dets, err2 = detectors.ExtendedRegistry(series.Interval)
+	} else {
+		dets, err2 = detectors.Registry(series.Interval)
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "opprentice:", err2)
+		os.Exit(1)
+	}
+	start := time.Now()
+	feats, err := core.Extract(series, dets, core.ExtractConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprentice:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("extracted %d features per point in %v\n", len(feats.Cols), time.Since(start).Round(time.Millisecond))
+
+	pref := stats.Preference{Recall: *recall, Precision: *precision}
+	res, err := core.Run(feats, labels, ppw, core.Config{
+		Preference:   pref,
+		Forest:       forest.Config{Trees: *trees, Seed: *seed},
+		SkipWeeklyCV: !*withCV,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprentice:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nweekly detection (preference: recall >= %.2f, precision >= %.2f):\n", *recall, *precision)
+	fmt.Println("week  cthld  recall  precision  satisfied  alarms")
+	satisfied := 0
+	for _, w := range res.Weeks {
+		r, p := w.EWMA.Recall(), w.EWMA.Precision()
+		ok := pref.Satisfied(r, p)
+		if ok {
+			satisfied++
+		}
+		fmt.Printf("%4d  %.3f  %6.3f  %9.3f  %9v  %6d\n",
+			w.Week+1, w.EWMACThld, r, p, ok, w.EWMA.TP+w.EWMA.FP)
+	}
+	fmt.Printf("\n%d/%d weeks satisfied the preference with the online (EWMA) cThld\n",
+		satisfied, len(res.Weeks))
+
+	// Alerted windows of the final week, as an operator would see them,
+	// after the §6 duration filter.
+	last := res.Weeks[len(res.Weeks)-1]
+	pred := make(timeseries.Labels, len(last.Scores))
+	for i, s := range last.Scores {
+		pred[i] = s >= last.EWMACThld
+	}
+	pred = core.FilterByDuration(pred, *minDur)
+	fmt.Printf("\nalerted windows in week %d (min duration %d):\n", last.Week+1, *minDur)
+	base := last.Week * ppw
+	for _, w := range pred.Windows() {
+		fmt.Printf("  %s .. %s (%d points)\n",
+			series.TimeAt(base+w.Start).Format(time.RFC3339),
+			series.TimeAt(base+w.End-1).Format(time.RFC3339),
+			w.Len())
+	}
+}
+
+// loadData reads the labeled CSV or generates a synthetic KPI.
+func loadData(input, kpi, scale string, seed int64) (*timeseries.Series, timeseries.Labels, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		s, labels, err := timeseries.ReadCSV(f, strings.TrimSuffix(input, ".csv"))
+		if err != nil {
+			return nil, nil, err
+		}
+		if labels == nil {
+			return nil, nil, fmt.Errorf("%s has no label column; label it first (cmd/labeltool)", input)
+		}
+		return s, labels, nil
+	}
+	if kpi == "" {
+		return nil, nil, fmt.Errorf("need -input or -kpi")
+	}
+	var sc kpigen.Scale
+	switch strings.ToLower(scale) {
+	case "small":
+		sc = kpigen.Small
+	case "medium":
+		sc = kpigen.Medium
+	case "full":
+		sc = kpigen.Full
+	default:
+		return nil, nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	for _, p := range kpigen.Profiles(sc) {
+		if p.Name == strings.ToLower(kpi) {
+			d := kpigen.Generate(p, seed)
+			return d.Series, d.Labels, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("unknown KPI %q (want pv, sr or srt)", kpi)
+}

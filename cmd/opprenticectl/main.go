@@ -1,0 +1,266 @@
+// Command opprenticectl is the CLI companion of opprenticed: it creates
+// monitored series, uploads KPI data from CSV, labels windows, triggers
+// training and reads alarms over the HTTP API.
+//
+// Usage:
+//
+//	opprenticectl -server http://localhost:8080 list
+//	opprenticectl create pv -interval 60 -start 2015-01-05T00:00:00Z
+//	opprenticectl ingest pv -csv pv.csv            # labeled CSV also labels
+//	opprenticectl label pv -window 120:135
+//	opprenticectl train pv
+//	opprenticectl status pv
+//	opprenticectl alarms pv -since 2015-03-01T00:00:00Z
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"opprentice/internal/service"
+	"opprentice/internal/timeseries"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "opprenticed base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	client := service.NewClient(*server, nil)
+	ctx := context.Background()
+	var err error
+	switch args[0] {
+	case "list":
+		err = runList(ctx, client)
+	case "create":
+		err = runCreate(ctx, client, args[1:])
+	case "ingest":
+		err = runIngest(ctx, client, args[1:])
+	case "label":
+		err = runLabel(ctx, client, args[1:])
+	case "train":
+		err = runTrain(ctx, client, args[1:])
+	case "status":
+		err = runStatus(ctx, client, args[1:])
+	case "alarms":
+		err = runAlarms(ctx, client, args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprenticectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|alarms> [args]")
+}
+
+func needName(args []string) (string, []string, error) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return "", nil, fmt.Errorf("series name required")
+	}
+	return args[0], args[1:], nil
+}
+
+func runList(ctx context.Context, c *service.Client) error {
+	names, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func runCreate(ctx context.Context, c *service.Client, args []string) error {
+	name, rest, err := needName(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("create", flag.ContinueOnError)
+	interval := fs.Int("interval", 60, "sampling interval in seconds")
+	start := fs.String("start", "", "timestamp of the first point (RFC 3339)")
+	recall := fs.Float64("recall", 0.66, "preference: minimum recall")
+	precision := fs.Float64("precision", 0.66, "preference: minimum precision")
+	trees := fs.Int("trees", 60, "forest size")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	t, err := time.Parse(time.RFC3339, *start)
+	if err != nil {
+		return fmt.Errorf("-start: %w", err)
+	}
+	if err := c.Create(ctx, name, service.CreateRequest{
+		IntervalSeconds: *interval,
+		Start:           t,
+		Recall:          *recall,
+		Precision:       *precision,
+		Trees:           *trees,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("created", name)
+	return nil
+}
+
+func runIngest(ctx context.Context, c *service.Client, args []string) error {
+	name, rest, err := needName(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	csvPath := fs.String("csv", "", "CSV file (timestamp,value[,label])")
+	batch := fs.Int("batch", 2000, "points per request")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *csvPath == "" {
+		return fmt.Errorf("-csv required")
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		return err
+	}
+	series, labels, err := timeseries.ReadCSV(f, name)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var sent, alarms int
+	pts := make([]service.Point, 0, *batch)
+	flush := func() error {
+		if len(pts) == 0 {
+			return nil
+		}
+		resp, err := c.Append(ctx, name, pts)
+		if err != nil {
+			return err
+		}
+		sent += resp.Appended
+		for _, v := range resp.Verdicts {
+			if v.Anomalous {
+				alarms++
+			}
+		}
+		pts = pts[:0]
+		return nil
+	}
+	for _, v := range series.Values {
+		pts = append(pts, service.Point{Value: v})
+		if len(pts) == *batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d points (%d alarms)\n", sent, alarms)
+	if labels != nil {
+		var windows []service.LabelWindow
+		for _, w := range labels.Windows() {
+			windows = append(windows, service.LabelWindow{Start: w.Start, End: w.End, Anomalous: true})
+		}
+		if err := c.Label(ctx, name, windows); err != nil {
+			return err
+		}
+		fmt.Printf("labeled %d windows from the CSV\n", len(windows))
+	}
+	return nil
+}
+
+func runLabel(ctx context.Context, c *service.Client, args []string) error {
+	name, rest, err := needName(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("label", flag.ContinueOnError)
+	window := fs.String("window", "", "index range start:end (half open)")
+	clear := fs.Bool("clear", false, "clear instead of set")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	parts := strings.SplitN(*window, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("-window must be start:end")
+	}
+	start, err1 := strconv.Atoi(parts[0])
+	end, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("-window must be numeric start:end")
+	}
+	return c.Label(ctx, name, []service.LabelWindow{{Start: start, End: end, Anomalous: !*clear}})
+}
+
+func runTrain(ctx context.Context, c *service.Client, args []string) error {
+	name, _, err := needName(args)
+	if err != nil {
+		return err
+	}
+	cthld, err := c.Train(ctx, name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %s, cThld=%.3f\n", name, cthld)
+	return nil
+}
+
+func runStatus(ctx context.Context, c *service.Client, args []string) error {
+	name, _, err := needName(args)
+	if err != nil {
+		return err
+	}
+	st, err := c.Status(ctx, name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d points (%ds interval), %d anomalous in %d windows, trained=%v",
+		st.Name, st.Points, st.IntervalSeconds, st.AnomalousPoints, st.LabeledWindows, st.Trained)
+	if st.Trained {
+		fmt.Printf(" cThld=%.3f", st.CThld)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runAlarms(ctx context.Context, c *service.Client, args []string) error {
+	name, rest, err := needName(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("alarms", flag.ContinueOnError)
+	since := fs.String("since", "", "only alarms after this RFC 3339 time")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	var t time.Time
+	if *since != "" {
+		t, err = time.Parse(time.RFC3339, *since)
+		if err != nil {
+			return fmt.Errorf("-since: %w", err)
+		}
+	}
+	alarms, err := c.Alarms(ctx, name, t)
+	if err != nil {
+		return err
+	}
+	for _, a := range alarms {
+		fmt.Printf("%s value=%.4g probability=%.2f cthld=%.2f\n",
+			a.Time.Format(time.RFC3339), a.Value, a.Probability, a.CThld)
+	}
+	fmt.Printf("%d alarms\n", len(alarms))
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command opprenticed serves Opprentice as an HTTP anomaly-detection
+// service (see internal/service for the API).
+//
+// Usage:
+//
+//	opprenticed -addr :8080
+//
+// Then, from any HTTP client:
+//
+//	curl -X PUT localhost:8080/v1/series/pv -d '{"interval_seconds":60,"start":"2015-01-05T00:00:00Z"}'
+//	curl -X POST localhost:8080/v1/series/pv/points -d '{"points":[{"value":9213}]}'
+//	curl -X POST localhost:8080/v1/series/pv/labels -d '{"windows":[{"start":120,"end":135,"anomalous":true}]}'
+//	curl -X POST localhost:8080/v1/series/pv/train
+//	curl localhost:8080/v1/series/pv/alarms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opprentice/internal/service"
+	"opprentice/internal/tsdb"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data-dir", "", "directory for durable series logs (empty = memory only)")
+		timeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := service.NewServer(logger)
+	if *dataDir != "" {
+		store, err := tsdb.Open(*dataDir)
+		if err != nil {
+			logger.Error("open data dir", "err", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		srv.SetStore(store)
+		restored, err := srv.Restore()
+		if err != nil {
+			logger.Error("restore", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("restored series from data dir", "count", restored, "dir", *dataDir)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("opprenticed listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}
+}

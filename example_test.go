@@ -1,0 +1,86 @@
+package opprentice_test
+
+import (
+	"fmt"
+	"time"
+
+	"opprentice"
+
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+)
+
+// ExampleDetectors shows the Table-3 registry: 14 basic detectors sampled
+// into 133 configurations, each a streaming severity extractor.
+func ExampleDetectors() {
+	dets, err := opprentice.Detectors(time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(dets), "configurations")
+	fmt.Println("first:", dets[0].Name())
+	fmt.Println("last:", dets[len(dets)-1].Name())
+	// Output:
+	// 133 configurations
+	// first: simple_threshold
+	// last: arima(auto)
+}
+
+// ExampleNewMonitor trains an online monitor on labeled history and streams
+// a blatant anomaly through it.
+func ExampleNewMonitor() {
+	history, labels, err := opprentice.SyntheticKPI("pv", kpigen.Small, 1)
+	if err != nil {
+		panic(err)
+	}
+	dets, err := opprentice.Detectors(history.Interval)
+	if err != nil {
+		panic(err)
+	}
+	mon, err := opprentice.NewMonitor(history, labels, dets, opprentice.MonitorConfig{
+		Forest:        forest.Config{Trees: 20, Seed: 1},
+		SkipInitialCV: true, // fast start for the example
+	})
+	if err != nil {
+		panic(err)
+	}
+	// An 85 % drop from the last observed level must alarm.
+	drop := history.Values[history.Len()-1] * 0.15
+	verdict := mon.Step(drop)
+	fmt.Println("anomalous:", verdict.Anomalous)
+	// Output:
+	// anomalous: true
+}
+
+// ExampleRun executes the paper's weekly loop offline: incremental
+// retraining, oracle cThlds, and EWMA-predicted cThlds per week.
+func ExampleRun() {
+	series, labels, err := opprentice.SyntheticKPI("srt", kpigen.Small, 1)
+	if err != nil {
+		panic(err)
+	}
+	dets, err := opprentice.Detectors(series.Interval)
+	if err != nil {
+		panic(err)
+	}
+	feats, err := opprentice.Extract(series, dets)
+	if err != nil {
+		panic(err)
+	}
+	ppw, err := series.PointsPerWeek()
+	if err != nil {
+		panic(err)
+	}
+	res, err := opprentice.Run(feats, labels, ppw, opprentice.Config{
+		Forest:       forest.Config{Trees: 20, Seed: 1},
+		SkipWeeklyCV: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("detection weeks:", len(res.Weeks))
+	fmt.Println("first detection week:", res.Weeks[0].Week+1)
+	// Output:
+	// detection weeks: 4
+	// first detection week: 9
+}

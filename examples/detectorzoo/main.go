@@ -1,0 +1,73 @@
+// Detectorzoo: why Opprentice exists. Ranks every basic detector
+// configuration by AUCPR on two different KPIs and shows that (a) the best
+// basic detector changes with the KPI — so manual selection cannot be done
+// once and for all — and (b) the random forest matches or beats the best
+// configuration on both without any manual tuning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"opprentice"
+
+	"opprentice/internal/core"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+)
+
+func main() {
+	for _, name := range []string{"pv", "sr"} {
+		if err := rank(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func rank(name string) error {
+	series, labels, err := opprentice.SyntheticKPI(name, kpigen.Small, 11)
+	if err != nil {
+		return err
+	}
+	dets, err := opprentice.Detectors(series.Interval)
+	if err != nil {
+		return err
+	}
+	feats, err := opprentice.Extract(series, dets)
+	if err != nil {
+		return err
+	}
+	ppw, err := series.PointsPerWeek()
+	if err != nil {
+		return err
+	}
+	testLo := core.InitWeeks * ppw
+	testLabels := labels[testLo:]
+
+	type entry struct {
+		name string
+		auc  float64
+	}
+	var entries []entry
+	for j, cfgName := range feats.Names {
+		auc := stats.AUCPR(feats.Cols[j][testLo:], testLabels)
+		entries = append(entries, entry{cfgName, auc})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].auc > entries[b].auc })
+
+	// The forest, trained on the first 8 weeks only (no tuning at all).
+	model := forest.Train(feats.Imputed(0, testLo), labels[:testLo],
+		forest.Config{Trees: 30, Seed: 11})
+	rfAUC := stats.AUCPR(model.ProbAll(feats.Imputed(testLo, feats.NumPoints())), testLabels)
+
+	fmt.Printf("=== KPI %s ===\n", name)
+	fmt.Printf("%-34s AUCPR\n", "top-5 basic configurations")
+	for _, e := range entries[:5] {
+		fmt.Printf("%-34s %.3f\n", e.name, e.auc)
+	}
+	fmt.Printf("%-34s %.3f\n", "worst configuration ("+entries[len(entries)-1].name+")", entries[len(entries)-1].auc)
+	fmt.Printf("%-34s %.3f\n\n", "random forest (no tuning)", rfAUC)
+	return nil
+}

@@ -1,0 +1,58 @@
+// Preference: the same classifier, three different operators. A busy team
+// wants few false alarms (precision-sensitive); a revenue KPI owner wants
+// nothing missed (recall-sensitive). Opprentice moves only the cThld — the
+// PC-Score picks a different operating point on the same PR curve for each
+// stated preference (§4.5.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opprentice"
+
+	"opprentice/internal/core"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+)
+
+func main() {
+	series, labels, err := opprentice.SyntheticKPI("pv", kpigen.Small, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dets, err := opprentice.Detectors(series.Interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats, err := opprentice.Extract(series, dets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ppw, err := series.PointsPerWeek()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One classifier, trained once on the first 8 weeks.
+	trainHi := core.InitWeeks * ppw
+	model := forest.Train(feats.Imputed(0, trainHi), labels[:trainHi],
+		forest.Config{Trees: 30, Seed: 5})
+	scores := model.ProbAll(feats.Imputed(trainHi, feats.NumPoints()))
+	truth := []bool(labels[trainHi:])
+
+	prefs := []struct {
+		who  string
+		pref opprentice.Preference
+	}{
+		{"moderate operators", opprentice.Preference{Recall: 0.66, Precision: 0.66}},
+		{"busy operators (hate false alarms)", opprentice.Preference{Recall: 0.6, Precision: 0.8}},
+		{"revenue KPI owners (miss nothing)", opprentice.Preference{Recall: 0.8, Precision: 0.6}},
+	}
+	fmt.Println("one classifier, three preferences — only the cThld moves:")
+	for _, p := range prefs {
+		pt, ok := stats.BestByPCScore(stats.PRCurve(scores, truth), p.pref)
+		fmt.Printf("%-38s want (r>=%.2f, p>=%.2f) -> cThld=%.3f gives (r=%.2f, p=%.2f) satisfied=%v\n",
+			p.who, p.pref.Recall, p.pref.Precision, pt.Threshold, pt.Recall, pt.Precision, ok)
+	}
+}

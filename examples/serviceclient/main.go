@@ -1,0 +1,106 @@
+// Serviceclient: Opprentice as a network service. Starts the HTTP detection
+// service in-process, then drives the full operational loop through the
+// typed client: create a series, bulk-ingest labeled history, train, stream
+// live points, and read back the alarms — exactly what a monitoring agent
+// fleet would do against cmd/opprenticed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"opprentice/internal/kpigen"
+	"opprentice/internal/service"
+)
+
+func main() {
+	// In-process server on a loopback port (production runs cmd/opprenticed).
+	srv := service.NewServer(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	client := service.NewClient("http://"+ln.Addr().String(), nil)
+	ctx := context.Background()
+
+	// 1. Create a monitored series for an hourly latency KPI.
+	p := kpigen.SRT(kpigen.Small)
+	d := kpigen.Generate(p, 3)
+	if err := client.Create(ctx, "srt", service.CreateRequest{
+		IntervalSeconds: int(p.Interval / time.Second),
+		Start:           d.Series.Start,
+		Trees:           30,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Bulk-ingest 10 weeks of history and its labels.
+	ppw, err := d.Series.PointsPerWeek()
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot := 10 * ppw
+	points := make([]service.Point, boot)
+	for i := 0; i < boot; i++ {
+		points[i] = service.Point{Value: d.Series.Values[i]}
+	}
+	if _, err := client.Append(ctx, "srt", points); err != nil {
+		log.Fatal(err)
+	}
+	var windows []service.LabelWindow
+	for _, w := range d.Labels.Windows() {
+		if w.End <= boot {
+			windows = append(windows, service.LabelWindow{Start: w.Start, End: w.End, Anomalous: true})
+		}
+	}
+	if err := client.Label(ctx, "srt", windows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train.
+	cthld, err := client.Train(ctx, "srt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d points with %d labeled windows; cThld=%.3f\n", boot, len(windows), cthld)
+
+	// 4. Stream the rest of the data live and count verdicts.
+	var anomalous int
+	for i := boot; i < d.Series.Len(); i++ {
+		resp, err := client.Append(ctx, "srt", []service.Point{{Value: d.Series.Values[i]}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range resp.Verdicts {
+			if v.Anomalous {
+				anomalous++
+			}
+		}
+	}
+	fmt.Printf("streamed %d live points, %d flagged anomalous\n", d.Series.Len()-boot, anomalous)
+
+	// 5. Read the alarm log back.
+	alarms, err := client.Alarms(ctx, "srt", time.Time{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d alarms retained; first: %s\n", len(alarms),
+		first(alarms).Time.Format(time.RFC3339))
+}
+
+func first(alarms []service.Alarm) service.Alarm {
+	if len(alarms) == 0 {
+		return service.Alarm{}
+	}
+	return alarms[0]
+}

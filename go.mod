@@ -1,0 +1,3 @@
+module opprentice
+
+go 1.22

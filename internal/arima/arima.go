@@ -1,0 +1,288 @@
+// Package arima fits and forecasts ARIMA(p,d,q) models, the substrate of
+// Table 3's ARIMA detector. As the paper prescribes for complex detectors
+// (§4.3.3), the parameters are not swept but *estimated from the data*:
+// FitAuto searches a small (p,d,q) grid by AIC, with coefficients estimated
+// by the Hannan–Rissanen two-stage regression (long-AR residuals, then least
+// squares on AR and MA lags). Forecasting is strictly one-step-ahead and
+// online: the Forecaster never looks at future data.
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"opprentice/internal/linalg"
+)
+
+// MaxD is the largest supported differencing order.
+const MaxD = 2
+
+// Model is a fitted ARIMA(p,d,q) model of the original series x, i.e. an
+// ARMA(p,q) model w_t = C + Σφ_i w_{t-i} + e_t + Σθ_j e_{t-j} of the d-times
+// differenced series w.
+type Model struct {
+	P, D, Q int
+	C       float64
+	Phi     []float64 // AR coefficients, Phi[i] multiplies w_{t-1-i}
+	Theta   []float64 // MA coefficients, Theta[j] multiplies e_{t-1-j}
+	Sigma2  float64   // innovation variance estimate
+	AIC     float64
+}
+
+// String summarizes the model order.
+func (m *Model) String() string {
+	return fmt.Sprintf("ARIMA(%d,%d,%d)", m.P, m.D, m.Q)
+}
+
+// Difference applies d-th order differencing and returns the series of
+// length len(xs)-d.
+func Difference(xs []float64, d int) []float64 {
+	w := append([]float64(nil), xs...)
+	for k := 0; k < d; k++ {
+		for i := len(w) - 1; i >= 1; i-- {
+			w[i] -= w[i-1]
+		}
+		w = w[1:]
+	}
+	return w
+}
+
+// ols solves the least-squares regression y ~ X·β with a tiny ridge term for
+// numerical stability, returning β.
+func ols(x *linalg.Matrix, y []float64) ([]float64, error) {
+	n, k := x.Rows, x.Cols
+	if n < k {
+		return nil, fmt.Errorf("arima: %d observations for %d parameters", n, k)
+	}
+	xtx := linalg.NewMatrix(k, k)
+	xty := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for a := 0; a < k; a++ {
+			xia := x.At(i, a)
+			xty[a] += xia * y[i]
+			for b := a; b < k; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+xia*x.At(i, b))
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := 0; b < a; b++ {
+			xtx.Set(a, b, xtx.At(b, a))
+		}
+		xtx.Set(a, a, xtx.At(a, a)+1e-8)
+	}
+	return linalg.SolveLinear(xtx, xty)
+}
+
+// fitAR fits w_t = c + Σ a_i w_{t-i} + e by OLS and returns (c, a, residuals
+// aligned with w[p:]).
+func fitAR(w []float64, p int) (c float64, a []float64, resid []float64, err error) {
+	n := len(w) - p
+	if n < p+2 {
+		return 0, nil, nil, fmt.Errorf("arima: %d points too short for AR(%d)", len(w), p)
+	}
+	x := linalg.NewMatrix(n, p+1)
+	y := make([]float64, n)
+	for t := 0; t < n; t++ {
+		x.Set(t, 0, 1)
+		for i := 0; i < p; i++ {
+			x.Set(t, i+1, w[p+t-1-i])
+		}
+		y[t] = w[p+t]
+	}
+	beta, err := ols(x, y)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	c, a = beta[0], beta[1:]
+	resid = make([]float64, n)
+	for t := 0; t < n; t++ {
+		pred := c
+		for i := 0; i < p; i++ {
+			pred += a[i] * w[p+t-1-i]
+		}
+		resid[t] = y[t] - pred
+	}
+	return c, a, resid, nil
+}
+
+// ErrTooShort is returned when the series cannot support the requested
+// orders.
+var ErrTooShort = errors.New("arima: series too short for requested orders")
+
+// Fit estimates an ARIMA(p,d,q) model from xs by Hannan–Rissanen.
+func Fit(xs []float64, p, d, q int) (*Model, error) {
+	if p < 0 || q < 0 || d < 0 || d > MaxD {
+		return nil, fmt.Errorf("arima: invalid orders (%d,%d,%d)", p, d, q)
+	}
+	if p == 0 && q == 0 {
+		return fitMeanOnly(xs, d)
+	}
+	w := Difference(xs, d)
+	need := 4 * (p + q + 1)
+	if len(w) < need+p+q {
+		return nil, ErrTooShort
+	}
+	var ehat []float64
+	offset := p // index into w where regression targets start
+	if q > 0 {
+		// Stage 1: long AR to estimate innovations.
+		m := p + q + 5
+		if m > len(w)/4 {
+			m = len(w) / 4
+		}
+		if m < 1 {
+			return nil, ErrTooShort
+		}
+		_, _, resid, err := fitAR(w, m)
+		if err != nil {
+			return nil, err
+		}
+		// resid[t] corresponds to w[m+t]. Build e aligned with w:
+		// e[i] = resid[i-m] for i >= m, 0 before.
+		ehat = make([]float64, len(w))
+		for t, r := range resid {
+			ehat[m+t] = r
+		}
+		if m > offset {
+			offset = m
+		}
+	}
+	if q > offset {
+		offset = q
+	}
+	// Stage 2: regress w_t on its own lags and lagged innovations.
+	n := len(w) - offset
+	if n < p+q+2 {
+		return nil, ErrTooShort
+	}
+	x := linalg.NewMatrix(n, p+q+1)
+	y := make([]float64, n)
+	for t := 0; t < n; t++ {
+		ti := offset + t
+		x.Set(t, 0, 1)
+		for i := 0; i < p; i++ {
+			x.Set(t, 1+i, w[ti-1-i])
+		}
+		for j := 0; j < q; j++ {
+			x.Set(t, 1+p+j, ehat[ti-1-j])
+		}
+		y[t] = w[ti]
+	}
+	beta, err := ols(x, y)
+	if err != nil {
+		return nil, err
+	}
+	model := &Model{P: p, D: d, Q: q, C: beta[0]}
+	model.Phi = append([]float64(nil), beta[1:1+p]...)
+	model.Theta = append([]float64(nil), beta[1+p:]...)
+
+	// Innovation variance and AIC from the in-sample one-step residuals.
+	ss := 0.0
+	e := make([]float64, len(w))
+	for ti := offset; ti < len(w); ti++ {
+		pred := model.C
+		for i := 0; i < p; i++ {
+			pred += model.Phi[i] * w[ti-1-i]
+		}
+		for j := 0; j < q; j++ {
+			pred += model.Theta[j] * e[ti-1-j]
+		}
+		e[ti] = w[ti] - pred
+		ss += e[ti] * e[ti]
+	}
+	model.Sigma2 = ss / float64(n)
+	if model.Sigma2 <= 0 {
+		model.Sigma2 = 1e-12
+	}
+	model.AIC = float64(n)*math.Log(model.Sigma2) + 2*float64(p+q+1)
+	return model, nil
+}
+
+// fitMeanOnly handles ARIMA(0,d,0): white noise around a constant.
+func fitMeanOnly(xs []float64, d int) (*Model, error) {
+	w := Difference(xs, d)
+	if len(w) < 4 {
+		return nil, ErrTooShort
+	}
+	mean := 0.0
+	for _, v := range w {
+		mean += v
+	}
+	mean /= float64(len(w))
+	ss := 0.0
+	for _, v := range w {
+		dv := v - mean
+		ss += dv * dv
+	}
+	sigma2 := ss / float64(len(w))
+	if sigma2 <= 0 {
+		sigma2 = 1e-12
+	}
+	return &Model{
+		D: d, C: mean, Sigma2: sigma2,
+		AIC: float64(len(w))*math.Log(sigma2) + 2,
+	}, nil
+}
+
+// FitAuto estimates the best ARIMA model: the differencing order d is chosen
+// first by the Box–Jenkins variance rule (difference while it keeps shrinking
+// the variance; AIC is not comparable across different d), then (p, q) are
+// searched over the grid p ≤ maxP, q ≤ maxQ by minimum AIC. This mirrors the
+// auto.arima-style order selection the paper cites for its single ARIMA
+// configuration.
+func FitAuto(xs []float64, maxP, maxD, maxQ int) (*Model, error) {
+	if maxD > MaxD {
+		maxD = MaxD
+	}
+	d := selectD(xs, maxD)
+	var best *Model
+	for p := 0; p <= maxP; p++ {
+		for q := 0; q <= maxQ; q++ {
+			m, err := Fit(xs, p, d, q)
+			if err != nil {
+				continue
+			}
+			if best == nil || m.AIC < best.AIC {
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrTooShort
+	}
+	return best, nil
+}
+
+// selectD returns the smallest d ≤ maxD after which further differencing no
+// longer reduces the sample variance meaningfully.
+func selectD(xs []float64, maxD int) int {
+	variance := func(w []float64) float64 {
+		if len(w) < 2 {
+			return 0
+		}
+		mean := 0.0
+		for _, v := range w {
+			mean += v
+		}
+		mean /= float64(len(w))
+		ss := 0.0
+		for _, v := range w {
+			dv := v - mean
+			ss += dv * dv
+		}
+		return ss / float64(len(w))
+	}
+	d := 0
+	cur := variance(xs)
+	for d < maxD {
+		next := variance(Difference(xs, d+1))
+		if next >= 0.9*cur {
+			break
+		}
+		cur = next
+		d++
+	}
+	return d
+}

@@ -1,0 +1,257 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDifference(t *testing.T) {
+	xs := []float64{1, 3, 6, 10}
+	d1 := Difference(xs, 1)
+	want1 := []float64{2, 3, 4}
+	for i := range want1 {
+		if d1[i] != want1[i] {
+			t.Fatalf("d1 = %v, want %v", d1, want1)
+		}
+	}
+	d2 := Difference(xs, 2)
+	want2 := []float64{1, 1}
+	for i := range want2 {
+		if d2[i] != want2[i] {
+			t.Fatalf("d2 = %v, want %v", d2, want2)
+		}
+	}
+	if got := Difference(xs, 0); len(got) != 4 || got[0] != 1 {
+		t.Errorf("d0 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[1] != 3 {
+		t.Error("Difference mutated input")
+	}
+}
+
+func TestFitRejectsBadOrders(t *testing.T) {
+	xs := make([]float64, 100)
+	if _, err := Fit(xs, -1, 0, 0); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, err := Fit(xs, 0, 3, 0); err == nil {
+		t.Error("d > MaxD should error")
+	}
+}
+
+func TestFitTooShort(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, 2, 0, 2); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+// Generate an AR(1) process and verify Fit recovers phi and forecasts beat a
+// naive predictor.
+func TestFitRecoversAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const phi = 0.7
+	n := 2000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	m, err := Fit(xs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi[0]-phi) > 0.08 {
+		t.Errorf("phi = %v, want ≈ %v", m.Phi[0], phi)
+	}
+	if m.Sigma2 < 0.8 || m.Sigma2 > 1.25 {
+		t.Errorf("sigma2 = %v, want ≈ 1", m.Sigma2)
+	}
+}
+
+func TestFitRecoversMA1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const theta = 0.6
+	n := 4000
+	xs := make([]float64, n)
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		e := rng.NormFloat64()
+		xs[i] = e + theta*prev
+		prev = e
+	}
+	m, err := Fit(xs, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Theta[0]-theta) > 0.12 {
+		t.Errorf("theta = %v, want ≈ %v", m.Theta[0], theta)
+	}
+}
+
+func TestFitMeanOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+	}
+	m, err := Fit(xs, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.C-5) > 0.2 {
+		t.Errorf("C = %v, want ≈ 5", m.C)
+	}
+}
+
+func TestFitAutoPrefersCorrectOrderOnRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1500
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = xs[i-1] + rng.NormFloat64()
+	}
+	m, err := FitAuto(xs, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D != 1 {
+		t.Errorf("random walk should pick d=1, got %v", m)
+	}
+}
+
+func TestFitAutoTooShort(t *testing.T) {
+	if _, err := FitAuto([]float64{1, 2}, 3, 1, 3); err == nil {
+		t.Error("want error on tiny series")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{P: 2, D: 1, Q: 1}
+	if m.String() != "ARIMA(2,1,1)" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestForecasterOneStepAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const phi = 0.8
+	n := 3000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	m, err := Fit(xs[:2000], 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewForecaster(m)
+	var naiveSS, modelSS float64
+	prev := 0.0
+	for i, x := range xs[2000:] {
+		fc, ready := f.Step(x)
+		if !ready {
+			prev = x
+			continue
+		}
+		modelSS += (x - fc) * (x - fc)
+		naiveSS += (x - prev) * (x - prev)
+		prev = x
+		_ = i
+	}
+	if modelSS >= naiveSS {
+		t.Errorf("AR(1) forecast SS %v should beat naive last-value SS %v", modelSS, naiveSS)
+	}
+}
+
+func TestForecasterTracksLinearTrendWithD1(t *testing.T) {
+	// A perfect line is ARIMA(0,1,0) with drift C: forecasts should be
+	// nearly exact once warm.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 3 * float64(i)
+	}
+	m, err := Fit(xs[:100], 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewForecaster(m)
+	for i, x := range xs[100:] {
+		fc, ready := f.Step(x)
+		if ready && math.Abs(fc-x) > 1e-6 {
+			t.Fatalf("point %d: forecast %v, want %v", i, fc, x)
+		}
+	}
+}
+
+func TestForecasterReadyAfterWarmUp(t *testing.T) {
+	m := &Model{P: 2, D: 1, Phi: []float64{0.5, 0.1}}
+	f := NewForecaster(m)
+	if f.WarmUp() != 3 {
+		t.Fatalf("WarmUp = %d, want 3", f.WarmUp())
+	}
+	for i := 0; i < f.WarmUp(); i++ {
+		if _, ready := f.Step(float64(i)); ready {
+			t.Fatalf("ready during warm-up point %d", i)
+		}
+	}
+	if _, ready := f.Step(99); !ready {
+		t.Error("not ready after warm-up")
+	}
+}
+
+func TestForecasterReset(t *testing.T) {
+	m := &Model{P: 1, Phi: []float64{0.9}}
+	f := NewForecaster(m)
+	f.Step(10)
+	f.Step(20)
+	f.Reset()
+	if fc, ready := f.Step(5); ready || fc != 0 {
+		t.Errorf("after Reset: forecast=%v ready=%v, want 0,false", fc, ready)
+	}
+}
+
+func TestPushLag(t *testing.T) {
+	var lags []float64
+	lags = pushLag(lags, 1, 3)
+	lags = pushLag(lags, 2, 3)
+	lags = pushLag(lags, 3, 3)
+	lags = pushLag(lags, 4, 3)
+	want := []float64{4, 3, 2}
+	for i := range want {
+		if lags[i] != want[i] {
+			t.Fatalf("lags = %v, want %v", lags, want)
+		}
+	}
+	if got := pushLag(nil, 1, 0); len(got) != 0 {
+		t.Errorf("pushLag n=0 = %v", got)
+	}
+}
+
+// Property: forecaster never produces NaN/Inf on bounded data with a sane
+// model fitted from that data.
+func TestForecasterFiniteQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 300)
+		for i := 1; i < len(xs); i++ {
+			xs[i] = 0.5*xs[i-1] + rng.NormFloat64()
+		}
+		m, err := Fit(xs, 1, 1, 1)
+		if err != nil {
+			return true // too-short never happens here, but be lenient
+		}
+		fc := NewForecaster(m)
+		for _, x := range xs {
+			got, _ := fc.Step(x)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package arima
+
+// Forecaster streams one-step-ahead forecasts of the original (undifferenced)
+// series under a fitted model. On each Step it first forms the forecast for
+// the incoming point from past data only, then folds the observation in —
+// exactly the online discipline §4.3.2 requires of detectors.
+type Forecaster struct {
+	m     *Model
+	xlags []float64 // most recent raw observations, newest first, len ≤ D
+	wlags []float64 // most recent differenced values, newest first, len ≤ P
+	elags []float64 // most recent innovations, newest first, len ≤ Q
+	seen  int
+}
+
+// NewForecaster returns a streaming forecaster for the model.
+func NewForecaster(m *Model) *Forecaster {
+	return &Forecaster{m: m}
+}
+
+// WarmUp returns how many points must be observed before forecasts are
+// trustworthy: enough raw lags to difference plus enough differenced lags
+// for the AR part.
+func (f *Forecaster) WarmUp() int { return f.m.D + f.m.P }
+
+// Step returns the forecast that the model made for x before observing it,
+// then updates the internal state with x. ready is false during warm-up
+// (the forecast then simply repeats the last observation, or 0 at the very
+// first point).
+func (f *Forecaster) Step(x float64) (forecast float64, ready bool) {
+	ready = f.seen >= f.WarmUp()
+	forecast = f.predict()
+	f.observe(x, forecast)
+	return forecast, ready
+}
+
+// predict forms the one-step forecast from current lag state.
+func (f *Forecaster) predict() float64 {
+	if f.seen == 0 {
+		return 0
+	}
+	// Forecast of the differenced series.
+	w := f.m.C
+	for i := 0; i < f.m.P; i++ {
+		if i < len(f.wlags) {
+			w += f.m.Phi[i] * f.wlags[i]
+		}
+	}
+	for j := 0; j < f.m.Q; j++ {
+		if j < len(f.elags) {
+			w += f.m.Theta[j] * f.elags[j]
+		}
+	}
+	// Undifference: x̂_t = ŵ_t + d-th order extrapolation of raw lags.
+	switch f.m.D {
+	case 0:
+		return w
+	case 1:
+		return w + f.xlags[0]
+	default: // 2
+		if len(f.xlags) < 2 {
+			return w + f.xlags[0]
+		}
+		return w + 2*f.xlags[0] - f.xlags[1]
+	}
+}
+
+// observe folds x (with its pre-computed forecast) into the lag state.
+func (f *Forecaster) observe(x, forecast float64) {
+	// Differenced value of the new observation.
+	var w float64
+	switch {
+	case f.m.D == 0:
+		w = x
+	case f.m.D == 1 && len(f.xlags) >= 1:
+		w = x - f.xlags[0]
+	case f.m.D == 2 && len(f.xlags) >= 2:
+		w = x - 2*f.xlags[0] + f.xlags[1]
+	default:
+		w = 0 // not enough raw lags yet
+	}
+	// Innovation, only meaningful once warm.
+	var e float64
+	if f.seen >= f.WarmUp() {
+		// Innovation is in differenced units: w - ŵ. Since forecast
+		// undifferenced ŵ the same way observe differences x, the raw
+		// residual equals the differenced one.
+		e = x - forecast
+	}
+	f.xlags = pushLag(f.xlags, x, f.m.D)
+	f.wlags = pushLag(f.wlags, w, f.m.P)
+	f.elags = pushLag(f.elags, e, f.m.Q)
+	f.seen++
+}
+
+// Reset clears the lag state.
+func (f *Forecaster) Reset() {
+	f.xlags, f.wlags, f.elags = nil, nil, nil
+	f.seen = 0
+}
+
+// pushLag prepends v keeping at most n entries (newest first).
+func pushLag(lags []float64, v float64, n int) []float64 {
+	if n == 0 {
+		return lags[:0]
+	}
+	lags = append(lags, 0)
+	copy(lags[1:], lags)
+	lags[0] = v
+	if len(lags) > n {
+		lags = lags[:n]
+	}
+	return lags
+}

@@ -1,0 +1,145 @@
+// Package combine implements the two static detector-combination baselines
+// Fig. 9 compares Opprentice against: the normalization schema of Shanbhag &
+// Wolf [21] and the majority vote of MAWILab [8]. Both treat every
+// configuration with the same priority — no training, no weighting — which
+// is exactly why inaccurate configurations drag them down in the paper.
+//
+// Feature matrices are column-major: cols[j][i] is configuration j's
+// severity for point i (NaN-free; warm-up points are imputed upstream).
+package combine
+
+import (
+	"fmt"
+	"math"
+
+	"opprentice/internal/stats"
+)
+
+// Normalization combines configurations by min-max normalizing each one's
+// severity over a calibration set and averaging: every configuration
+// contributes equally regardless of its accuracy.
+type Normalization struct {
+	min, span []float64
+}
+
+// NewNormalization calibrates per-configuration ranges on column-major
+// severities.
+func NewNormalization(calib [][]float64) *Normalization {
+	n := &Normalization{
+		min:  make([]float64, len(calib)),
+		span: make([]float64, len(calib)),
+	}
+	for j, col := range calib {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range col {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if math.IsInf(lo, 1) { // empty or all-NaN column
+			lo, hi = 0, 0
+		}
+		n.min[j] = lo
+		span := hi - lo
+		if span <= 0 {
+			span = 1
+		}
+		n.span[j] = span
+	}
+	return n
+}
+
+// ScoreAll returns the combined score of every point: the mean of the
+// normalized severities, clamped to [0, 1] per configuration.
+func (n *Normalization) ScoreAll(cols [][]float64) []float64 {
+	if len(cols) != len(n.min) {
+		panic(fmt.Sprintf("combine: calibrated for %d configurations, got %d", len(n.min), len(cols)))
+	}
+	if len(cols) == 0 {
+		return nil
+	}
+	out := make([]float64, len(cols[0]))
+	for j, col := range cols {
+		lo, span := n.min[j], n.span[j]
+		for i, v := range col {
+			if math.IsNaN(v) {
+				continue
+			}
+			x := (v - lo) / span
+			if x < 0 {
+				x = 0
+			} else if x > 1 {
+				x = 1
+			}
+			out[i] += x
+		}
+	}
+	inv := 1 / float64(len(cols))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// MajorityVote combines configurations by equal-weight voting: each
+// configuration votes "anomaly" when its severity exceeds its own
+// calibration quantile, and the combined score is the fraction of votes.
+type MajorityVote struct {
+	thr []float64
+}
+
+// DefaultVoteQuantile is the per-configuration severity quantile above which
+// a configuration casts an anomaly vote. Anomalies are rare, so the top 1 %
+// of each configuration's severities is a natural default alarm region.
+const DefaultVoteQuantile = 0.99
+
+// NewMajorityVote calibrates per-configuration vote thresholds at the given
+// severity quantile of the calibration set.
+func NewMajorityVote(calib [][]float64, quantile float64) *MajorityVote {
+	if quantile <= 0 || quantile >= 1 {
+		panic(fmt.Sprintf("combine: vote quantile %v outside (0,1)", quantile))
+	}
+	m := &MajorityVote{thr: make([]float64, len(calib))}
+	for j, col := range calib {
+		finite := make([]float64, 0, len(col))
+		for _, v := range col {
+			if !math.IsNaN(v) {
+				finite = append(finite, v)
+			}
+		}
+		if len(finite) == 0 {
+			m.thr[j] = math.Inf(1) // never votes
+			continue
+		}
+		m.thr[j] = stats.Quantile(finite, quantile)
+	}
+	return m
+}
+
+// ScoreAll returns, for every point, the fraction of configurations voting
+// anomaly. Sweeping a threshold over this fraction reproduces the
+// majority-vote PR curve.
+func (m *MajorityVote) ScoreAll(cols [][]float64) []float64 {
+	if len(cols) != len(m.thr) {
+		panic(fmt.Sprintf("combine: calibrated for %d configurations, got %d", len(m.thr), len(cols)))
+	}
+	if len(cols) == 0 {
+		return nil
+	}
+	out := make([]float64, len(cols[0]))
+	for j, col := range cols {
+		thr := m.thr[j]
+		for i, v := range col {
+			if !math.IsNaN(v) && v > thr {
+				out[i]++
+			}
+		}
+	}
+	inv := 1 / float64(len(cols))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

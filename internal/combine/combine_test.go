@@ -1,0 +1,145 @@
+package combine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"opprentice/internal/stats"
+)
+
+// makeConfigs builds severities for nGood accurate configurations (high on
+// anomalies) and nBad useless ones (random), plus ground truth.
+func makeConfigs(n, nGood, nBad int, rng *rand.Rand) (cols [][]float64, truth []bool) {
+	truth = make([]bool, n)
+	for i := range truth {
+		truth[i] = rng.Intn(12) == 0
+	}
+	cols = make([][]float64, 0, nGood+nBad)
+	for g := 0; g < nGood; g++ {
+		col := make([]float64, n)
+		for i := range col {
+			if truth[i] {
+				col[i] = 8 + rng.NormFloat64()
+			} else {
+				col[i] = math.Abs(rng.NormFloat64())
+			}
+		}
+		cols = append(cols, col)
+	}
+	for b := 0; b < nBad; b++ {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = math.Abs(rng.NormFloat64()) * 5
+		}
+		cols = append(cols, col)
+	}
+	return cols, truth
+}
+
+func TestNormalizationCombinesGoodConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cols, truth := makeConfigs(3000, 5, 0, rng)
+	n := NewNormalization(cols)
+	scores := n.ScoreAll(cols)
+	if auc := stats.AUCPR(scores, truth); auc < 0.9 {
+		t.Errorf("all-good normalization AUCPR = %v, want ≥ 0.9", auc)
+	}
+}
+
+// The paper's point: static combinations degrade when most configurations
+// are inaccurate, because every configuration gets equal priority.
+func TestStaticCombinationsDegradeWithBadConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	goodCols, truth := makeConfigs(3000, 5, 0, rng)
+	mixed := append([][]float64{}, goodCols...)
+	badCols, _ := makeConfigs(3000, 0, 60, rng)
+	mixed = append(mixed, badCols...)
+
+	aucGood := stats.AUCPR(NewNormalization(goodCols).ScoreAll(goodCols), truth)
+	aucMixed := stats.AUCPR(NewNormalization(mixed).ScoreAll(mixed), truth)
+	if aucMixed >= aucGood-0.1 {
+		t.Errorf("normalization should degrade: good %v vs mixed %v", aucGood, aucMixed)
+	}
+
+	mvGood := stats.AUCPR(NewMajorityVote(goodCols, DefaultVoteQuantile).ScoreAll(goodCols), truth)
+	mvMixed := stats.AUCPR(NewMajorityVote(mixed, DefaultVoteQuantile).ScoreAll(mixed), truth)
+	if mvMixed >= mvGood-0.1 {
+		t.Errorf("majority vote should degrade: good %v vs mixed %v", mvGood, mvMixed)
+	}
+}
+
+func TestMajorityVoteScoresAreFractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cols, _ := makeConfigs(500, 3, 3, rng)
+	m := NewMajorityVote(cols, 0.95)
+	for i, s := range m.ScoreAll(cols) {
+		if s < 0 || s > 1 {
+			t.Fatalf("score[%d] = %v outside [0,1]", i, s)
+		}
+	}
+}
+
+func TestNormalizationScoresBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	calib, _ := makeConfigs(500, 2, 2, rng)
+	n := NewNormalization(calib)
+	// Score wilder data than the calibration range: clamping must hold.
+	test, _ := makeConfigs(500, 2, 2, rng)
+	for j := range test {
+		for i := range test[j] {
+			test[j][i] *= 100
+		}
+	}
+	for i, s := range n.ScoreAll(test) {
+		if s < 0 || s > 1 {
+			t.Fatalf("score[%d] = %v outside [0,1]", i, s)
+		}
+	}
+}
+
+func TestCombineHandlesNaN(t *testing.T) {
+	cols := [][]float64{{math.NaN(), 1, 2, 3}, {0, math.NaN(), 2, 9}}
+	n := NewNormalization(cols)
+	for _, s := range n.ScoreAll(cols) {
+		if math.IsNaN(s) {
+			t.Error("normalization leaked NaN")
+		}
+	}
+	m := NewMajorityVote(cols, 0.9)
+	for _, s := range m.ScoreAll(cols) {
+		if math.IsNaN(s) {
+			t.Error("majority vote leaked NaN")
+		}
+	}
+}
+
+func TestCombineConstantColumn(t *testing.T) {
+	cols := [][]float64{{5, 5, 5, 5}}
+	n := NewNormalization(cols)
+	for _, s := range n.ScoreAll(cols) {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			t.Errorf("constant column score = %v", s)
+		}
+	}
+}
+
+func TestCombinePanics(t *testing.T) {
+	n := NewNormalization([][]float64{{1, 2}})
+	m := NewMajorityVote([][]float64{{1, 2}}, 0.9)
+	cases := []func(){
+		func() { n.ScoreAll([][]float64{{1}, {2}}) },
+		func() { m.ScoreAll([][]float64{{1}, {2}}) },
+		func() { NewMajorityVote(nil, 1.5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,143 @@
+// Package core assembles the Opprentice framework (§4): parallel feature
+// extraction by the basic-detector configurations, training-set policies
+// (Table 2), random-forest training with incremental weekly retraining,
+// cThld configuration by PC-Score, and online cThld prediction by EWMA —
+// the full train-and-detect loop of Fig. 3.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"opprentice/internal/detectors"
+	"opprentice/internal/timeseries"
+)
+
+// Features is the severity matrix the detectors extract from one series:
+// one column per configuration, one row per point. Warm-up points hold NaN
+// ("feature absent"); Imputed returns the NaN-free view the learners use.
+type Features struct {
+	Names []string
+	Cols  [][]float64 // Cols[j][i] = severity of configuration j at point i
+}
+
+// ExtractConfig controls feature extraction.
+type ExtractConfig struct {
+	// FitWeeks is how many leading weeks Trainable detectors (ARIMA) see
+	// for parameter estimation; 0 means min(8, all complete weeks).
+	FitWeeks int
+	// Workers bounds extraction parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Extract runs every detector configuration over the series in parallel and
+// returns the severity matrix. Detectors are Reset first, and Trainable ones
+// are fitted on the leading FitWeeks of data (§4.3.3). A Trainable detector
+// whose fit fails simply stays not-ready (all-NaN column): Opprentice is
+// explicitly designed to keep working when some detectors are unusable (§6
+// "dirty data").
+func Extract(s *timeseries.Series, ds []detectors.Detector, cfg ExtractConfig) (*Features, error) {
+	ppw, err := s.PointsPerWeek()
+	if err != nil {
+		return nil, err
+	}
+	fitWeeks := cfg.FitWeeks
+	if fitWeeks <= 0 {
+		fitWeeks = 8
+	}
+	if max := s.Len() / ppw; fitWeeks > max {
+		fitWeeks = max
+	}
+	fitN := fitWeeks * ppw
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	f := &Features{
+		Names: detectors.Names(ds),
+		Cols:  make([][]float64, len(ds)),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for j, d := range ds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int, d detectors.Detector) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			d.Reset()
+			if tr, ok := d.(detectors.Trainable); ok && fitN > 0 {
+				// Best effort: an unfittable detector contributes no
+				// features rather than failing the whole extraction.
+				_ = tr.Fit(s.Values[:fitN])
+			}
+			col := make([]float64, s.Len())
+			for i, v := range s.Values {
+				sev, ready := d.Step(v)
+				if ready {
+					col[i] = sev
+				} else {
+					col[i] = math.NaN()
+				}
+			}
+			f.Cols[j] = col
+		}(j, d)
+	}
+	wg.Wait()
+	return f, nil
+}
+
+// NumPoints returns the number of rows in the matrix.
+func (f *Features) NumPoints() int {
+	if len(f.Cols) == 0 {
+		return 0
+	}
+	return len(f.Cols[0])
+}
+
+// Slice returns a column-major view of rows [lo, hi). The returned slices
+// share storage with f.
+func (f *Features) Slice(lo, hi int) [][]float64 {
+	out := make([][]float64, len(f.Cols))
+	for j, col := range f.Cols {
+		out[j] = col[lo:hi]
+	}
+	return out
+}
+
+// Imputed returns a copy of rows [lo, hi) with NaN severities replaced by 0
+// — "no evidence of anomaly" — which is what the learners and the static
+// combination baselines consume.
+func (f *Features) Imputed(lo, hi int) [][]float64 {
+	out := make([][]float64, len(f.Cols))
+	for j, col := range f.Cols {
+		dst := make([]float64, hi-lo)
+		for i, v := range col[lo:hi] {
+			if math.IsNaN(v) {
+				dst[i] = 0
+			} else {
+				dst[i] = v
+			}
+		}
+		out[j] = dst
+	}
+	return out
+}
+
+// Column returns the full severity series of configuration j (shared
+// storage, NaN for warm-up points).
+func (f *Features) Column(j int) []float64 { return f.Cols[j] }
+
+// ColumnByName returns the severity column with the given configuration
+// name.
+func (f *Features) ColumnByName(name string) ([]float64, error) {
+	for j, n := range f.Names {
+		if n == name {
+			return f.Cols[j], nil
+		}
+	}
+	return nil, fmt.Errorf("core: no configuration named %q", name)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"opprentice/internal/detectors"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+	"opprentice/internal/timeseries"
+)
+
+// Monitor is the online detection path of Fig. 3(b): incoming points flow
+// through the basic detectors (feature extraction) and the latest anomaly
+// classifier, and the cThld turns the vote fraction into an alarm. It is
+// built from labeled history with NewMonitor and then fed one point at a
+// time; Retrain folds in newly labeled data without disturbing the
+// detectors' streaming state.
+type Monitor struct {
+	dets   []detectors.Detector
+	model  *forest.Forest
+	cthld  float64
+	pred   *CThldPredictor
+	fcfg   forest.Config
+	pref   stats.Preference
+	row    []float64
+	points int
+	filter *DurationFilter
+}
+
+// MonitorConfig configures NewMonitor. Zero values choose the paper's
+// defaults.
+type MonitorConfig struct {
+	Preference stats.Preference
+	Forest     forest.Config
+	// EWMAAlpha smooths cThld updates across retrains (default 0.8).
+	EWMAAlpha float64
+	// Folds for the initial cross-validated cThld (default 5; set
+	// SkipInitialCV to start from 0.5 instead).
+	Folds         int
+	SkipInitialCV bool
+	// MinDuration, when > 1, applies the §6 duration filter: an alarm is
+	// raised only once MinDuration consecutive points classify anomalous.
+	// Verdicts for withheld points are then delayed (see Verdict.Decided).
+	MinDuration int
+}
+
+// NewMonitor trains a monitor on labeled history: detectors are fitted and
+// warmed over the history, a forest is trained on the extracted features,
+// and the initial cThld comes from 5-fold cross-validation (§4.5.2). The
+// detector instances end positioned after the last history point, so Step
+// continues the stream seamlessly.
+func NewMonitor(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector, cfg MonitorConfig) (*Monitor, error) {
+	if len(labels) != history.Len() {
+		return nil, fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
+	}
+	if cfg.Preference == (stats.Preference{}) {
+		cfg.Preference = stats.Preference{Recall: 0.66, Precision: 0.66}
+	}
+	if cfg.Folds <= 0 {
+		cfg.Folds = 5
+	}
+	feats, err := Extract(history, dets, ExtractConfig{})
+	if err != nil {
+		return nil, err
+	}
+	cols := feats.Imputed(0, feats.NumPoints())
+	if !bothClasses(labels) {
+		return nil, fmt.Errorf("core: history must contain labeled anomalies and normal data")
+	}
+	model := forest.Train(cols, labels, cfg.Forest)
+
+	cthld := 0.5
+	if !cfg.SkipInitialCV {
+		cthld = CrossValidateCThld(cols, labels, cfg.Folds, 1000, cfg.Forest, cfg.Preference)
+	}
+	pred := NewCThldPredictor(cfg.EWMAAlpha)
+	pred.Seed(cthld)
+	m := &Monitor{
+		dets:   dets,
+		model:  model,
+		cthld:  pred.Predict(),
+		pred:   pred,
+		fcfg:   cfg.Forest,
+		pref:   cfg.Preference,
+		row:    make([]float64, len(dets)),
+		points: history.Len(),
+	}
+	if cfg.MinDuration > 1 {
+		m.filter = &DurationFilter{MinPoints: cfg.MinDuration}
+	}
+	return m, nil
+}
+
+// Verdict is the monitor's judgment of one point.
+type Verdict struct {
+	// Probability is the forest vote fraction.
+	Probability float64
+	// Anomalous is Probability ≥ the current cThld; when a duration filter
+	// is configured, it is the filtered alarm decision instead.
+	Anomalous bool
+	// CThld is the threshold applied.
+	CThld float64
+	// Decided is how many points this verdict finalizes: always 1 without a
+	// duration filter; with one, 0 while a short anomalous run is pending
+	// and > 1 when a pending run resolves.
+	Decided int
+}
+
+// Step consumes the next incoming point and classifies it online.
+func (m *Monitor) Step(v float64) Verdict {
+	for j, d := range m.dets {
+		sev, ready := d.Step(v)
+		if ready {
+			m.row[j] = sev
+		} else {
+			m.row[j] = 0
+		}
+	}
+	m.points++
+	p := m.model.Prob(m.row)
+	verdict := Verdict{Probability: p, Anomalous: p >= m.cthld, CThld: m.cthld, Decided: 1}
+	if m.filter != nil {
+		decisions := m.filter.Step(verdict.Anomalous)
+		verdict.Anomalous = false
+		verdict.Decided = 0
+		for _, d := range decisions {
+			verdict.Decided += d.Count
+			verdict.Anomalous = verdict.Anomalous || d.Anomalous
+		}
+	}
+	return verdict
+}
+
+// CThld returns the threshold currently in force.
+func (m *Monitor) CThld() float64 { return m.cthld }
+
+// Retrain replaces the classifier with one trained on the full labeled
+// history (incremental retraining, §3.2) and folds the period's best cThld
+// into the EWMA prediction. history must cover everything up to the present,
+// including the points already Stepped; detector streaming state is left
+// untouched.
+func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector) error {
+	if len(labels) != history.Len() {
+		return fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
+	}
+	if !bothClasses(labels) {
+		return fmt.Errorf("core: history must contain labeled anomalies and normal data")
+	}
+	// Extract with a fresh detector set so the live ones keep streaming.
+	feats, err := Extract(history, dets, ExtractConfig{})
+	if err != nil {
+		return err
+	}
+	cols := feats.Imputed(0, feats.NumPoints())
+	m.model = forest.Train(cols, labels, m.fcfg)
+
+	// Best cThld of the most recent week, observed into the predictor.
+	ppw, err := history.PointsPerWeek()
+	if err != nil {
+		return err
+	}
+	if lo := history.Len() - ppw; lo > 0 && bothClasses(labels[lo:]) {
+		// Anomaly-free weeks carry no cThld information; skip them.
+		scores := m.model.ProbAll(featsSlice(cols, lo, history.Len()))
+		best, _ := stats.BestByPCScore(stats.PRCurve(scores, labels[lo:]), m.pref)
+		m.pred.Observe(best.Threshold)
+	}
+	m.cthld = m.pred.Predict()
+	return nil
+}
+
+// featsSlice slices a column-major matrix by rows.
+func featsSlice(cols [][]float64, lo, hi int) [][]float64 {
+	out := make([][]float64, len(cols))
+	for j, col := range cols {
+		out[j] = col[lo:hi]
+	}
+	return out
+}

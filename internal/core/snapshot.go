@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"opprentice/internal/detectors"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+	"opprentice/internal/timeseries"
+)
+
+// snapshotDTO is the gob wire form of a monitor's model state. Detector
+// streaming state is deliberately not serialized: detectors re-warm by
+// replaying recent history, which is simpler and correct by construction.
+type snapshotDTO struct {
+	Version    int
+	Forest     []byte
+	CThld      float64
+	EWMAAlpha  float64
+	Preference stats.Preference
+}
+
+const snapshotVersion = 1
+
+// SaveModel writes the monitor's trained model (forest, cThld state,
+// preference) to w. Pair it with LoadMonitor on restart.
+func (m *Monitor) SaveModel(w io.Writer) error {
+	var fbuf bytes.Buffer
+	if err := m.model.Save(&fbuf); err != nil {
+		return err
+	}
+	dto := snapshotDTO{
+		Version:    snapshotVersion,
+		Forest:     fbuf.Bytes(),
+		CThld:      m.cthld,
+		EWMAAlpha:  m.pred.ewma.Alpha,
+		Preference: m.pref,
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// LoadMonitor restores a monitor from a SaveModel snapshot. recent must hold
+// enough trailing history to re-warm the detectors (a few weeks: the longest
+// warm-up in the default registry is 5 weeks); dets are fresh detector
+// instances matching the ones the model was trained with.
+func LoadMonitor(r io.Reader, recent *timeseries.Series, dets []detectors.Detector) (*Monitor, error) {
+	var dto snapshotDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if dto.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", dto.Version, snapshotVersion)
+	}
+	model, err := forest.Load(bytes.NewReader(dto.Forest))
+	if err != nil {
+		return nil, err
+	}
+	// Re-warm the detectors by replaying the recent history.
+	fitN := recent.Len()
+	for _, d := range dets {
+		d.Reset()
+		if tr, ok := d.(detectors.Trainable); ok && fitN > 0 {
+			_ = tr.Fit(recent.Values)
+		}
+		for _, v := range recent.Values {
+			d.Step(v)
+		}
+	}
+	pred := NewCThldPredictor(dto.EWMAAlpha)
+	pred.Seed(dto.CThld)
+	return &Monitor{
+		dets:   dets,
+		model:  model,
+		cthld:  dto.CThld,
+		pred:   pred,
+		pref:   dto.Preference,
+		row:    make([]float64, len(dets)),
+		points: recent.Len(),
+	}, nil
+}

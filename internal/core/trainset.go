@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// InitWeeks is the initial training period: the paper uses the first 8 weeks
+// and starts every test set at the 9th week (Table 2).
+const InitWeeks = 8
+
+// Policy is a training-set generation strategy of Table 2.
+type Policy int
+
+// The four policies of Table 2.
+const (
+	// I1 trains on all historical data and tests a 1-week moving window —
+	// the incremental-retraining fashion Opprentice itself uses.
+	I1 Policy = iota
+	// I4 trains on all historical data, testing a 4-week moving window.
+	I4
+	// R4 trains on the most recent 8 weeks before the 4-week test window.
+	R4
+	// F4 always trains on the first 8 weeks.
+	F4
+)
+
+// String returns the Table-2 identifier.
+func (p Policy) String() string {
+	switch p {
+	case I1:
+		return "I1"
+	case I4:
+		return "I4"
+	case R4:
+		return "R4"
+	case F4:
+		return "F4"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// TestWeeks returns the test-window length in weeks.
+func (p Policy) TestWeeks() int {
+	if p == I1 {
+		return 1
+	}
+	return 4
+}
+
+// Split returns the train and test point ranges of the k-th moving test set
+// (k = 0 is the window starting at the 9th week; each step moves one week).
+// ok is false when the test window no longer fits in total points.
+func (p Policy) Split(k, ppw, total int) (trainLo, trainHi, testLo, testHi int, ok bool) {
+	testLo = (InitWeeks + k) * ppw
+	testHi = testLo + p.TestWeeks()*ppw
+	if k < 0 || testHi > total {
+		return 0, 0, 0, 0, false
+	}
+	switch p {
+	case R4:
+		trainLo, trainHi = testLo-InitWeeks*ppw, testLo
+	case F4:
+		trainLo, trainHi = 0, InitWeeks*ppw
+	default: // I1, I4: all historical data
+		trainLo, trainHi = 0, testLo
+	}
+	return trainLo, trainHi, testLo, testHi, true
+}
+
+// NumSplits returns how many moving test sets fit in total points.
+func (p Policy) NumSplits(ppw, total int) int {
+	n := 0
+	for {
+		if _, _, _, _, ok := p.Split(n, ppw, total); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,108 @@
+package detectors
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file holds "emerging" detectors beyond Table 3. The paper's framework
+// claim (§4.3.2, §8) is that new detectors plug in without tuning as long as
+// they fit the severity model and run online; Extended builds the default
+// registry plus these, and the PLUG experiment shows the forest absorbing
+// them.
+
+// CUSUM is a cumulative-sum change detector (Page's test): it accumulates
+// positive and negative deviations from a running mean and reports the
+// larger accumulated drift, in units of the running standard deviation.
+type CUSUM struct {
+	k      float64 // slack in sigmas before drift accumulates
+	lambda float64 // forgetting factor for the running mean/var
+	mean   float64
+	varr   float64
+	pos    float64
+	neg    float64
+	n      int
+}
+
+// NewCUSUM returns a CUSUM detector with the given slack (in standard
+// deviations) and running-statistics window (points).
+func NewCUSUM(slack float64, window int) *CUSUM {
+	if slack < 0 || window < 2 {
+		panic(fmt.Sprintf("detectors: cusum slack=%v window=%d", slack, window))
+	}
+	return &CUSUM{k: slack, lambda: 2 / (float64(window) + 1)}
+}
+
+// Name implements Detector.
+func (d *CUSUM) Name() string { return fmt.Sprintf("cusum(k=%.1f)", d.k) }
+
+// Step implements Detector.
+func (d *CUSUM) Step(v float64) (float64, bool) {
+	d.n++
+	if d.n == 1 {
+		d.mean = v
+		return 0, false
+	}
+	std := math.Sqrt(d.varr) + eps
+	z := (v - d.mean) / std
+	d.pos = math.Max(0, d.pos+z-d.k)
+	d.neg = math.Max(0, d.neg-z-d.k)
+
+	delta := v - d.mean
+	d.mean += d.lambda * delta
+	d.varr = (1 - d.lambda) * (d.varr + d.lambda*delta*delta)
+
+	return math.Max(d.pos, d.neg), d.n > 8
+}
+
+// Reset implements Detector.
+func (d *CUSUM) Reset() {
+	d.mean, d.varr, d.pos, d.neg = 0, 0, 0, 0
+	d.n = 0
+}
+
+// RateOfChange measures the relative step between consecutive points,
+// |v−prev| / (|prev|+ε) — a dimensionless variant of Diff that transfers
+// across KPI scales without normalization.
+type RateOfChange struct {
+	prev float64
+	seen bool
+}
+
+// NewRateOfChange returns the detector.
+func NewRateOfChange() *RateOfChange { return &RateOfChange{} }
+
+// Name implements Detector.
+func (d *RateOfChange) Name() string { return "rate_of_change" }
+
+// Step implements Detector.
+func (d *RateOfChange) Step(v float64) (float64, bool) {
+	if !d.seen {
+		d.prev, d.seen = v, true
+		return 0, false
+	}
+	sev := math.Abs(v-d.prev) / (math.Abs(d.prev) + eps)
+	d.prev = v
+	return sev, true
+}
+
+// Reset implements Detector.
+func (d *RateOfChange) Reset() { d.prev, d.seen = 0, false }
+
+// ExtendedRegistry builds the default 133 configurations plus the emerging
+// ones (3 CUSUM slacks and rate-of-change) — the "plug in new detectors
+// without tuning" path of §4.3.2/§8. The extra configurations keep the same
+// online contract, so Opprentice needs no change to absorb them.
+func ExtendedRegistry(interval time.Duration) ([]Detector, error) {
+	ds, err := Registry(interval)
+	if err != nil {
+		return nil, err
+	}
+	window := 120
+	for _, k := range []float64{0.5, 1.0, 2.0} {
+		ds = append(ds, NewCUSUM(k, window))
+	}
+	ds = append(ds, NewRateOfChange())
+	return ds, nil
+}

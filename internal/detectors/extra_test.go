@@ -1,0 +1,111 @@
+package detectors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCUSUMDetectsLevelShift(t *testing.T) {
+	d := NewCUSUM(0.5, 60)
+	rng := rand.New(rand.NewSource(1))
+	var normal float64
+	for i := 0; i < 500; i++ {
+		normal, _ = d.Step(10 + rng.NormFloat64())
+	}
+	// Sustained shift: CUSUM accumulates drift quickly.
+	var shifted float64
+	for i := 0; i < 10; i++ {
+		shifted, _ = d.Step(15 + rng.NormFloat64())
+	}
+	if shifted < normal+5 {
+		t.Errorf("post-shift severity %v should far exceed pre-shift %v", shifted, normal)
+	}
+}
+
+func TestCUSUMDirectionless(t *testing.T) {
+	up := NewCUSUM(0.5, 60)
+	down := NewCUSUM(0.5, 60)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		v := 10 + rng.NormFloat64()
+		up.Step(v)
+		down.Step(v)
+	}
+	var sevUp, sevDown float64
+	for i := 0; i < 8; i++ {
+		sevUp, _ = up.Step(14)
+		sevDown, _ = down.Step(6)
+	}
+	if sevUp < 3 || sevDown < 3 {
+		t.Errorf("both directions should alarm: up=%v down=%v", sevUp, sevDown)
+	}
+}
+
+func TestCUSUMWarmUpAndReset(t *testing.T) {
+	d := NewCUSUM(1, 30)
+	for i := 0; i < 8; i++ {
+		if _, ready := d.Step(1); ready {
+			t.Fatalf("ready at point %d", i)
+		}
+	}
+	if _, ready := d.Step(1); !ready {
+		t.Error("should be ready after 9 points")
+	}
+	d.Reset()
+	if _, ready := d.Step(1); ready {
+		t.Error("ready after Reset")
+	}
+}
+
+func TestCUSUMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewCUSUM(-1, 30)
+}
+
+func TestRateOfChange(t *testing.T) {
+	d := NewRateOfChange()
+	if _, ready := d.Step(100); ready {
+		t.Error("first point should not be ready")
+	}
+	sev, ready := d.Step(150)
+	if !ready || math.Abs(sev-0.5) > 1e-9 {
+		t.Errorf("sev = %v, want 0.5", sev)
+	}
+	// Scale invariance: the same relative step gives the same severity.
+	d2 := NewRateOfChange()
+	d2.Step(100000)
+	sev2, _ := d2.Step(150000)
+	if math.Abs(sev-sev2) > 1e-9 {
+		t.Errorf("rate of change should be scale invariant: %v vs %v", sev, sev2)
+	}
+	d.Reset()
+	if _, ready := d.Step(1); ready {
+		t.Error("ready after Reset")
+	}
+}
+
+func TestExtendedRegistry(t *testing.T) {
+	ds, err := ExtendedRegistry(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != NumConfigurations+4 {
+		t.Fatalf("extended registry size = %d, want %d", len(ds), NumConfigurations+4)
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if seen[d.Name()] {
+			t.Errorf("duplicate name %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+	if _, err := ExtendedRegistry(11 * time.Minute); err == nil {
+		t.Error("bad interval should propagate")
+	}
+}

@@ -1,0 +1,121 @@
+package detectors
+
+import (
+	"fmt"
+	"time"
+
+	"opprentice/internal/timeseries"
+	"opprentice/internal/wavelet"
+)
+
+// Spec summarizes one detector family of Table 3 for documentation and the
+// T3 experiment.
+type Spec struct {
+	Detector string
+	Params   string
+	Configs  int
+}
+
+// Table3 returns the detector/parameter inventory exactly as Table 3 of the
+// paper lists it.
+func Table3() []Spec {
+	return []Spec{
+		{"Simple threshold", "none", 1},
+		{"Diff", "last-slot, last-day, last-week", 3},
+		{"Simple MA", "win = 10, 20, 30, 40, 50 points", 5},
+		{"Weighted MA", "win = 10, 20, 30, 40, 50 points", 5},
+		{"MA of diff", "win = 10, 20, 30, 40, 50 points", 5},
+		{"EWMA", "alpha = 0.1, 0.3, 0.5, 0.7, 0.9", 5},
+		{"TSD", "win = 1, 2, 3, 4, 5 week(s)", 5},
+		{"TSD MAD", "win = 1, 2, 3, 4, 5 week(s)", 5},
+		{"Historical average", "win = 1, 2, 3, 4, 5 week(s)", 5},
+		{"Historical MAD", "win = 1, 2, 3, 4, 5 week(s)", 5},
+		{"Holt-Winters", "alpha, beta, gamma = 0.2, 0.4, 0.6, 0.8", 64},
+		{"SVD", "row = 10, 20, 30, 40, 50 points, column = 3, 5, 7", 15},
+		{"Wavelet", "win = 3, 5, 7 days, freq = low, mid, high", 9},
+		{"ARIMA", "estimation from data", 1},
+	}
+}
+
+// NumConfigurations is the total number of detector configurations in the
+// default registry — the paper's 133 features.
+const NumConfigurations = 133
+
+// Registry builds one Detector per Table-3 configuration for a series with
+// the given sampling interval. Seasonal detectors derive their periods from
+// the interval, so it must divide a day evenly. The order of the returned
+// slice is fixed and matches Table 3 top to bottom; it defines the feature
+// indices of the machine-learning stage.
+func Registry(interval time.Duration) ([]Detector, error) {
+	if interval <= 0 || timeseries.Day%interval != 0 {
+		return nil, fmt.Errorf("detectors: interval %v does not divide a day", interval)
+	}
+	ppd := int(timeseries.Day / interval)
+	ppw := 7 * ppd
+
+	var ds []Detector
+	ds = append(ds, NewSimpleThreshold())
+	ds = append(ds,
+		NewDiff("last-slot", 1),
+		NewDiff("last-day", ppd),
+		NewDiff("last-week", ppw),
+	)
+	wins := []int{10, 20, 30, 40, 50}
+	for _, w := range wins {
+		ds = append(ds, NewSimpleMA(w))
+	}
+	for _, w := range wins {
+		ds = append(ds, NewWeightedMA(w))
+	}
+	for _, w := range wins {
+		ds = append(ds, NewMAOfDiff(w))
+	}
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		ds = append(ds, NewEWMA(a))
+	}
+	for w := 1; w <= 5; w++ {
+		ds = append(ds, NewTSD(w, ppw, ppd))
+	}
+	for w := 1; w <= 5; w++ {
+		ds = append(ds, NewTSDMAD(w, ppw, ppd))
+	}
+	for w := 1; w <= 5; w++ {
+		ds = append(ds, NewHistoricalAverage(w, ppd))
+	}
+	for w := 1; w <= 5; w++ {
+		ds = append(ds, NewHistoricalMAD(w, ppd))
+	}
+	params := []float64{0.2, 0.4, 0.6, 0.8}
+	for _, a := range params {
+		for _, b := range params {
+			for _, g := range params {
+				ds = append(ds, NewHoltWinters(a, b, g, ppd))
+			}
+		}
+	}
+	for _, rows := range []int{10, 20, 30, 40, 50} {
+		for _, cols := range []int{3, 5, 7} {
+			ds = append(ds, NewSVD(rows, cols))
+		}
+	}
+	for _, winDays := range []int{3, 5, 7} {
+		for _, band := range []wavelet.Band{wavelet.Low, wavelet.Mid, wavelet.High} {
+			ds = append(ds, NewWavelet(winDays, band, ppd))
+		}
+	}
+	ds = append(ds, NewARIMA(2, 1, 2))
+
+	if len(ds) != NumConfigurations {
+		panic(fmt.Sprintf("detectors: registry built %d configurations, want %d", len(ds), NumConfigurations))
+	}
+	return ds, nil
+}
+
+// Names returns the configuration names of a detector slice, in order.
+func Names(ds []Detector) []string {
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name()
+	}
+	return names
+}

@@ -1,0 +1,222 @@
+package detectors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleThreshold(t *testing.T) {
+	d := NewSimpleThreshold()
+	if sev, ready := d.Step(42); !ready || sev != 42 {
+		t.Errorf("Step(42) = %v, %v", sev, ready)
+	}
+	if sev, _ := d.Step(-3); sev != 0 {
+		t.Errorf("negative values clamp to 0, got %v", sev)
+	}
+	d.Reset() // must not panic
+}
+
+func TestDiffLags(t *testing.T) {
+	d := NewDiff("last-slot", 1)
+	if _, ready := d.Step(10); ready {
+		t.Error("first point should not be ready")
+	}
+	if sev, ready := d.Step(13); !ready || sev != 3 {
+		t.Errorf("Step = %v, %v; want 3, true", sev, ready)
+	}
+	if sev, _ := d.Step(13); sev != 0 {
+		t.Errorf("identical consecutive points: sev = %v", sev)
+	}
+}
+
+func TestDiffLongLag(t *testing.T) {
+	d := NewDiff("last-day", 4)
+	vals := []float64{1, 2, 3, 4, 11, 22}
+	var sevs []float64
+	var readies []bool
+	for _, v := range vals {
+		s, r := d.Step(v)
+		sevs = append(sevs, s)
+		readies = append(readies, r)
+	}
+	for i := 0; i < 4; i++ {
+		if readies[i] {
+			t.Errorf("point %d should be warming up", i)
+		}
+	}
+	if !readies[4] || sevs[4] != 10 {
+		t.Errorf("point 4: sev=%v ready=%v, want 10,true", sevs[4], readies[4])
+	}
+	if sevs[5] != 20 {
+		t.Errorf("point 5: sev=%v, want 20", sevs[5])
+	}
+}
+
+func TestDiffPanicsOnBadLag(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDiff("x", 0)
+}
+
+func TestSimpleMA(t *testing.T) {
+	d := NewSimpleMA(3)
+	for i, v := range []float64{1, 2, 3} {
+		if _, ready := d.Step(v); ready {
+			t.Errorf("point %d should be warming up", i)
+		}
+	}
+	// mean(1,2,3) = 2; |10-2| = 8.
+	if sev, ready := d.Step(10); !ready || sev != 8 {
+		t.Errorf("Step(10) = %v, %v; want 8, true", sev, ready)
+	}
+	// Window is now (2,3,10), mean = 5; |5-5| = 0.
+	if sev, _ := d.Step(5); sev != 0 {
+		t.Errorf("Step(5) = %v, want 0", sev)
+	}
+}
+
+func TestWeightedMAWeightsRecent(t *testing.T) {
+	d := NewWeightedMA(2)
+	d.Step(0)
+	d.Step(10)
+	// Weighted mean with weights 1 (old=0), 2 (new=10) = 20/3.
+	sev, ready := d.Step(0)
+	if !ready || math.Abs(sev-20.0/3) > 1e-12 {
+		t.Errorf("sev = %v, want 20/3", sev)
+	}
+}
+
+func TestWeightedMAOrderIndependentOfRingWrap(t *testing.T) {
+	// After the ring wraps several times the oldest→newest ordering must
+	// still hold: feed a trend and check the prediction lags below the next
+	// value (weighted mean of an increasing window < next point).
+	d := NewWeightedMA(3)
+	var sev float64
+	var ready bool
+	for i := 0; i < 10; i++ {
+		sev, ready = d.Step(float64(i))
+	}
+	// Window before point 9 was (6,7,8): weighted mean = (6+14+24)/6 = 44/6.
+	if !ready || math.Abs(sev-(9-44.0/6)) > 1e-12 {
+		t.Errorf("sev = %v, want %v", sev, 9-44.0/6)
+	}
+}
+
+func TestMAOfDiffDetectsJitter(t *testing.T) {
+	d := NewMAOfDiff(3)
+	// Smooth ramp first: diffs are all 1.
+	var sev float64
+	var ready bool
+	for i := 0; i < 6; i++ {
+		sev, ready = d.Step(float64(i))
+	}
+	if !ready || math.Abs(sev-1) > 1e-12 {
+		t.Errorf("smooth ramp: sev = %v, want 1", sev)
+	}
+	// Jitter: alternate ±10. Diffs jump to ~15 on average.
+	for i := 0; i < 6; i++ {
+		sev, _ = d.Step(float64(i%2) * 20)
+	}
+	if sev < 5 {
+		t.Errorf("jitter severity %v should be large", sev)
+	}
+}
+
+func TestMAOfDiffWarmUp(t *testing.T) {
+	d := NewMAOfDiff(2)
+	if _, ready := d.Step(1); ready {
+		t.Error("first point ready")
+	}
+	if _, ready := d.Step(2); ready {
+		t.Error("second point ready (only 1 diff)")
+	}
+	if _, ready := d.Step(3); !ready {
+		t.Error("third point should be ready (2 diffs)")
+	}
+}
+
+func TestEWMADetector(t *testing.T) {
+	d := NewEWMA(0.5)
+	if _, ready := d.Step(10); ready {
+		t.Error("first point should not be ready")
+	}
+	// Prediction is 10; |20-10| = 10.
+	if sev, ready := d.Step(20); !ready || sev != 10 {
+		t.Errorf("sev = %v, ready = %v", sev, ready)
+	}
+	// State is now 15; |15-15| = 0.
+	if sev, _ := d.Step(15); sev != 0 {
+		t.Errorf("sev = %v, want 0", sev)
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewEWMA(1.5)
+}
+
+func TestEWMAAlphaControlsMemory(t *testing.T) {
+	// High alpha adapts fast: after a level shift, severity should decay
+	// faster than with low alpha.
+	fast, slow := NewEWMA(0.9), NewEWMA(0.1)
+	for i := 0; i < 50; i++ {
+		fast.Step(0)
+		slow.Step(0)
+	}
+	var fs, ss float64
+	for i := 0; i < 5; i++ {
+		fs, _ = fast.Step(100)
+		ss, _ = slow.Step(100)
+	}
+	if fs >= ss {
+		t.Errorf("after shift, fast ewma severity %v should be below slow %v", fs, ss)
+	}
+}
+
+func TestResetsRestoreWarmUp(t *testing.T) {
+	detectors := []Detector{
+		NewDiff("last-slot", 2),
+		NewSimpleMA(3),
+		NewWeightedMA(3),
+		NewMAOfDiff(3),
+		NewEWMA(0.5),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range detectors {
+		for i := 0; i < 20; i++ {
+			d.Step(rng.Float64())
+		}
+		d.Reset()
+		if _, ready := d.Step(1); ready {
+			t.Errorf("%s: ready right after Reset", d.Name())
+		}
+	}
+}
+
+func TestSeveritiesNonNegative(t *testing.T) {
+	detectors := []Detector{
+		NewSimpleThreshold(),
+		NewDiff("last-slot", 1),
+		NewSimpleMA(5),
+		NewWeightedMA(5),
+		NewMAOfDiff(5),
+		NewEWMA(0.3),
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range detectors {
+		for i := 0; i < 200; i++ {
+			sev, _ := d.Step(rng.NormFloat64() * 100)
+			if sev < 0 || math.IsNaN(sev) {
+				t.Fatalf("%s: severity %v at point %d", d.Name(), sev, i)
+			}
+		}
+	}
+}

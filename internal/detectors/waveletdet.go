@@ -1,0 +1,89 @@
+package detectors
+
+import (
+	"fmt"
+	"math"
+
+	"opprentice/internal/wavelet"
+)
+
+// WaveletDetector is the signal-analysis detector [12]: an undecimated Haar
+// multi-resolution analysis over a window of win days splits the signal into
+// frequency bands, and the severity is the magnitude of the chosen band's
+// coefficient in units of that band's own (exponentially tracked) spread.
+// Table 3 sweeps win ∈ {3, 5, 7} days × band ∈ {low, mid, high},
+// 9 configurations.
+type WaveletDetector struct {
+	winDays int
+	band    wavelet.Band
+	mra     *wavelet.MRA
+
+	// Exponentially weighted mean/variance of the band value, and of the
+	// approximation (for the low band's drift term).
+	lambda     float64
+	bandMean   float64
+	bandVar    float64
+	approxMean float64
+	n          int
+}
+
+// NewWavelet returns a wavelet detector; ppd is points per day. The number
+// of MRA levels is chosen so the coarsest scale spans roughly the window.
+func NewWavelet(winDays int, band wavelet.Band, ppd int) *WaveletDetector {
+	if winDays < 1 {
+		panic(fmt.Sprintf("detectors: wavelet window %d days", winDays))
+	}
+	span := winDays * ppd
+	levels := 1
+	for (1 << (levels + 1)) <= span {
+		levels++
+	}
+	if levels > 12 {
+		levels = 12
+	}
+	if levels < 3 {
+		levels = 3
+	}
+	return &WaveletDetector{
+		winDays: winDays,
+		band:    band,
+		mra:     wavelet.NewMRA(levels),
+		// Track band statistics over roughly one window of points.
+		lambda: 2 / (float64(span) + 1),
+	}
+}
+
+// Name implements Detector.
+func (d *WaveletDetector) Name() string {
+	return fmt.Sprintf("wavelet(win=%dd,freq=%s)", d.winDays, d.band)
+}
+
+// Step implements Detector.
+func (d *WaveletDetector) Step(v float64) (float64, bool) {
+	details, approx, ready := d.mra.Push(v)
+	if !ready {
+		// Seed the trackers during warm-up so they start near the signal.
+		d.approxMean = approx
+		return 0, false
+	}
+	bandVal := wavelet.BandValue(d.band, details, approx-d.approxMean)
+	d.approxMean += d.lambda * (approx - d.approxMean)
+
+	d.n++
+	sev := 0.0
+	if d.n > 1 {
+		sev = math.Abs(bandVal-d.bandMean) / (math.Sqrt(d.bandVar) + eps)
+	}
+	delta := bandVal - d.bandMean
+	d.bandMean += d.lambda * delta
+	d.bandVar = (1 - d.lambda) * (d.bandVar + d.lambda*delta*delta)
+	// Require a few points of band statistics before reporting ready.
+	return sev, d.n > 8
+}
+
+// Reset implements Detector.
+func (d *WaveletDetector) Reset() {
+	d.mra.Reset()
+	d.bandMean, d.bandVar, d.approxMean = 0, 0, 0
+	d.n = 0
+}

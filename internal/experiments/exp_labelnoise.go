@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"opprentice/internal/core"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/labelsim"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+	"opprentice/internal/timeseries"
+)
+
+// LabelNoise quantifies the §4.2 claim that "machine learning is well known
+// for being robust to noises" in operator labels: the forest is trained on
+// labels with increasing boundary jitter and missed short windows, and
+// evaluated against the exact ground truth. The paper asserts real operator
+// labels are viable; here the degradation curve is measured.
+func LabelNoise(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	p := kpigen.PV(o.Scale)
+	k, err := prepare(p, o)
+	if err != nil {
+		return nil, err
+	}
+	truth := k.dataset.Labels // exact ground truth (injection windows)
+	trainHi := core.InitWeeks * k.ppw
+	total := (k.feats.NumPoints() / k.ppw) * k.ppw
+	trainCols := k.feats.Imputed(0, trainHi)
+	testCols := k.feats.Imputed(trainHi, total)
+	testTruth := []bool(truth[trainHi:total])
+
+	t := &Table{
+		ID:      "AblNoise",
+		Title:   "Operator label noise vs forest accuracy (PV, evaluated on exact truth)",
+		Columns: []string{"jitter_frac_of_window", "boundary_jitter_pts", "miss_prob", "label_overlap", "aucpr"},
+	}
+	// Jitter is expressed relative to the typical anomalous-window length,
+	// which is what decides whether boundary noise matters: a few minutes of
+	// slop on a 40-minute anomaly is harmless at any sampling interval.
+	meanDur := meanWindowLen(truth)
+	type noiseCase struct {
+		frac float64
+		op   labelsim.Operator
+	}
+	cases := []noiseCase{
+		{0, labelsim.Operator{}},
+		{0.1, labelsim.Operator{Seed: 2}},
+		{0.25, labelsim.Operator{Seed: 2}},
+		{0.5, labelsim.Operator{MissProb: 0.1, Seed: 2}},
+		{1.0, labelsim.Operator{MissProb: 0.25, Seed: 2}},
+	}
+	for _, c := range cases {
+		op := c.op
+		op.BoundaryJitter = int(c.frac * meanDur)
+		if op.MissProb > 0 {
+			op.MissBelow = op.BoundaryJitter
+		}
+		noisy := op.Label(truth)
+		trainLabels := []bool(noisy[:trainHi])
+		overlap := labelOverlap(truth[:trainHi], trainLabels)
+		m := forest.Train(trainCols, trainLabels, o.forestConfig())
+		auc := stats.AUCPR(m.ProbAll(testCols), testTruth)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", c.frac),
+			fmt.Sprintf("%d", op.BoundaryJitter),
+			fmt.Sprintf("%.2f", op.MissProb),
+			fmtF(overlap),
+			fmtF(auc),
+		})
+	}
+	t.Notes = "§4.2 shape: boundary extension/narrowing barely moves accuracy (the labels the tool produces are viable for learning); only aggressive misses of whole windows cost recall."
+	return []*Table{t}, nil
+}
+
+// meanWindowLen returns the mean anomalous-window length in points (1 when
+// there are no windows).
+func meanWindowLen(labels timeseries.Labels) float64 {
+	ws := labels.Windows()
+	if len(ws) == 0 {
+		return 1
+	}
+	total := 0
+	for _, w := range ws {
+		total += w.Len()
+	}
+	return float64(total) / float64(len(ws))
+}
+
+// labelOverlap is the Jaccard index between two label vectors' anomalous
+// sets (1 = identical labeling).
+func labelOverlap(a, b []bool) float64 {
+	inter, union := 0, 0
+	for i := range a {
+		if a[i] || b[i] {
+			union++
+		}
+		if a[i] && b[i] {
+			inter++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

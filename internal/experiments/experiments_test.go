@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"opprentice/internal/kpigen"
+)
+
+// testOptions keeps experiment tests fast: small data, small forests.
+func testOptions() Options {
+	return Options{Scale: kpigen.Small, Seed: 1, Trees: 12}
+}
+
+func TestRegistryIDsUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Registry() {
+		if seen[m.ID] {
+			t.Errorf("duplicate experiment id %s", m.ID)
+		}
+		seen[m.ID] = true
+		if m.Run == nil {
+			t.Errorf("%s has no runner", m.ID)
+		}
+		if _, ok := Find(strings.ToLower(m.ID)); !ok {
+			t.Errorf("Find(%q) failed", m.ID)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find should reject unknown ids")
+	}
+}
+
+func TestTableWriteTo(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "note",
+	}
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "long_column", "333", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	vals := make([]float64, 100)
+	labels := make([]bool, 100)
+	for i := range vals {
+		vals[i] = float64(i % 10)
+		labels[i] = i == 50
+	}
+	out := asciiPlot(vals, labels, 50, 8)
+	if !strings.Contains(out, "#") {
+		t.Error("plot should mark the anomaly with '#'")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot should draw normal buckets with '*'")
+	}
+	if asciiPlot(nil, nil, 50, 8) != "" {
+		t.Error("empty plot should be empty")
+	}
+}
+
+func TestTable1ShapesMatchPaper(t *testing.T) {
+	tabs, err := Table1(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// Column order: kpi, interval, weeks, strength, seasonality, cv, frac.
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	if byName["pv"][4] != "strong" {
+		t.Errorf("pv seasonality = %s, want strong", byName["pv"][4])
+	}
+	if byName["sr"][4] != "weak" {
+		t.Errorf("sr seasonality = %s, want weak", byName["sr"][4])
+	}
+	cv := func(name string) float64 {
+		v, err := strconv.ParseFloat(byName[name][5], 64)
+		if err != nil {
+			t.Fatalf("bad cv cell %q", byName[name][5])
+		}
+		return v
+	}
+	if !(cv("sr") > cv("pv") && cv("pv") > cv("srt")) {
+		t.Errorf("cv ordering wrong: sr=%v pv=%v srt=%v", cv("sr"), cv("pv"), cv("srt"))
+	}
+}
+
+func TestFig1ProducesPlots(t *testing.T) {
+	tabs, err := Fig1(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := tabs[0].Notes
+	for _, kpi := range []string{"pv", "sr", "srt"} {
+		if !strings.Contains(notes, "--- "+kpi) {
+			t.Errorf("missing plot for %s", kpi)
+		}
+	}
+}
+
+func TestTable3Totals133(t *testing.T) {
+	tabs, err := Table3(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tabs[0].Rows[len(tabs[0].Rows)-1]
+	if last[2] != "133" {
+		t.Errorf("total = %s, want 133", last[2])
+	}
+	if !strings.Contains(tabs[0].Notes, "133") {
+		t.Error("registry cross-check missing")
+	}
+}
+
+func TestFig5PrintsTree(t *testing.T) {
+	tabs, err := Fig5(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := tabs[0].Notes
+	if !strings.Contains(notes, "severity[") {
+		t.Errorf("tree print lacks severity rules:\n%s", notes)
+	}
+	if !strings.Contains(notes, "full tree:") {
+		t.Error("tree stats missing")
+	}
+}
+
+func TestFig6SelectionsRespectMetrics(t *testing.T) {
+	tabs, err := Fig6(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("tables = %d, want 2 (curve + selections)", len(tabs))
+	}
+	sel := tabs[1]
+	if len(sel.Rows) != 8 { // 2 preferences × 4 metrics
+		t.Fatalf("selection rows = %d, want 8", len(sel.Rows))
+	}
+	for _, row := range sel.Rows {
+		if row[1] == "default_cthld" && row[2] != "0.500" {
+			t.Errorf("default metric picked threshold %s", row[2])
+		}
+	}
+}
+
+func TestFig7NeighborSimilarity(t *testing.T) {
+	tabs, err := Fig7(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("no weekly rows")
+	}
+	if !strings.Contains(tab.Notes, "Δ neighbor") {
+		t.Error("neighbor-similarity note missing")
+	}
+}
+
+func TestFig9RandomForestRanksHigh(t *testing.T) {
+	tabs, err := Fig9(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d, want one per KPI", len(tabs))
+	}
+	for _, tab := range tabs {
+		var rfRank, normRank, voteRank int
+		for _, row := range tab.Rows {
+			rank, _ := strconv.Atoi(strings.SplitN(row[0], "/", 2)[0])
+			switch row[1] {
+			case nameRF:
+				rfRank = rank
+			case nameNorm:
+				normRank = rank
+			case nameVote:
+				voteRank = rank
+			}
+		}
+		// Paper shape: RF in the top ranks, static combinations behind it.
+		if rfRank == 0 || rfRank > 10 {
+			t.Errorf("%s: random forest rank %d, want top 10", tab.Title, rfRank)
+		}
+		if normRank <= rfRank || voteRank <= rfRank {
+			t.Errorf("%s: combos (%d, %d) should rank below RF (%d)",
+				tab.Title, normRank, voteRank, rfRank)
+		}
+	}
+}
+
+func TestTable4RandomForestPrecisionHigh(t *testing.T) {
+	tabs, err := Table4(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	var rfRow []string
+	for _, row := range tab.Rows {
+		if row[0] == nameRF {
+			rfRow = row
+		}
+	}
+	if rfRow == nil {
+		t.Fatal("no random forest row")
+	}
+	for i, cell := range rfRow[1:] {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad precision cell %q", cell)
+		}
+		if v < 0.6 {
+			t.Errorf("RF max precision[%d] = %v, want ≥ 0.6 (paper: ≥ 0.83)", i, v)
+		}
+	}
+}
+
+func TestFig10ForestStaysHighWithAllFeatures(t *testing.T) {
+	tabs, err := Fig10(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		last := tab.Rows[len(tab.Rows)-1] // all 133 features
+		rf, _ := strconv.ParseFloat(last[len(last)-1], 64)
+		if rf < 0.3 {
+			t.Errorf("%s: RF AUCPR with all features = %v, want ≥ 0.3", tab.Title, rf)
+		}
+	}
+}
+
+func TestFig11HasMeanRow(t *testing.T) {
+	tabs, err := Fig11(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		last := tab.Rows[len(tab.Rows)-1]
+		if last[0] != "mean" {
+			t.Errorf("%s: last row %v, want mean", tab.Title, last)
+		}
+	}
+}
+
+func TestFig12PCScoreWinsOnItsPreference(t *testing.T) {
+	tabs, err := Fig12(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	// For every (kpi, preference) block, the PC-Score row's in-box count at
+	// the original preference must be ≥ every other metric's.
+	type key struct{ kpi, pref string }
+	bestPC := map[key]int{}
+	others := map[key]int{}
+	for _, row := range tab.Rows {
+		k := key{row[0], row[1]}
+		v, _ := strconv.Atoi(strings.TrimSuffix(row[3], "%"))
+		if row[2] == "pc_score" {
+			bestPC[k] = v
+		} else if v > others[k] {
+			others[k] = v
+		}
+	}
+	for k, pc := range bestPC {
+		if pc < others[k] {
+			t.Errorf("%v: pc_score %d%% < best other metric %d%%", k, pc, others[k])
+		}
+	}
+}
+
+func TestFig14TotalsReported(t *testing.T) {
+	tabs, err := Fig14(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tabs[0].Notes, "Total labeling minutes") {
+		t.Error("totals missing")
+	}
+	if len(tabs[0].Rows) < 6 {
+		t.Errorf("rows = %d, want months for 3 KPIs", len(tabs[0].Rows))
+	}
+}
+
+func TestLagReportsStages(t *testing.T) {
+	tabs, err := Lag(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 stages", len(tabs[0].Rows))
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, run := range []Runner{AblationEWMA, AblationPC, AblationPool} {
+		tabs, err := run(testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tabs[0].Rows) == 0 {
+			t.Error("ablation produced no rows")
+		}
+	}
+}
+
+func TestAblationPCIncentiveOneDominatesZero(t *testing.T) {
+	tabs, err := AblationPC(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]int{}
+	for _, row := range tabs[0].Rows {
+		v, _ := strconv.Atoi(strings.SplitN(row[1], "/", 2)[0])
+		in[row[0]] = v
+	}
+	if in["1.000"] < in["0.000"] {
+		t.Errorf("incentive 1 (%d weeks) should be ≥ incentive 0 (%d weeks)", in["1.000"], in["0.000"])
+	}
+}
+
+func TestFig13OnlineAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("weekly cross-validation is slow")
+	}
+	o := testOptions()
+	o.Trees = 8
+	tabs, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d, want 3", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no windows", tab.Title)
+		}
+		if !strings.Contains(tab.Notes, "inside preference box") {
+			t.Error("summary note missing")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestTransferNormalizationHelps(t *testing.T) {
+	tabs, err := Transfer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 target scales", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		norm, _ := strconv.ParseFloat(row[1], 64)
+		raw, _ := strconv.ParseFloat(row[2], 64)
+		self, _ := strconv.ParseFloat(row[3], 64)
+		if row[0] != "10000" && norm < raw {
+			t.Errorf("base %s: normalized %v should beat raw %v across scales", row[0], norm, raw)
+		}
+		if self < 0.3 {
+			t.Errorf("base %s: self-trained AUCPR %v suspiciously low", row[0], self)
+		}
+	}
+}
+
+func TestDirtyDataDegradesGracefully(t *testing.T) {
+	tabs, err := DirtyData(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 missing levels", len(tab.Rows))
+	}
+	clean := parseRow(t, tab.Rows[0])
+	dirty := parseRow(t, tab.Rows[len(tab.Rows)-1])
+	// The forest with 10% missing data should stay usable.
+	if dirty[2] < 0.4 {
+		t.Errorf("forest AUCPR at 10%% missing = %v, want ≥ 0.4", dirty[2])
+	}
+	// And it should not collapse relative to clean data.
+	if dirty[2] < clean[2]-0.4 {
+		t.Errorf("forest collapsed: clean %v vs dirty %v", clean[2], dirty[2])
+	}
+}
+
+func parseRow(t *testing.T, row []string) [3]float64 {
+	t.Helper()
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseFloat(row[i+1], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[i+1])
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestFeatureSelectionFullPoolNearOptimal(t *testing.T) {
+	tabs, err := FeatureSelection(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 9 { // 4 sizes × 2 selectors + full pool
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	full, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][2], 64)
+	if full < 0.5 {
+		t.Errorf("full-pool AUCPR = %v, want decent", full)
+	}
+}
+
+func TestPlugInDoesNotHurt(t *testing.T) {
+	tabs, err := PlugIn(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	base, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	ext, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if ext < base-0.1 {
+		t.Errorf("plugging in detectors hurt: %v -> %v", base, ext)
+	}
+	if tab.Rows[1][1] != "137" {
+		t.Errorf("extended pool size = %s, want 137", tab.Rows[1][1])
+	}
+}
+
+func TestLabelNoiseRobustness(t *testing.T) {
+	tabs, err := LabelNoise(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 noise levels", len(tab.Rows))
+	}
+	exact, _ := strconv.ParseFloat(tab.Rows[0][4], 64)
+	mild, _ := strconv.ParseFloat(tab.Rows[1][4], 64)
+	if exact < 0.5 {
+		t.Errorf("exact-label AUCPR = %v, want decent", exact)
+	}
+	// §4.2: jitter of ~10% of a window must not collapse accuracy.
+	if mild < exact-0.25 {
+		t.Errorf("10%%-of-window jitter collapsed accuracy: %v -> %v", exact, mild)
+	}
+	// Overlap must broadly decrease with noise (first vs last).
+	first, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][3], 64)
+	if last >= first {
+		t.Errorf("overlap did not decrease with noise: %v -> %v", first, last)
+	}
+}
+
+func TestDriftIncrementalBeatsFrozen(t *testing.T) {
+	tabs, err := Drift(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want F4/R4/I4", len(tab.Rows))
+	}
+	byPolicy := map[string][]string{}
+	for _, row := range tab.Rows {
+		byPolicy[row[0]] = row
+	}
+	f4Novel, _ := strconv.ParseFloat(byPolicy["F4"][2], 64)
+	i4Novel, _ := strconv.ParseFloat(byPolicy["I4"][2], 64)
+	if i4Novel <= f4Novel {
+		t.Errorf("incremental retraining should beat frozen training on the novel type: I4 %v vs F4 %v", i4Novel, f4Novel)
+	}
+	if byPolicy["F4"][3] != "0" {
+		t.Errorf("F4 training set should contain 0 novel points, got %s", byPolicy["F4"][3])
+	}
+}
+
+func TestImportanceMatchesKPIWinners(t *testing.T) {
+	tabs, err := Importance(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	if len(tab.Rows) != 15 { // 3 KPIs × top 5
+		t.Fatalf("rows = %d, want 15", len(tab.Rows))
+	}
+	// Importances are in [0,1] and ranked descending per KPI.
+	prevKPI, prev := "", 2.0
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		if v < 0 || v > 1 {
+			t.Errorf("importance %v out of range", v)
+		}
+		if row[0] == prevKPI && v > prev+1e-12 {
+			t.Errorf("%s: importance not descending", row[0])
+		}
+		prevKPI, prev = row[0], v
+	}
+}

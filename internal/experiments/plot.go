@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"opprentice/internal/timeseries"
+)
+
+// asciiPlot renders a value series as a terminal line plot of the given
+// width × height. Points whose label is true are drawn with '#' (anomalies),
+// others with '*'. Values are downsampled by bucket means; a bucket is
+// anomalous if any point in it is.
+func asciiPlot(values []float64, labels timeseries.Labels, width, height int) string {
+	if len(values) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	if width > len(values) {
+		width = len(values)
+	}
+	buckets := make([]float64, width)
+	anom := make([]bool, width)
+	for b := 0; b < width; b++ {
+		lo := b * len(values) / width
+		hi := (b + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += values[i]
+			if labels != nil && labels[i] {
+				anom[b] = true
+			}
+		}
+		buckets[b] = sum / float64(hi-lo)
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range buckets {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for b, v := range buckets {
+		row := int((maxV - v) / (maxV - minV) * float64(height-1))
+		ch := byte('*')
+		if anom[b] {
+			ch = '#'
+		}
+		grid[row][b] = ch
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "max %.4g\n", maxV)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "min %.4g  ('#' marks anomalous buckets)\n", minV)
+	return sb.String()
+}

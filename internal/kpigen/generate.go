@@ -1,0 +1,307 @@
+package kpigen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"opprentice/internal/timeseries"
+)
+
+// AnomalyType classifies an injected anomaly, mirroring the unexpected
+// patterns §2.1 lists.
+type AnomalyType int
+
+// The injected anomaly shapes.
+const (
+	SuddenDrop AnomalyType = iota
+	SuddenSpike
+	RampDown
+	LevelShift
+	Jitter
+)
+
+// String names the anomaly type.
+func (a AnomalyType) String() string {
+	switch a {
+	case SuddenDrop:
+		return "sudden_drop"
+	case SuddenSpike:
+		return "sudden_spike"
+	case RampDown:
+		return "ramp_down"
+	case LevelShift:
+		return "level_shift"
+	case Jitter:
+		return "jitter"
+	default:
+		return fmt.Sprintf("AnomalyType(%d)", int(a))
+	}
+}
+
+// Anomaly records one injected anomalous window and its ground truth.
+type Anomaly struct {
+	Type      AnomalyType
+	Window    timeseries.Window
+	Magnitude float64 // type-specific: depth, multiplier, or shift fraction
+}
+
+// Dataset is a generated KPI with exact ground truth.
+type Dataset struct {
+	Profile   Profile
+	Series    *timeseries.Series
+	Labels    timeseries.Labels
+	Anomalies []Anomaly
+}
+
+// genesis anchors all synthetic series at the same Monday midnight so that
+// week boundaries align with index arithmetic.
+var genesis = time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC)
+
+// Generate synthesizes the KPI described by p, deterministically for a given
+// seed.
+func Generate(p Profile, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ppd := int(timeseries.Day / p.Interval)
+	ppw := 7 * ppd
+	n := p.Weeks * ppw
+
+	s := timeseries.New(p.Name, genesis, p.Interval)
+	s.Values = make([]float64, n)
+
+	// Baseline: daily diurnal shape modulated by a weekend dip, plus AR(1)
+	// noise. Count KPIs get a mean-corrected lognormal multiplier for their
+	// heavy tail.
+	ar := 0.0
+	const phi = 0.7
+	sigma := p.NoiseFrac * p.Base * math.Sqrt(1-phi*phi)
+	for i := 0; i < n; i++ {
+		base := p.Base * seasonFactor(p, i, ppd, ppw)
+		ar = phi*ar + rng.NormFloat64()*sigma
+		v := base + ar
+		if p.HeavyTail > 0 {
+			v *= math.Exp(p.HeavyTail*rng.NormFloat64() - p.HeavyTail*p.HeavyTail/2)
+		}
+		if v < 0 {
+			v = 0
+		}
+		s.Values[i] = v
+	}
+
+	labels := make(timeseries.Labels, n)
+	anomalies := injectAnomalies(p, s, labels, rng)
+	if p.MissingRate > 0 {
+		injectMissing(s, p.MissingRate, rng)
+	}
+	return &Dataset{Profile: p, Series: s, Labels: labels, Anomalies: anomalies}
+}
+
+// injectMissing simulates collection loss (§6 "dirty data"): each point is
+// independently lost with the given probability; lost points carry the
+// previous observation forward, as monitoring pipelines typically do, and
+// are flagged in the series' Missing mask.
+func injectMissing(s *timeseries.Series, rate float64, rng *rand.Rand) {
+	s.Missing = make([]bool, s.Len())
+	for i := 1; i < s.Len(); i++ {
+		if rng.Float64() < rate {
+			s.Missing[i] = true
+			s.Values[i] = s.Values[i-1]
+		}
+	}
+}
+
+// seasonFactor is the multiplicative seasonal component at point i.
+func seasonFactor(p Profile, i, ppd, ppw int) float64 {
+	tod := float64(i%ppd) / float64(ppd)
+	// Diurnal: night trough, afternoon peak, with a mild second harmonic so
+	// the shape is not a pure sinusoid.
+	diurnal := -math.Cos(2*math.Pi*tod) + 0.3*math.Sin(4*math.Pi*tod)
+	f := 1 + p.SeasonalAmp*diurnal/1.3
+	day := (i % ppw) / ppd
+	if day >= 5 { // Saturday, Sunday
+		f *= 1 - p.WeekendDip
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// injectAnomalies mutates the series in place until roughly
+// p.AnomalyRate·len(points) are anomalous, labeling each window. Windows
+// never overlap and keep one point of separation so labeled windows match
+// injected ones exactly. Placement is stratified round-robin over weeks so
+// every week — in particular every test week — sees its share of anomalies,
+// as the paper's months of real data do.
+func injectAnomalies(p Profile, s *timeseries.Series, labels timeseries.Labels, rng *rand.Rand) []Anomaly {
+	n := s.Len()
+	target := int(p.AnomalyRate * float64(n))
+	var anomalies []Anomaly
+	injected := 0
+	ppw, err := s.PointsPerWeek()
+	weeks := 0
+	if err == nil {
+		weeks = n / ppw
+	}
+	weekOrder := rng.Perm(maxI(weeks, 1))
+	placed := 0
+	perMin := float64(n) / (float64(p.Weeks) * 7 * 24 * 60) // points per minute
+	// Guard against pathological profiles that cannot fit the target.
+	for attempts := 0; injected < target && attempts < 50*n; attempts++ {
+		typ, dur, mag := sampleAnomaly(p.Kind, perMin, rng)
+		if dur > target-injected+3 {
+			dur = target - injected
+			if dur < 1 {
+				break
+			}
+		}
+		var start int
+		if weeks > 0 && dur < ppw {
+			week := weekOrder[placed%len(weekOrder)]
+			start = week*ppw + rng.Intn(ppw-dur)
+		} else {
+			start = rng.Intn(n - dur)
+		}
+		if !windowFree(labels, start, dur) {
+			continue
+		}
+		if p.NovelFromWeek > 0 && ppw > 0 {
+			week := start / ppw
+			if week < p.NovelFromWeek && typ == Jitter {
+				// The novel type does not exist yet; use a classic one.
+				typ = SuddenDrop
+			} else if week >= p.NovelFromWeek && typ != Jitter && rng.Float64() < 0.5 {
+				// From the switch-over week, half the anomalies are novel.
+				typ = Jitter
+			}
+		}
+		placed++
+		applyAnomaly(s.Values[start:start+dur], typ, mag, p, rng)
+		for i := start; i < start+dur; i++ {
+			labels[i] = true
+		}
+		anomalies = append(anomalies, Anomaly{
+			Type:      typ,
+			Window:    timeseries.Window{Start: start, End: start + dur},
+			Magnitude: mag,
+		})
+		injected += dur
+	}
+	return anomalies
+}
+
+// windowFree reports whether [start-1, start+dur] is entirely unlabeled, so
+// injected windows stay separated by at least one normal point.
+func windowFree(labels timeseries.Labels, start, dur int) bool {
+	lo, hi := start-1, start+dur+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(labels) {
+		hi = len(labels)
+	}
+	for i := lo; i < hi; i++ {
+		if labels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleAnomaly draws an anomaly type, duration and magnitude appropriate
+// for the KPI kind. Durations are sampled in wall-clock minutes and
+// converted with perMin (points per minute) so that a "2-hour level shift"
+// spans 2 hours at every sampling interval; each anomaly covers at least one
+// point.
+func sampleAnomaly(kind Kind, perMin float64, rng *rand.Rand) (typ AnomalyType, dur int, mag float64) {
+	points := func(loMin, hiMin int) int {
+		minutes := loMin + rng.Intn(hiMin-loMin+1)
+		d := int(float64(minutes) * perMin)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	u := rng.Float64()
+	switch kind {
+	case Volume:
+		switch {
+		case u < 0.45: // sudden drop by 20–60 % for 10–120 min
+			return SuddenDrop, points(10, 120), 0.2 + 0.4*rng.Float64()
+		case u < 0.65: // shallow dip by 12–30 % for 10–45 min
+			return SuddenDrop, points(10, 45), 0.12 + 0.18*rng.Float64()
+		case u < 0.80: // slow ramp down to 25–55 % over 1–6 h
+			return RampDown, points(60, 360), 0.25 + 0.3*rng.Float64()
+		case u < 0.90: // jitter for 1–4 h
+			return Jitter, points(60, 240), 0.15 + 0.2*rng.Float64()
+		default: // spike up by 40–120 % for 10–60 min
+			return SuddenSpike, points(10, 60), 0.4 + 0.8*rng.Float64()
+		}
+	case Count:
+		// Count anomalies must clear the heavy lognormal tail of normal
+		// data decisively — in the paper the #SR anomalies are extreme
+		// enough that a static threshold reaches precision 0.92.
+		switch {
+		case u < 0.55: // burst: 30–100× the base level for 10–60 min
+			return SuddenSpike, points(10, 60), 30 + 70*rng.Float64()
+		default: // sustained high level: 15–40× for 2–12 h
+			return LevelShift, points(120, 720), 15 + 25*rng.Float64()
+		}
+	default: // Latency
+		switch {
+		case u < 0.5: // sustained latency shift up by 12–35 % for 4–24 h
+			return LevelShift, points(240, 1440), 0.12 + 0.23*rng.Float64()
+		case u < 0.8: // spike up by 20–60 % for 1–4 h
+			return SuddenSpike, points(60, 240), 0.2 + 0.4*rng.Float64()
+		default: // slow ramp up to 15–35 % over 6–18 h
+			return RampDown, points(360, 1080), 0.15 + 0.2*rng.Float64()
+		}
+	}
+}
+
+// applyAnomaly mutates one window of values according to the anomaly type.
+// For Volume KPIs magnitudes act downward (drops), for the others upward,
+// matching what the operators of each KPI care about.
+func applyAnomaly(window []float64, typ AnomalyType, mag float64, p Profile, rng *rand.Rand) {
+	up := p.Kind != Volume
+	for i := range window {
+		switch typ {
+		case SuddenDrop:
+			window[i] *= 1 - mag
+		case SuddenSpike:
+			if p.Kind == Count {
+				window[i] = p.Base*mag + window[i]
+			} else {
+				window[i] *= 1 + mag
+			}
+		case RampDown:
+			// Linear ramp to full magnitude at the end of the window.
+			frac := float64(i+1) / float64(len(window))
+			if up {
+				window[i] *= 1 + mag*frac
+			} else {
+				window[i] *= 1 - mag*frac
+			}
+		case LevelShift:
+			if p.Kind == Count {
+				window[i] = p.Base*mag + window[i]*0.5
+			} else {
+				window[i] *= 1 + mag
+			}
+		case Jitter:
+			sign := float64(1 - 2*(i%2))
+			window[i] *= 1 + sign*mag*(0.6+0.4*rng.Float64())
+		}
+		if window[i] < 0 {
+			window[i] = 0
+		}
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+// Package labelsim models the operators who label anomalies with the tool of
+// §4.2. Two aspects matter for the reproduction: (1) labels are imperfect —
+// window boundaries get extended or narrowed and short windows are
+// occasionally missed, the noise §4.2 argues machine learning tolerates;
+// (2) labeling is fast — the time grows with the number of anomalous
+// *windows*, not anomalous points, which is Fig. 14's result.
+package labelsim
+
+import (
+	"math/rand"
+
+	"opprentice/internal/timeseries"
+)
+
+// Operator simulates one labeling operator.
+type Operator struct {
+	// BoundaryJitter is the maximum number of points each window boundary
+	// is moved outward or inward.
+	BoundaryJitter int
+	// MissBelow and MissProb: windows shorter than MissBelow points are
+	// missed entirely with probability MissProb.
+	MissBelow int
+	MissProb  float64
+	// Seed makes the labeling pass deterministic.
+	Seed int64
+}
+
+// DefaultOperator returns a careful but human operator: boundaries off by up
+// to 2 points, 10 % of 1–2 point blips missed.
+func DefaultOperator() Operator {
+	return Operator{BoundaryJitter: 2, MissBelow: 3, MissProb: 0.1, Seed: 1}
+}
+
+// Label converts ground-truth labels into what the operator would actually
+// produce with the labeling tool: one label action per anomalous window,
+// with noisy boundaries.
+func (o Operator) Label(truth timeseries.Labels) timeseries.Labels {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var out []timeseries.Window
+	for _, w := range truth.Windows() {
+		if w.Len() < o.MissBelow && rng.Float64() < o.MissProb {
+			continue
+		}
+		j := o.BoundaryJitter
+		if j > 0 {
+			w.Start += rng.Intn(2*j+1) - j
+			w.End += rng.Intn(2*j+1) - j
+		}
+		if w.End <= w.Start {
+			w.End = w.Start + 1
+		}
+		out = append(out, w)
+	}
+	return timeseries.FromWindows(len(truth), out)
+}
+
+// TimeModel maps a month's anomalous-window count to labeling minutes.
+// Fig. 14 shows an affine relationship with every month under six minutes.
+type TimeModel struct {
+	BaseMinutes      float64 // loading, navigating, zooming
+	MinutesPerWindow float64 // one click-and-drag per window
+}
+
+// DefaultTimeModel matches Fig. 14: ≈1 minute of navigation plus ≈12 seconds
+// per anomalous window, keeping a typical month under 6 minutes.
+func DefaultTimeModel() TimeModel {
+	return TimeModel{BaseMinutes: 1.0, MinutesPerWindow: 0.2}
+}
+
+// MonthMinutes returns the modeled labeling time for one month of data with
+// the given number of anomalous windows.
+func (m TimeModel) MonthMinutes(windows int) float64 {
+	return m.BaseMinutes + m.MinutesPerWindow*float64(windows)
+}
+
+// MonthStat describes one month of labeling work.
+type MonthStat struct {
+	Month   int
+	Windows int
+	Minutes float64
+}
+
+// Months splits the labels into calendar months (4-week blocks, as the
+// paper's weekly cadence implies), counts anomalous windows per month, and
+// applies the time model. Windows spanning a boundary count toward the month
+// they start in.
+func (m TimeModel) Months(labels timeseries.Labels, pointsPerWeek int) []MonthStat {
+	ppm := 4 * pointsPerWeek
+	if ppm <= 0 {
+		return nil
+	}
+	nMonths := (len(labels) + ppm - 1) / ppm
+	counts := make([]int, nMonths)
+	for _, w := range labels.Windows() {
+		counts[w.Start/ppm]++
+	}
+	out := make([]MonthStat, nMonths)
+	for i, c := range counts {
+		out[i] = MonthStat{Month: i + 1, Windows: c, Minutes: m.MonthMinutes(c)}
+	}
+	return out
+}
+
+// TotalMinutes sums the modeled labeling time over all months.
+func (m TimeModel) TotalMinutes(labels timeseries.Labels, pointsPerWeek int) float64 {
+	total := 0.0
+	for _, ms := range m.Months(labels, pointsPerWeek) {
+		total += ms.Minutes
+	}
+	return total
+}

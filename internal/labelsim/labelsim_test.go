@@ -1,0 +1,136 @@
+package labelsim
+
+import (
+	"testing"
+
+	"opprentice/internal/timeseries"
+)
+
+func mkTruth(n int, windows ...timeseries.Window) timeseries.Labels {
+	return timeseries.FromWindows(n, windows)
+}
+
+func TestLabelPreservesWindowCountRoughly(t *testing.T) {
+	truth := mkTruth(1000,
+		timeseries.Window{Start: 100, End: 120},
+		timeseries.Window{Start: 300, End: 330},
+		timeseries.Window{Start: 600, End: 650},
+	)
+	op := Operator{BoundaryJitter: 2, Seed: 42}
+	labeled := op.Label(truth)
+	if got := len(labeled.Windows()); got != 3 {
+		t.Errorf("labeled windows = %d, want 3", got)
+	}
+	// Long windows overlap heavily with the truth.
+	overlap := 0
+	for i := range truth {
+		if truth[i] && labeled[i] {
+			overlap++
+		}
+	}
+	if float64(overlap) < 0.8*float64(truth.Count()) {
+		t.Errorf("overlap = %d of %d anomalous points", overlap, truth.Count())
+	}
+}
+
+func TestLabelJitterMovesBoundaries(t *testing.T) {
+	truth := mkTruth(500, timeseries.Window{Start: 200, End: 260})
+	moved := false
+	for seed := int64(0); seed < 10 && !moved; seed++ {
+		op := Operator{BoundaryJitter: 3, Seed: seed}
+		w := op.Label(truth).Windows()
+		if len(w) == 1 && (w[0].Start != 200 || w[0].End != 260) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("jitter never moved a boundary in 10 seeds")
+	}
+}
+
+func TestLabelMissesShortWindows(t *testing.T) {
+	var windows []timeseries.Window
+	for i := 0; i < 100; i++ {
+		windows = append(windows, timeseries.Window{Start: i * 10, End: i*10 + 1})
+	}
+	truth := mkTruth(1001, windows...)
+	op := Operator{MissBelow: 3, MissProb: 0.5, Seed: 7}
+	labeled := op.Label(truth)
+	got := len(labeled.Windows())
+	if got < 25 || got > 75 {
+		t.Errorf("kept %d of 100 short windows, want ≈ 50", got)
+	}
+}
+
+func TestLabelZeroNoiseIsIdentity(t *testing.T) {
+	truth := mkTruth(300, timeseries.Window{Start: 10, End: 30}, timeseries.Window{Start: 200, End: 210})
+	labeled := Operator{Seed: 1}.Label(truth)
+	for i := range truth {
+		if truth[i] != labeled[i] {
+			t.Fatalf("zero-noise operator changed label at %d", i)
+		}
+	}
+}
+
+func TestLabelNeverProducesEmptyWindowFromKept(t *testing.T) {
+	truth := mkTruth(100, timeseries.Window{Start: 50, End: 52})
+	op := Operator{BoundaryJitter: 5, Seed: 3}
+	labeled := op.Label(truth)
+	if len(labeled.Windows()) == 0 {
+		t.Error("kept window vanished after jitter")
+	}
+}
+
+func TestTimeModelAffine(t *testing.T) {
+	m := TimeModel{BaseMinutes: 1, MinutesPerWindow: 0.2}
+	if got := m.MonthMinutes(0); got != 1 {
+		t.Errorf("MonthMinutes(0) = %v, want 1", got)
+	}
+	if got := m.MonthMinutes(25); got != 6 {
+		t.Errorf("MonthMinutes(25) = %v, want 6", got)
+	}
+}
+
+func TestDefaultTimeModelUnderSixMinutes(t *testing.T) {
+	// Fig. 14: typical months (≤ 25 windows) stay under 6 minutes.
+	m := DefaultTimeModel()
+	if got := m.MonthMinutes(24); got > 6 {
+		t.Errorf("24-window month = %v minutes, want ≤ 6", got)
+	}
+}
+
+func TestMonthsSplitsAndCounts(t *testing.T) {
+	ppw := 100 // 400 points per month
+	truth := mkTruth(1200,
+		timeseries.Window{Start: 10, End: 20},     // month 1
+		timeseries.Window{Start: 350, End: 420},   // starts in month 1
+		timeseries.Window{Start: 500, End: 520},   // month 2
+		timeseries.Window{Start: 900, End: 910},   // month 3
+		timeseries.Window{Start: 1100, End: 1110}, // month 3
+	)
+	m := DefaultTimeModel()
+	months := m.Months(truth, ppw)
+	if len(months) != 3 {
+		t.Fatalf("months = %d, want 3", len(months))
+	}
+	wantWindows := []int{2, 1, 2}
+	for i, ms := range months {
+		if ms.Windows != wantWindows[i] {
+			t.Errorf("month %d windows = %d, want %d", ms.Month, ms.Windows, wantWindows[i])
+		}
+		if ms.Minutes != m.MonthMinutes(ms.Windows) {
+			t.Errorf("month %d minutes inconsistent", ms.Month)
+		}
+	}
+	total := m.TotalMinutes(truth, ppw)
+	want := months[0].Minutes + months[1].Minutes + months[2].Minutes
+	if total != want {
+		t.Errorf("TotalMinutes = %v, want %v", total, want)
+	}
+}
+
+func TestMonthsDegenerate(t *testing.T) {
+	if got := DefaultTimeModel().Months(nil, 0); got != nil {
+		t.Errorf("Months with ppw=0 = %v, want nil", got)
+	}
+}

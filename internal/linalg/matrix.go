@@ -1,0 +1,217 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the SVD basic detector (one-sided Jacobi singular value decomposition and
+// low-rank reconstruction) and by the ARIMA fitter (a linear system solver).
+// Matrices here are small — tens of rows and a handful of columns — so
+// clarity wins over blocking or SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// SVD is a thin singular value decomposition A = U diag(S) Vᵀ with
+// U (m×n), S (n), V (n×n), for m ≥ n. Singular values are in
+// non-increasing order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// ErrShape is returned when a decomposition's shape precondition fails.
+var ErrShape = errors.New("linalg: need rows >= cols for thin SVD")
+
+// ComputeSVD computes the thin SVD of a (rows ≥ cols) via one-sided Jacobi
+// rotations: columns of a working copy are orthogonalized pairwise until all
+// pairwise inner products are negligible. It is numerically robust and,
+// for the ≤50×7 matrices the SVD detector builds, plenty fast.
+func ComputeSVD(a *Matrix) (*SVD, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrShape
+	}
+	w := a.Clone() // columns become u_k * s_k
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const (
+		eps      = 1e-12
+		maxSweep = 60
+	)
+	for sweep := 0; sweep < maxSweep; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries of columns p and q.
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					xp, xq := w.At(i, p), w.At(i, q)
+					alpha += xp * xp
+					beta += xq * xq
+					gamma += xp * xq
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += math.Abs(gamma)
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					xp, xq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*xp-s*xq)
+					w.Set(i, q, s*xp+c*xq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Extract singular values and normalize U's columns.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm += w.At(i, j) * w.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, w.At(i, j)/norm)
+			}
+		}
+	}
+	// Sort by decreasing singular value (selection sort; n is tiny).
+	for i := 0; i < n-1; i++ {
+		maxJ := i
+		for j := i + 1; j < n; j++ {
+			if s[j] > s[maxJ] {
+				maxJ = j
+			}
+		}
+		if maxJ != i {
+			s[i], s[maxJ] = s[maxJ], s[i]
+			swapCols(u, i, maxJ)
+			swapCols(v, i, maxJ)
+		}
+	}
+	return &SVD{U: u, S: s, V: v}, nil
+}
+
+func swapCols(m *Matrix, a, b int) {
+	for i := 0; i < m.Rows; i++ {
+		va, vb := m.At(i, a), m.At(i, b)
+		m.Set(i, a, vb)
+		m.Set(i, b, va)
+	}
+}
+
+// Reconstruct returns the rank-k approximation U_k diag(S_k) V_kᵀ.
+func (d *SVD) Reconstruct(k int) *Matrix {
+	m, n := d.U.Rows, d.V.Rows
+	if k > len(d.S) {
+		k = len(d.S)
+	}
+	out := NewMatrix(m, n)
+	for r := 0; r < k; r++ {
+		sr := d.S[r]
+		for i := 0; i < m; i++ {
+			ui := d.U.At(i, r) * sr
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += ui * d.V.At(j, r)
+			}
+		}
+	}
+	return out
+}
+
+// SolveLinear solves the n×n system A x = b by Gaussian elimination with
+// partial pivoting, overwriting neither input. It returns an error when the
+// system is singular to working precision.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveLinear needs square system, got %d×%d with %d rhs", a.Rows, a.Cols, len(b))
+	}
+	aug := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug.At(r, col)) > math.Abs(aug.At(pivot, col)) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug.At(pivot, col)) < 1e-12 {
+			return nil, errors.New("linalg: singular system")
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				pj, cj := aug.At(pivot, j), aug.At(col, j)
+				aug.Set(pivot, j, cj)
+				aug.Set(col, j, pj)
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aug.Set(r, j, aug.At(r, j)-f*aug.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for j := col + 1; j < n; j++ {
+			sum -= aug.At(col, j) * x[j]
+		}
+		x[col] = sum / aug.At(col, col)
+	}
+	return x, nil
+}

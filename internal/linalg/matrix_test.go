@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func matFromRows(rows [][]float64) *Matrix {
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		for j, v := range r {
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.At(0, 0) != 0 {
+		t.Error("At/Set broken")
+	}
+}
+
+func TestNewMatrixPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestSVDDiagonal(t *testing.T) {
+	a := matFromRows([][]float64{{3, 0}, {0, 2}, {0, 0}})
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.S[0]-3) > 1e-10 || math.Abs(d.S[1]-2) > 1e-10 {
+		t.Errorf("S = %v, want [3 2]", d.S)
+	}
+}
+
+func TestSVDRejectsWide(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := ComputeSVD(a); err == nil {
+		t.Error("wide matrix should be rejected")
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Second column is twice the first: rank 1.
+	a := matFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.S[1] > 1e-9 {
+		t.Errorf("rank-1 matrix should have s2≈0, got %v", d.S)
+	}
+	rec := d.Reconstruct(1)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if math.Abs(rec.At(i, j)-a.At(i, j)) > 1e-9 {
+				t.Fatalf("rank-1 reconstruction mismatch at (%d,%d): %v vs %v",
+					i, j, rec.At(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+// Property: the full-rank reconstruction reproduces A, U and V have
+// orthonormal columns, and singular values are sorted non-increasing.
+func TestSVDPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(20)
+		n := 1 + rng.Intn(min(m, 7))
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		d, err := ComputeSVD(a)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if d.S[i] > d.S[i-1]+1e-12 {
+				return false
+			}
+		}
+		// Orthonormal columns of U and V.
+		for p := 0; p < n; p++ {
+			for q := p; q < n; q++ {
+				var du, dv float64
+				for i := 0; i < m; i++ {
+					du += d.U.At(i, p) * d.U.At(i, q)
+				}
+				for i := 0; i < n; i++ {
+					dv += d.V.At(i, p) * d.V.At(i, q)
+				}
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if math.Abs(du-want) > 1e-8 || math.Abs(dv-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		rec := d.Reconstruct(n)
+		for i := range a.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVDFrobeniusOptimality(t *testing.T) {
+	// The rank-1 truncation error must equal sqrt(sum of squared trailing
+	// singular values) — Eckart–Young.
+	rng := rand.New(rand.NewSource(11))
+	a := NewMatrix(10, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	d, err := ComputeSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := d.Reconstruct(1)
+	var errSq float64
+	for i := range a.Data {
+		diff := a.Data[i] - rec.Data[i]
+		errSq += diff * diff
+	}
+	var tail float64
+	for _, s := range d.S[1:] {
+		tail += s * s
+	}
+	if math.Abs(errSq-tail) > 1e-8 {
+		t.Errorf("truncation error² = %v, want Σ tail s² = %v", errSq, tail)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := matFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	a := matFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := matFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular system should error")
+	}
+}
+
+func TestSolveLinearShapeError(t *testing.T) {
+	if _, err := SolveLinear(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square system should error")
+	}
+}
+
+func TestSolveLinearRandomQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance guarantees solvability.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a.At(i, j) * want[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package featsel implements mRMR feature selection (max-relevance,
+// min-redundancy [51]) over detector severities. The paper leaves feature
+// selection to future work (§4.4.1) because random forests tolerate
+// irrelevant and redundant features on their own; this package makes the
+// deferred experiment runnable: select k of the 133 configurations and
+// compare accuracy and cost against the full pool.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"opprentice/internal/stats"
+)
+
+// Bins is the discretization used for the mutual-information estimates.
+const Bins = 16
+
+// MRMR greedily selects k features maximizing relevance to the labels minus
+// mean redundancy with already-selected features:
+//
+//	score(f) = I(f; y) − mean_{s ∈ S} I(f; s)
+//
+// cols are column-major features (NaN tolerated). The returned indices are
+// in selection order (most valuable first).
+func MRMR(cols [][]float64, labels []bool, k int) []int {
+	d := len(cols)
+	if d == 0 || k <= 0 {
+		return nil
+	}
+	if k > d {
+		k = d
+	}
+	relevance := make([]float64, d)
+	for j, col := range cols {
+		relevance[j] = stats.MutualInformation(col, labels, Bins)
+	}
+	selected := make([]int, 0, k)
+	inSet := make([]bool, d)
+	// Cache pairwise redundancy sums incrementally: redSum[j] accumulates
+	// Σ_{s ∈ S} I(j; s).
+	redSum := make([]float64, d)
+
+	// Seed with the most relevant feature.
+	best := argmax(relevance, inSet)
+	selected = append(selected, best)
+	inSet[best] = true
+
+	for len(selected) < k {
+		last := selected[len(selected)-1]
+		for j := 0; j < d; j++ {
+			if !inSet[j] {
+				redSum[j] += featureMI(cols[j], cols[last])
+			}
+		}
+		bestJ, bestScore := -1, math.Inf(-1)
+		for j := 0; j < d; j++ {
+			if inSet[j] {
+				continue
+			}
+			score := relevance[j] - redSum[j]/float64(len(selected))
+			if score > bestScore {
+				bestJ, bestScore = j, score
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		selected = append(selected, bestJ)
+		inSet[bestJ] = true
+	}
+	return selected
+}
+
+// TopRelevance returns the k features with the highest mutual information
+// with the labels (the ordering Fig. 10 uses), ignoring redundancy.
+func TopRelevance(cols [][]float64, labels []bool, k int) []int {
+	d := len(cols)
+	if d == 0 || k <= 0 {
+		return nil
+	}
+	if k > d {
+		k = d
+	}
+	type pair struct {
+		j  int
+		mi float64
+	}
+	ps := make([]pair, d)
+	for j, col := range cols {
+		ps[j] = pair{j, stats.MutualInformation(col, labels, Bins)}
+	}
+	sort.SliceStable(ps, func(a, b int) bool { return ps[a].mi > ps[b].mi })
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].j
+	}
+	return out
+}
+
+// Select projects a column-major matrix onto the chosen feature indices
+// (shared storage).
+func Select(cols [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= len(cols) {
+			panic(fmt.Sprintf("featsel: index %d out of %d features", j, len(cols)))
+		}
+		out[i] = cols[j]
+	}
+	return out
+}
+
+// featureMI estimates I(X; Y) between two continuous features by
+// equal-frequency discretization of both into Bins buckets.
+func featureMI(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	bx := discretize(x)
+	by := discretize(y)
+	var joint [Bins + 1][Bins + 1]float64
+	var px, py [Bins + 1]float64
+	for i := 0; i < n; i++ {
+		joint[bx[i]][by[i]]++
+		px[bx[i]]++
+		py[by[i]]++
+	}
+	inv := 1 / float64(n)
+	mi := 0.0
+	for a := 0; a <= Bins; a++ {
+		if px[a] == 0 {
+			continue
+		}
+		for b := 0; b <= Bins; b++ {
+			if joint[a][b] == 0 {
+				continue
+			}
+			pxy := joint[a][b] * inv
+			mi += pxy * math.Log(pxy/(px[a]*inv*py[b]*inv))
+		}
+	}
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}
+
+// discretize maps values to equal-frequency buckets 0..Bins-1, NaN to Bins.
+func discretize(x []float64) []int {
+	finite := make([]float64, 0, len(x))
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			finite = append(finite, v)
+		}
+	}
+	sort.Float64s(finite)
+	edges := make([]float64, 0, Bins-1)
+	for b := 1; b < Bins; b++ {
+		if len(finite) == 0 {
+			break
+		}
+		pos := b * len(finite) / Bins
+		if pos >= len(finite) {
+			pos = len(finite) - 1
+		}
+		e := finite[pos]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	out := make([]int, len(x))
+	for i, v := range x {
+		if math.IsNaN(v) {
+			out[i] = Bins
+			continue
+		}
+		out[i] = sort.SearchFloat64s(edges, v)
+	}
+	return out
+}
+
+func argmax(xs []float64, skip []bool) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range xs {
+		if !skip[i] && v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

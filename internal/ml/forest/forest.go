@@ -1,0 +1,217 @@
+// Package forest implements the random forest classifier Opprentice trains
+// on detector severities (§4.4.2): an ensemble of fully grown CART trees,
+// each trained on a bootstrap sample and considering a random √d feature
+// subset at every split, combined by majority vote. The vote fraction is
+// the anomaly probability that the cThld of §4.5 thresholds.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"opprentice/internal/ml/tree"
+)
+
+// Config controls forest training. The zero value trains the paper-style
+// default: 60 fully grown trees with √d features per split.
+type Config struct {
+	// Trees is the ensemble size (default 60).
+	Trees int
+	// MajorityVote makes Prob the fraction of trees whose leaf classifies
+	// anomalous — the combination rule as §4.4.2 words it. The default
+	// (false) averages the trees' leaf probabilities, which is what the
+	// paper's scikit-learn implementation computes; it is smoother and
+	// stays calibrated across weekly retrains.
+	MajorityVote bool
+	// FeaturesPerSplit is the per-split feature subset size
+	// (default √d rounded up).
+	FeaturesPerSplit int
+	// MinLeaf is the minimum samples per leaf (default 1: fully grown).
+	MinLeaf int
+	// MaxDepth limits depth; 0 (default) grows fully.
+	MaxDepth int
+	// MaxBins is the feature quantization granularity (default 256).
+	MaxBins int
+	// Seed makes training deterministic.
+	Seed int64
+	// Workers bounds training parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults(numFeatures int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 60
+	}
+	if c.FeaturesPerSplit <= 0 {
+		c.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(numFeatures))))
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.MaxBins <= 0 {
+		c.MaxBins = tree.MaxBins
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees        []*tree.Tree
+	binner       *tree.Binner
+	majorityVote bool
+}
+
+// Train fits a forest on column-major features (cols[j][i] is feature j of
+// sample i) and point labels. It panics on shape mismatches, which are
+// always caller bugs.
+func Train(cols [][]float64, labels []bool, cfg Config) *Forest {
+	if len(cols) == 0 {
+		panic("forest: no features")
+	}
+	n := len(cols[0])
+	for j, col := range cols {
+		if len(col) != n {
+			panic(fmt.Sprintf("forest: feature %d has %d samples, want %d", j, len(col), n))
+		}
+	}
+	if len(labels) != n {
+		panic(fmt.Sprintf("forest: %d labels for %d samples", len(labels), n))
+	}
+	if n == 0 {
+		panic("forest: no samples")
+	}
+	cfg = cfg.withDefaults(len(cols))
+
+	binner := tree.NewBinner(cols, cfg.MaxBins)
+	binned := binner.Bin(cols)
+	f := &Forest{trees: make([]*tree.Tree, cfg.Trees), binner: binner, majorityVote: cfg.MajorityVote}
+
+	// Deterministic parallel training: every tree gets its own seeded rng.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.Trees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*1_000_003))
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = rng.Intn(n) // bootstrap sample
+			}
+			f.trees[t] = tree.Grow(binned, labels, idx, tree.Config{
+				MaxDepth:         cfg.MaxDepth,
+				MinLeaf:          cfg.MinLeaf,
+				FeaturesPerSplit: cfg.FeaturesPerSplit,
+				Rng:              rng,
+			})
+		}(t)
+	}
+	wg.Wait()
+	return f
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Importances returns the mean gini importance per feature across the
+// ensemble, normalized to sum to 1 (all zeros if no tree ever split).
+// Features with high importance are the detector configurations the forest
+// actually relies on — the automated counterpart of reading Fig 5's tree.
+func (f *Forest) Importances() []float64 {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	sum := make([]float64, f.binner.NumFeatures())
+	for _, t := range f.trees {
+		for j, v := range t.Importances() {
+			sum[j] += v
+		}
+	}
+	total := 0.0
+	for _, v := range sum {
+		total += v
+	}
+	if total > 0 {
+		for j := range sum {
+			sum[j] /= total
+		}
+	}
+	return sum
+}
+
+// Prob returns the anomaly probability of a single sample given as a dense
+// feature row: by default the mean of the trees' leaf probabilities, or the
+// fraction of anomaly-voting trees under Config.MajorityVote (§4.4.2).
+func (f *Forest) Prob(row []float64) float64 {
+	if len(row) != f.binner.NumFeatures() {
+		panic(fmt.Sprintf("forest: row has %d features, want %d", len(row), f.binner.NumFeatures()))
+	}
+	codes := make([]uint8, len(row))
+	for j, v := range row {
+		codes[j] = f.binner.Code(j, v)
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		p := t.Prob(func(j int) uint8 { return codes[j] })
+		if f.majorityVote {
+			if p >= 0.5 {
+				sum++
+			}
+		} else {
+			sum += p
+		}
+	}
+	return sum / float64(len(f.trees))
+}
+
+// ProbAll classifies every sample of a column-major feature matrix,
+// returning one vote fraction per sample. Classification parallelizes
+// across samples.
+func (f *Forest) ProbAll(cols [][]float64) []float64 {
+	binned := f.binner.Bin(cols)
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
+	out := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for _, t := range f.trees {
+					p := t.ProbCols(binned, i)
+					if f.majorityVote {
+						if p >= 0.5 {
+							sum++
+						}
+					} else {
+						sum += p
+					}
+				}
+				out[i] = sum / float64(len(f.trees))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,65 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire DTOs: gob needs exported fields, while the in-memory representations
+// keep theirs private.
+
+type nodeDTO struct {
+	Feature     int
+	Bin         uint8
+	Left, Right int32
+	Prob        float32
+	Leaf        bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler so trained trees can be
+// persisted and reloaded without retraining.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	dto := make([]nodeDTO, len(t.nodes))
+	for i, n := range t.nodes {
+		dto[i] = nodeDTO{Feature: n.feature, Bin: n.bin, Left: n.left, Right: n.right, Prob: n.prob, Leaf: n.leaf}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, fmt.Errorf("tree: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	var dto []nodeDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return fmt.Errorf("tree: decode: %w", err)
+	}
+	t.nodes = make([]node, len(dto))
+	for i, n := range dto {
+		if !n.Leaf && (n.Left < 0 || int(n.Left) >= len(dto) || n.Right < 0 || int(n.Right) >= len(dto)) {
+			return fmt.Errorf("tree: corrupt node %d: children (%d, %d) out of %d", i, n.Left, n.Right, len(dto))
+		}
+		t.nodes[i] = node{feature: n.Feature, bin: n.Bin, left: n.Left, right: n.Right, prob: n.Prob, leaf: n.Leaf}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for the feature binner.
+func (b *Binner) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b.edges); err != nil {
+		return nil, fmt.Errorf("tree: encode binner: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (b *Binner) UnmarshalBinary(data []byte) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b.edges); err != nil {
+		return fmt.Errorf("tree: decode binner: %w", err)
+	}
+	return nil
+}

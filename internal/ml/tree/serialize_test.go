@@ -1,0 +1,83 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTreeMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cols, labels := makeXOR(300, rng)
+	tr, binner, binned := trainTree(cols, labels, Config{}, 32)
+
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != tr.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", back.NumNodes(), tr.NumNodes())
+	}
+	for i := 0; i < 300; i++ {
+		if got, want := back.ProbCols(binned, i), tr.ProbCols(binned, i); got != want {
+			t.Fatalf("sample %d: %v vs %v", i, got, want)
+		}
+	}
+	_ = binner
+}
+
+func TestTreeUnmarshalRejectsCorruptChildren(t *testing.T) {
+	// A node pointing outside the node array must be rejected.
+	corrupt := []nodeDTO{{Feature: 0, Bin: 1, Left: 5, Right: 6, Leaf: false}}
+	good := &Tree{nodes: []node{{leaf: true, prob: 1}}}
+	data, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = data
+	// Build corrupt bytes via a throwaway tree marshal of the DTO shape.
+	bad := &Tree{nodes: []node{{feature: 0, bin: 1, left: 5, right: 6, leaf: false}}}
+	raw, err := bad.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := back.UnmarshalBinary(raw); err == nil {
+		t.Error("corrupt children accepted")
+	}
+	_ = corrupt
+}
+
+func TestTreeUnmarshalGarbage(t *testing.T) {
+	var tr Tree
+	if err := tr.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBinnerMarshalRoundTrip(t *testing.T) {
+	cols := [][]float64{{1, 2, 3, 4, 5, 6, 7, 8}}
+	b := NewBinner(cols, 8)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Binner
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFeatures() != 1 {
+		t.Fatalf("features = %d", back.NumFeatures())
+	}
+	for _, v := range []float64{0.5, 2.5, 5.5, 99} {
+		if back.Code(0, v) != b.Code(0, v) {
+			t.Fatalf("code(%v) differs after round trip", v)
+		}
+	}
+	if err := back.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

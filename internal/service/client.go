@@ -1,0 +1,140 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is a typed Go client for the opprenticed HTTP API. The zero value
+// is not usable; construct it with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for sane defaults.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("opprenticed: %d: %s", e.StatusCode, e.Message)
+}
+
+// do performs one JSON round trip; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: er.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health checks service liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// List returns the managed series names.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	var out map[string][]string
+	if err := c.do(ctx, http.MethodGet, "/v1/series", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["series"], nil
+}
+
+// Create registers a new series.
+func (c *Client) Create(ctx context.Context, name string, req CreateRequest) error {
+	return c.do(ctx, http.MethodPut, "/v1/series/"+url.PathEscape(name), req, nil)
+}
+
+// Status fetches one series' status.
+func (c *Client) Status(ctx context.Context, name string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/series/"+url.PathEscape(name), nil, &st)
+	return st, err
+}
+
+// Append streams points and returns the verdicts (empty until trained).
+func (c *Client) Append(ctx context.Context, name string, points []Point) (PointsResponse, error) {
+	var out PointsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/series/"+url.PathEscape(name)+"/points",
+		PointsRequest{Points: points}, &out)
+	return out, err
+}
+
+// Label marks or clears anomalous windows.
+func (c *Client) Label(ctx context.Context, name string, windows []LabelWindow) error {
+	return c.do(ctx, http.MethodPost, "/v1/series/"+url.PathEscape(name)+"/labels",
+		LabelsRequest{Windows: windows}, nil)
+}
+
+// Train (re)trains the series' classifier and returns the resulting cThld.
+func (c *Client) Train(ctx context.Context, name string) (float64, error) {
+	var out struct {
+		CThld float64 `json:"cthld"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/series/"+url.PathEscape(name)+"/train", nil, &out)
+	return out.CThld, err
+}
+
+// Alarms fetches the alarms raised after since (zero time = all retained).
+func (c *Client) Alarms(ctx context.Context, name string, since time.Time) ([]Alarm, error) {
+	path := "/v1/series/" + url.PathEscape(name) + "/alarms"
+	if !since.IsZero() {
+		path += "?since=" + url.QueryEscape(since.UTC().Format(time.RFC3339))
+	}
+	var out map[string][]Alarm
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out["alarms"], nil
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// metrics are the service's operational counters, exposed in the Prometheus
+// text format at GET /v1/metrics so a fleet of opprenticed instances can be
+// monitored by the usual scrapers (fittingly, perhaps by Opprentice itself).
+type metrics struct {
+	pointsIngested  atomic.Int64
+	alarmsRaised    atomic.Int64
+	trainingsRun    atomic.Int64
+	trainingSeconds atomic.Int64 // milliseconds, summed (named for the metric)
+	requestErrors   atomic.Int64
+}
+
+// handleMetrics renders the Prometheus text exposition format. Only
+// first-party counters and per-series gauges are exposed; no external
+// client library is needed for this subset of the format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	writeCounter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	writeCounter("opprenticed_points_ingested_total", "Points appended across all series.", s.metrics.pointsIngested.Load())
+	writeCounter("opprenticed_alarms_raised_total", "Anomalous verdicts across all series.", s.metrics.alarmsRaised.Load())
+	writeCounter("opprenticed_trainings_total", "Classifier (re)trainings across all series.", s.metrics.trainingsRun.Load())
+	writeCounter("opprenticed_request_errors_total", "Requests answered with a non-2xx status.", s.metrics.requestErrors.Load())
+	fmt.Fprintf(w, "# HELP opprenticed_training_seconds_total Cumulative training wall time.\n# TYPE opprenticed_training_seconds_total counter\nopprenticed_training_seconds_total %.3f\n",
+		float64(s.metrics.trainingSeconds.Load())/1000)
+
+	// Per-series gauges.
+	s.mu.RLock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP opprenticed_series_points Points stored per series.\n# TYPE opprenticed_series_points gauge\n")
+	type snap struct {
+		name            string
+		points, windows int
+		trained         bool
+		cthld           float64
+	}
+	snaps := make([]snap, 0, len(names))
+	for _, name := range names {
+		s.mu.RLock()
+		m := s.series[name]
+		s.mu.RUnlock()
+		if m == nil {
+			continue
+		}
+		m.mu.Lock()
+		sn := snap{name: name, points: m.series.Len(), windows: len(m.labels.Windows()), trained: m.monitor != nil}
+		if sn.trained {
+			sn.cthld = m.monitor.CThld()
+		}
+		m.mu.Unlock()
+		snaps = append(snaps, sn)
+	}
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "opprenticed_series_points{series=%q} %d\n", sn.name, sn.points)
+	}
+	fmt.Fprintf(w, "# HELP opprenticed_series_labeled_windows Labeled anomalous windows per series.\n# TYPE opprenticed_series_labeled_windows gauge\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "opprenticed_series_labeled_windows{series=%q} %d\n", sn.name, sn.windows)
+	}
+	fmt.Fprintf(w, "# HELP opprenticed_series_cthld Current classification threshold per trained series.\n# TYPE opprenticed_series_cthld gauge\n")
+	for _, sn := range snaps {
+		if sn.trained {
+			fmt.Fprintf(w, "opprenticed_series_cthld{series=%q} %.4f\n", sn.name, sn.cthld)
+		}
+	}
+}
+
+// observeTraining records one training round's wall time.
+func (m *metrics) observeTraining(d time.Duration) {
+	m.trainingsRun.Add(1)
+	m.trainingSeconds.Add(d.Milliseconds())
+}

@@ -1,0 +1,556 @@
+// Package service exposes Opprentice as an HTTP/JSON anomaly-detection
+// service: clients create monitored series, stream points, label anomalous
+// windows with the same window semantics as the labeling tool (§4.2), and
+// trigger (re)training — the weekly operational loop of Fig. 3 over the
+// network. All state is in memory; cmd/opprenticed adds snapshotting.
+//
+// API (all JSON):
+//
+//	GET  /v1/healthz                    liveness
+//	GET  /v1/series                     list series
+//	PUT  /v1/series/{name}              create a series
+//	GET  /v1/series/{name}              status
+//	POST /v1/series/{name}/points       append points, get verdicts
+//	POST /v1/series/{name}/labels       label/unlabel windows
+//	POST /v1/series/{name}/train        (re)train the classifier
+//	GET  /v1/series/{name}/alarms       recent alarms
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"opprentice/internal/alerting"
+	"opprentice/internal/core"
+	"opprentice/internal/detectors"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+	"opprentice/internal/timeseries"
+	"opprentice/internal/tsdb"
+)
+
+// Server is the HTTP anomaly-detection service. Create it with NewServer
+// and mount Handler on an http.Server.
+type Server struct {
+	mu     sync.RWMutex
+	series map[string]*monitored
+	log    *slog.Logger
+	store  *tsdb.Store // nil = memory only
+	// MaxAlarms bounds the per-series alarm history (default 1024).
+	maxAlarms int
+	metrics   metrics
+}
+
+// monitored is one KPI under management.
+type monitored struct {
+	mu       sync.Mutex
+	series   *timeseries.Series
+	labels   timeseries.Labels
+	pref     stats.Preference
+	trees    int
+	monitor  *core.Monitor
+	alarms   []Alarm
+	trained  time.Time
+	incident *alerting.Manager // nil without a webhook
+
+	retrainEvery  int
+	pointsAtTrain int
+}
+
+// Alarm is one anomalous verdict the service raised.
+type Alarm struct {
+	Time        time.Time `json:"time"`
+	Value       float64   `json:"value"`
+	Probability float64   `json:"probability"`
+	CThld       float64   `json:"cthld"`
+}
+
+// NewServer returns an empty service.
+func NewServer(log *slog.Logger) *Server {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Server{series: make(map[string]*monitored), log: log, maxAlarms: 1024}
+}
+
+// SetStore makes the service durable: every create/points/labels mutation is
+// appended to the store's per-series write-ahead log. Call Restore after it
+// to reload existing logs.
+func (s *Server) SetStore(store *tsdb.Store) { s.store = store }
+
+// Restore replays every series in the store and, when a series has labeled
+// anomalies and enough data, retrains its classifier so detection resumes
+// immediately. It returns the number of series restored.
+func (s *Server) Restore() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	names, err := s.store.List()
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, name := range names {
+		loaded, err := s.store.Load(name)
+		if err != nil {
+			return restored, err
+		}
+		meta := loaded.Meta
+		m := &monitored{
+			series:       timeseries.New(meta.Name, meta.Start.UTC(), time.Duration(meta.IntervalSeconds)*time.Second),
+			pref:         stats.Preference{Recall: meta.Recall, Precision: meta.Precision},
+			trees:        meta.Trees,
+			retrainEvery: meta.RetrainEvery,
+		}
+		m.series.Values = loaded.Values
+		m.labels = timeseries.Labels(loaded.Labels)
+		if meta.WebhookURL != "" {
+			m.incident = &alerting.Manager{Series: meta.Name, Notifier: alerting.WebhookNotifier{URL: meta.WebhookURL}}
+		}
+		if err := s.retrainLocked(m); err != nil {
+			// Not trainable yet (no labels or too little data): restore the
+			// data anyway and let the operator train later.
+			s.log.Info("restored without classifier", "series", meta.Name, "reason", err)
+		}
+		s.mu.Lock()
+		s.series[meta.Name] = m
+		s.mu.Unlock()
+		restored++
+	}
+	return restored, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/series", s.handleList)
+	mux.HandleFunc("PUT /v1/series/{name}", s.handleCreate)
+	mux.HandleFunc("GET /v1/series/{name}", s.handleStatus)
+	mux.HandleFunc("POST /v1/series/{name}/points", s.handlePoints)
+	mux.HandleFunc("POST /v1/series/{name}/labels", s.handleLabels)
+	mux.HandleFunc("POST /v1/series/{name}/train", s.handleTrain)
+	mux.HandleFunc("GET /v1/series/{name}/alarms", s.handleAlarms)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	return mux
+}
+
+// Wire types.
+
+// CreateRequest is the body of PUT /v1/series/{name}.
+type CreateRequest struct {
+	// IntervalSeconds is the sampling interval; it must divide a day.
+	IntervalSeconds int `json:"interval_seconds"`
+	// Start is the timestamp of the first point (RFC 3339).
+	Start time.Time `json:"start"`
+	// Recall and Precision form the accuracy preference (default 0.66 each).
+	Recall    float64 `json:"recall,omitempty"`
+	Precision float64 `json:"precision,omitempty"`
+	// Trees is the forest size (default 60).
+	Trees int `json:"trees,omitempty"`
+	// WebhookURL, when set, receives incident open/resolved events as JSON
+	// POSTs (see the alerting package for the payload).
+	WebhookURL string `json:"webhook_url,omitempty"`
+	// RetrainEvery, when > 0, retrains the classifier automatically after
+	// that many new points have been appended since the last training —
+	// the paper's weekly incremental retraining, without a cron job. The
+	// retrain runs inline with the triggering points request.
+	RetrainEvery int `json:"retrain_every,omitempty"`
+}
+
+// Point is one (timestamp, value) observation; Timestamp is optional and,
+// when zero, the point is appended at the next slot.
+type Point struct {
+	Timestamp time.Time `json:"timestamp,omitempty"`
+	Value     float64   `json:"value"`
+}
+
+// PointsRequest is the body of POST points.
+type PointsRequest struct {
+	Points []Point `json:"points"`
+}
+
+// VerdictResponse echoes one classified point.
+type VerdictResponse struct {
+	Index       int     `json:"index"`
+	Probability float64 `json:"probability"`
+	Anomalous   bool    `json:"anomalous"`
+}
+
+// PointsResponse is the response of POST points.
+type PointsResponse struct {
+	Appended int               `json:"appended"`
+	Total    int               `json:"total"`
+	Verdicts []VerdictResponse `json:"verdicts,omitempty"`
+}
+
+// LabelWindow labels (or clears) the half-open index range [Start, End).
+type LabelWindow struct {
+	Start     int  `json:"start"`
+	End       int  `json:"end"`
+	Anomalous bool `json:"anomalous"`
+}
+
+// LabelsRequest is the body of POST labels.
+type LabelsRequest struct {
+	Windows []LabelWindow `json:"windows"`
+}
+
+// Status describes one monitored series.
+type Status struct {
+	Name            string    `json:"name"`
+	Points          int       `json:"points"`
+	AnomalousPoints int       `json:"anomalous_points"`
+	LabeledWindows  int       `json:"labeled_windows"`
+	Trained         bool      `json:"trained"`
+	TrainedAt       time.Time `json:"trained_at,omitempty"`
+	CThld           float64   `json:"cthld,omitempty"`
+	Recall          float64   `json:"recall"`
+	Precision       float64   `json:"precision"`
+	IntervalSeconds int       `json:"interval_seconds"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string][]string{"series": names})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	interval := time.Duration(req.IntervalSeconds) * time.Second
+	if interval <= 0 || timeseries.Day%interval != 0 {
+		s.countError(w, http.StatusBadRequest, fmt.Errorf("interval %v must divide a day", interval))
+		return
+	}
+	if req.Start.IsZero() {
+		s.countError(w, http.StatusBadRequest, errors.New("start timestamp required"))
+		return
+	}
+	pref := stats.Preference{Recall: req.Recall, Precision: req.Precision}
+	if pref == (stats.Preference{}) {
+		pref = stats.Preference{Recall: 0.66, Precision: 0.66}
+	}
+	trees := req.Trees
+	if trees <= 0 {
+		trees = 60
+	}
+	m := &monitored{
+		series:       timeseries.New(name, req.Start.UTC(), interval),
+		pref:         pref,
+		trees:        trees,
+		retrainEvery: req.RetrainEvery,
+	}
+	if req.WebhookURL != "" {
+		m.incident = &alerting.Manager{
+			Series:   name,
+			Notifier: alerting.WebhookNotifier{URL: req.WebhookURL},
+		}
+	}
+	s.mu.Lock()
+	_, exists := s.series[name]
+	if !exists {
+		s.series[name] = m
+	}
+	s.mu.Unlock()
+	if exists {
+		s.countError(w, http.StatusConflict, fmt.Errorf("series %q already exists", name))
+		return
+	}
+	if s.store != nil {
+		if err := s.store.CreateSeries(tsdb.Meta{
+			Name:            name,
+			Start:           req.Start.UTC(),
+			IntervalSeconds: req.IntervalSeconds,
+			Recall:          pref.Recall,
+			Precision:       pref.Precision,
+			Trees:           trees,
+			WebhookURL:      req.WebhookURL,
+			RetrainEvery:    req.RetrainEvery,
+		}); err != nil {
+			s.countError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.log.Info("series created", "name", name, "interval", interval)
+	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
+}
+
+// get returns the monitored series or writes a 404.
+func (s *Server) get(w http.ResponseWriter, r *http.Request) *monitored {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	m := s.series[name]
+	s.mu.RUnlock()
+	if m == nil {
+		s.countError(w, http.StatusNotFound, fmt.Errorf("no series %q", name))
+	}
+	return m
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	m := s.get(w, r)
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Name:            m.series.Name,
+		Points:          m.series.Len(),
+		AnomalousPoints: m.labels.Count(),
+		LabeledWindows:  len(m.labels.Windows()),
+		Trained:         m.monitor != nil,
+		Recall:          m.pref.Recall,
+		Precision:       m.pref.Precision,
+		IntervalSeconds: int(m.series.Interval / time.Second),
+	}
+	if m.monitor != nil {
+		st.CThld = m.monitor.CThld()
+		st.TrainedAt = m.trained
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	m := s.get(w, r)
+	if m == nil {
+		return
+	}
+	var req PointsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		s.countError(w, http.StatusBadRequest, errors.New("no points"))
+		return
+	}
+	m.mu.Lock()
+	type observed struct {
+		ts        time.Time
+		anomalous bool
+		prob      float64
+	}
+	var observations []observed
+	resp := PointsResponse{}
+	for _, p := range req.Points {
+		if !p.Timestamp.IsZero() {
+			// Points must arrive in order, one per slot.
+			want := m.series.TimeAt(m.series.Len())
+			if !p.Timestamp.UTC().Equal(want) {
+				m.mu.Unlock()
+				s.countError(w, http.StatusUnprocessableEntity,
+					fmt.Errorf("out-of-order point: got %v, next slot is %v", p.Timestamp.UTC(), want))
+				return
+			}
+		}
+		idx := m.series.Len()
+		m.series.Append(p.Value)
+		m.labels = append(m.labels, false)
+		resp.Appended++
+		s.metrics.pointsIngested.Add(1)
+		if m.monitor != nil {
+			v := m.monitor.Step(p.Value)
+			resp.Verdicts = append(resp.Verdicts, VerdictResponse{
+				Index: idx, Probability: v.Probability, Anomalous: v.Anomalous,
+			})
+			if v.Anomalous {
+				s.metrics.alarmsRaised.Add(1)
+				m.alarms = append(m.alarms, Alarm{
+					Time:        m.series.TimeAt(idx),
+					Value:       p.Value,
+					Probability: v.Probability,
+					CThld:       v.CThld,
+				})
+				if len(m.alarms) > s.maxAlarms {
+					m.alarms = m.alarms[len(m.alarms)-s.maxAlarms:]
+				}
+			}
+			if m.incident != nil {
+				observations = append(observations, observed{
+					ts: m.series.TimeAt(idx), anomalous: v.Anomalous, prob: v.Probability,
+				})
+			}
+		}
+	}
+	resp.Total = m.series.Len()
+	if s.store != nil && resp.Appended > 0 {
+		values := m.series.Values[m.series.Len()-resp.Appended:]
+		if err := s.store.AppendPoints(m.series.Name, values); err != nil {
+			s.log.Error("wal append failed", "series", m.series.Name, "err", err)
+		}
+	}
+	// Weekly-style automatic incremental retraining (§3.2).
+	if m.retrainEvery > 0 && m.monitor != nil &&
+		m.series.Len()-m.pointsAtTrain >= m.retrainEvery {
+		if err := s.retrainLocked(m); err != nil {
+			s.log.Warn("auto-retrain failed", "series", m.series.Name, "err", err)
+		}
+	}
+	incident := m.incident
+	m.mu.Unlock()
+
+	// Deliver incident notifications outside the series lock so a slow
+	// webhook cannot stall ingestion of other requests for long.
+	if incident != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		for _, o := range observations {
+			if err := incident.Observe(ctx, o.ts, o.anomalous, o.prob); err != nil {
+				s.log.Warn("incident notification failed", "series", r.PathValue("name"), "err", err)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	m := s.get(w, r)
+	if m == nil {
+		return
+	}
+	var req LabelsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, lw := range req.Windows {
+		if lw.Start < 0 || lw.End > m.series.Len() || lw.Start >= lw.End {
+			s.countError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("window [%d, %d) out of range 0..%d", lw.Start, lw.End, m.series.Len()))
+			return
+		}
+	}
+	for _, lw := range req.Windows {
+		for i := lw.Start; i < lw.End; i++ {
+			m.labels[i] = lw.Anomalous
+		}
+		if s.store != nil {
+			if err := s.store.AppendLabel(m.series.Name, lw.Start, lw.End, lw.Anomalous); err != nil {
+				s.log.Error("wal label failed", "series", m.series.Name, "err", err)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"anomalous_points": m.labels.Count(),
+		"labeled_windows":  len(m.labels.Windows()),
+	})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	m := s.get(w, r)
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := s.retrainLocked(m); err != nil {
+		s.countError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trained_at": m.trained,
+		"cthld":      m.monitor.CThld(),
+		"points":     m.series.Len(),
+	})
+}
+
+// retrainLocked (re)trains m's classifier; callers hold m.mu.
+func (s *Server) retrainLocked(m *monitored) error {
+	started := time.Now()
+	defer func() { s.metrics.observeTraining(time.Since(started)) }()
+	dets, err := detectors.Registry(m.series.Interval)
+	if err != nil {
+		return err
+	}
+	cfg := core.MonitorConfig{
+		Preference:    m.pref,
+		Forest:        forest.Config{Trees: m.trees, Seed: 1},
+		SkipInitialCV: m.monitor != nil, // CV once; EWMA carries after that
+	}
+	if m.monitor == nil {
+		mon, err := core.NewMonitor(m.series, m.labels, dets, cfg)
+		if err != nil {
+			return err
+		}
+		m.monitor = mon
+	} else if err := m.monitor.Retrain(m.series, m.labels, dets); err != nil {
+		return err
+	}
+	m.trained = time.Now().UTC()
+	m.pointsAtTrain = m.series.Len()
+	s.log.Info("series trained", "name", m.series.Name, "points", m.series.Len(), "cthld", m.monitor.CThld())
+	return nil
+}
+
+func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	m := s.get(w, r)
+	if m == nil {
+		return
+	}
+	var since time.Time
+	if q := r.URL.Query().Get("since"); q != "" {
+		t, err := time.Parse(time.RFC3339, q)
+		if err != nil {
+			s.countError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+			return
+		}
+		since = t
+	}
+	m.mu.Lock()
+	out := make([]Alarm, 0, len(m.alarms))
+	for _, a := range m.alarms {
+		if a.Time.After(since) {
+			out = append(out, a)
+		}
+	}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string][]Alarm{"alarms": out})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// countError bumps the error counter; handlers call writeError via the
+// server when they want accounting.
+func (s *Server) countError(w http.ResponseWriter, code int, err error) {
+	s.metrics.requestErrors.Add(1)
+	writeError(w, code, err)
+}

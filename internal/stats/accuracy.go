@@ -1,0 +1,105 @@
+// Package stats implements the accuracy machinery of the paper: precision
+// and recall over point labels, precision-recall (PR) curves, the area under
+// the PR curve (AUCPR) used in §5.3, the four threshold-selection metrics of
+// §4.5 (default cThld, F-Score, SD(1,1) and the paper's PC-Score), mutual
+// information for the feature ordering of Fig. 10, and small numeric helpers
+// (quantiles, EWMA).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion holds the point-level confusion counts of a binary detector.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Confuse counts the confusion matrix of predictions against the ground
+// truth. It panics if the slices differ in length, which is always a caller
+// bug.
+func Confuse(pred, truth []bool) Confusion {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("stats: %d predictions vs %d truths", len(pred), len(truth)))
+	}
+	var c Confusion
+	for i, p := range pred {
+		switch {
+		case p && truth[i]:
+			c.TP++
+		case p && !truth[i]:
+			c.FP++
+		case !p && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was flagged: a detector
+// that raises no alarm has made no false claim.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there was nothing to find.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FScore returns the harmonic mean of precision p and recall r
+// (the F1 score), 0 if both are 0.
+func FScore(r, p float64) float64 {
+	if r+p == 0 {
+		return 0
+	}
+	return 2 * r * p / (r + p)
+}
+
+// SD11 returns the Euclidean distance of (recall, precision) to the perfect
+// corner (1, 1); the SD(1,1) metric selects the point minimizing it.
+func SD11(r, p float64) float64 {
+	return math.Hypot(1-r, 1-p)
+}
+
+// Preference is an operator accuracy preference: "recall ≥ Recall and
+// precision ≥ Precision" (§2.2).
+type Preference struct {
+	Recall, Precision float64
+}
+
+// Satisfied reports whether the point (r, p) lies inside the preference box.
+func (pref Preference) Satisfied(r, p float64) bool {
+	return r >= pref.Recall && p >= pref.Precision
+}
+
+// Scale returns the preference with its box scaled up by ratio ≥ 1, i.e.
+// both lower bounds moved toward 0 so the box area grows by ratio in each
+// dimension from the (1,1) corner (the Fig. 12 line charts).
+func (pref Preference) Scale(ratio float64) Preference {
+	return Preference{
+		Recall:    1 - (1-pref.Recall)*ratio,
+		Precision: 1 - (1-pref.Precision)*ratio,
+	}
+}
+
+// PCScore is the paper's preference-centric score (§4.5.1): the F-Score of
+// (r, p), plus an incentive constant of 1 when the point satisfies the
+// preference. Points inside the preference box therefore always outrank
+// points outside it.
+func PCScore(r, p float64, pref Preference) float64 {
+	s := FScore(r, p)
+	if pref.Satisfied(r, p) {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfuse(t *testing.T) {
+	pred := []bool{true, true, false, false, true}
+	truth := []bool{true, false, true, false, true}
+	c := Confuse(pred, truth)
+	if c != (Confusion{TP: 2, FP: 1, FN: 1, TN: 1}) {
+		t.Errorf("Confuse = %+v", c)
+	}
+}
+
+func TestConfusePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Confuse([]bool{true}, []bool{true, false})
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	c := Confusion{TP: 3, FP: 1, FN: 2, TN: 4}
+	if got := c.Precision(); got != 0.75 {
+		t.Errorf("Precision = %v, want 0.75", got)
+	}
+	if got := c.Recall(); got != 0.6 {
+		t.Errorf("Recall = %v, want 0.6", got)
+	}
+	empty := Confusion{TN: 5}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("degenerate precision/recall should be 1")
+	}
+}
+
+func TestFScore(t *testing.T) {
+	if got := FScore(0.5, 0.5); got != 0.5 {
+		t.Errorf("FScore(.5,.5) = %v", got)
+	}
+	if got := FScore(0, 0); got != 0 {
+		t.Errorf("FScore(0,0) = %v", got)
+	}
+	if got := FScore(1, 1); got != 1 {
+		t.Errorf("FScore(1,1) = %v", got)
+	}
+}
+
+func TestSD11(t *testing.T) {
+	if got := SD11(1, 1); got != 0 {
+		t.Errorf("SD11(1,1) = %v", got)
+	}
+	if got := SD11(0, 1); got != 1 {
+		t.Errorf("SD11(0,1) = %v", got)
+	}
+}
+
+func TestPreferenceSatisfiedAndScale(t *testing.T) {
+	pref := Preference{Recall: 0.66, Precision: 0.66}
+	if !pref.Satisfied(0.7, 0.66) {
+		t.Error("(0.7, 0.66) should satisfy")
+	}
+	if pref.Satisfied(0.65, 0.9) {
+		t.Error("(0.65, 0.9) should not satisfy")
+	}
+	scaled := pref.Scale(2)
+	if math.Abs(scaled.Recall-0.32) > 1e-12 || math.Abs(scaled.Precision-0.32) > 1e-12 {
+		t.Errorf("Scale(2) = %+v", scaled)
+	}
+	if same := pref.Scale(1); same != pref {
+		t.Errorf("Scale(1) = %+v, want %+v", same, pref)
+	}
+}
+
+// PC-Score's incentive constant must make every satisfying point outrank
+// every non-satisfying point — the property §4.5.1 relies on.
+func TestPCScoreIncentiveDominance(t *testing.T) {
+	pref := Preference{Recall: 0.66, Precision: 0.66}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rIn := 0.66 + 0.34*rng.Float64()
+		pIn := 0.66 + 0.34*rng.Float64()
+		rOut, pOut := rng.Float64(), rng.Float64()
+		if pref.Satisfied(rOut, pOut) {
+			rOut = 0.65 * rng.Float64()
+		}
+		return PCScore(rIn, pIn, pref) > PCScore(rOut, pOut, pref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCScoreEqualsFScoreOutsideBox(t *testing.T) {
+	pref := Preference{Recall: 0.8, Precision: 0.8}
+	if got, want := PCScore(0.5, 0.5, pref), FScore(0.5, 0.5); got != want {
+		t.Errorf("PCScore outside box = %v, want F-Score %v", got, want)
+	}
+	if got, want := PCScore(0.9, 0.9, pref), FScore(0.9, 0.9)+1; got != want {
+		t.Errorf("PCScore inside box = %v, want F-Score+1 %v", got, want)
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAUCPRConfidenceBracketsPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 800
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		truth[i] = rng.Intn(10) == 0
+		if truth[i] {
+			scores[i] = 2 + rng.NormFloat64()
+		} else {
+			scores[i] = rng.NormFloat64()
+		}
+	}
+	ci := AUCPRConfidence(scores, truth, 0.95, 400, 7)
+	if !(ci.Lo <= ci.Point && ci.Point <= ci.Hi) {
+		t.Errorf("interval [%v, %v] does not bracket point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Hi-ci.Lo <= 0 || ci.Hi-ci.Lo > 0.5 {
+		t.Errorf("interval width %v implausible", ci.Hi-ci.Lo)
+	}
+	if ci.Lo < 0 || ci.Hi > 1 {
+		t.Errorf("interval [%v, %v] out of range", ci.Lo, ci.Hi)
+	}
+}
+
+func TestAUCPRConfidenceWiderLevelWiderInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		truth[i] = rng.Intn(8) == 0
+		scores[i] = rng.NormFloat64()
+		if truth[i] {
+			scores[i] += 1.5
+		}
+	}
+	narrow := AUCPRConfidence(scores, truth, 0.5, 500, 3)
+	wide := AUCPRConfidence(scores, truth, 0.99, 500, 3)
+	if wide.Hi-wide.Lo <= narrow.Hi-narrow.Lo {
+		t.Errorf("99%% interval (%v) should be wider than 50%% (%v)",
+			wide.Hi-wide.Lo, narrow.Hi-narrow.Lo)
+	}
+}
+
+func TestAUCPRConfidenceDeterministicSeed(t *testing.T) {
+	scores := []float64{5, 4, 3, 2, 1, 0.5, 0.2, 0.1}
+	truth := []bool{true, true, false, false, false, true, false, false}
+	a := AUCPRConfidence(scores, truth, 0.95, 200, 11)
+	b := AUCPRConfidence(scores, truth, 0.95, 200, 11)
+	if a != b {
+		t.Errorf("same seed gave %+v vs %+v", a, b)
+	}
+}
+
+func TestAUCPRConfidenceDegenerate(t *testing.T) {
+	ci := AUCPRConfidence(nil, nil, 0.95, 100, 1)
+	if ci.Lo != ci.Point || ci.Hi != ci.Point {
+		t.Errorf("empty input interval = %+v", ci)
+	}
+	ci = AUCPRConfidence([]float64{1, 2}, []bool{false, false}, 0.95, 100, 1)
+	if ci.Point != 0 || ci.Lo != 0 || ci.Hi != 0 {
+		t.Errorf("no-positive interval = %+v", ci)
+	}
+	// Bad level and iterations fall back to defaults without blowing up.
+	ci = AUCPRConfidence([]float64{2, 1}, []bool{true, false}, -1, -5, 1)
+	if ci.Level != 0.95 {
+		t.Errorf("level fallback = %v", ci.Level)
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPRCurve checks structural invariants of the PR machinery on arbitrary
+// score/label data: monotone non-increasing thresholds, recall
+// non-decreasing, all values in range, and AUCPR within [0, 1].
+func FuzzPRCurve(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 0, 1, 0})
+	f.Add([]byte{255, 255, 0}, []byte{0, 0, 1})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, rawScores, rawTruth []byte) {
+		n := len(rawScores)
+		if len(rawTruth) < n {
+			n = len(rawTruth)
+		}
+		scores := make([]float64, n)
+		truth := make([]bool, n)
+		for i := 0; i < n; i++ {
+			switch rawScores[i] % 17 {
+			case 0:
+				scores[i] = math.NaN()
+			case 1:
+				scores[i] = math.Inf(1)
+			case 2:
+				scores[i] = math.Inf(-1)
+			default:
+				scores[i] = float64(rawScores[i]) / 8
+			}
+			truth[i] = rawTruth[i]%2 == 1
+		}
+		curve := PRCurve(scores, truth)
+		prevRecall := -1.0
+		for i, pt := range curve {
+			if pt.Recall < 0 || pt.Recall > 1 || pt.Precision < 0 || pt.Precision > 1 {
+				t.Fatalf("point %d out of range: %+v", i, pt)
+			}
+			if pt.Recall+1e-12 < prevRecall {
+				t.Fatalf("recall decreased at %d: %v after %v", i, pt.Recall, prevRecall)
+			}
+			prevRecall = pt.Recall
+		}
+		if a := AUCPR(scores, truth); a < 0 || a > 1 || math.IsNaN(a) {
+			t.Fatalf("AUCPR = %v", a)
+		}
+		// AtThresholds must agree with AtThreshold on a few candidates.
+		candidates := []float64{0, 0.5, 1, 2}
+		pts := AtThresholds(scores, truth, candidates)
+		for i, c := range candidates {
+			r, p := AtThreshold(scores, truth, c)
+			if math.Abs(pts[i].Recall-r) > 1e-12 || math.Abs(pts[i].Precision-p) > 1e-12 {
+				t.Fatalf("candidate %v: batch (%v,%v) vs direct (%v,%v)",
+					c, pts[i].Recall, pts[i].Precision, r, p)
+			}
+		}
+	})
+}

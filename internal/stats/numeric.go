@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns NaN on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over already-sorted data, allocation free.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// EWMA is the exponentially weighted moving average used both as a basic
+// detector's forecaster and for the cThld prediction of §4.5.2:
+// next = alpha*latest + (1-alpha)*previous. The zero value is not ready;
+// Update it with the first observation before calling Value.
+type EWMA struct {
+	Alpha float64
+	value float64
+	ready bool
+}
+
+// Update folds the next observation into the average and returns the new
+// value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.ready {
+		e.value, e.ready = x, true
+		return x
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average and whether any observation was folded
+// in yet.
+func (e *EWMA) Value() (float64, bool) { return e.value, e.ready }
+
+// MutualInformation estimates I(X; Y) in nats between a continuous feature x
+// and binary labels y, by discretizing x into up to bins equal-frequency
+// buckets. It is the feature-ordering criterion of Fig. 10. NaN feature
+// values go to a dedicated bucket. It returns 0 for degenerate inputs.
+func MutualInformation(x []float64, y []bool, bins int) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) || bins < 2 {
+		return 0
+	}
+	// Build equal-frequency bucket edges from the finite values.
+	finite := make([]float64, 0, n)
+	for _, v := range x {
+		if !math.IsNaN(v) {
+			finite = append(finite, v)
+		}
+	}
+	sort.Float64s(finite)
+	edges := make([]float64, 0, bins-1)
+	for b := 1; b < bins; b++ {
+		if len(finite) == 0 {
+			break
+		}
+		e := quantileSorted(finite, float64(b)/float64(bins))
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	nb := len(edges) + 2 // buckets + one NaN bucket at the end
+	bucket := func(v float64) int {
+		if math.IsNaN(v) {
+			return nb - 1
+		}
+		return sort.SearchFloat64s(edges, v)
+	}
+	joint := make([][2]float64, nb)
+	var py [2]float64
+	for i, v := range x {
+		c := 0
+		if y[i] {
+			c = 1
+		}
+		joint[bucket(v)][c]++
+		py[c]++
+	}
+	inv := 1 / float64(n)
+	mi := 0.0
+	for _, row := range joint {
+		px := (row[0] + row[1]) * inv
+		if px == 0 {
+			continue
+		}
+		for c := 0; c < 2; c++ {
+			pxy := row[c] * inv
+			if pxy == 0 {
+				continue
+			}
+			mi += pxy * math.Log(pxy/(px*py[c]*inv))
+		}
+	}
+	if mi < 0 { // guard against floating point jitter
+		return 0
+	}
+	return mi
+}

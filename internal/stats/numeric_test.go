@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		q1, q2 := rng.Float64(), rng.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.8}
+	if _, ok := e.Value(); ok {
+		t.Error("zero EWMA should not be ready")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first Update = %v, want 10", got)
+	}
+	if got := e.Update(0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("second Update = %v, want 2", got)
+	}
+	v, ok := e.Value()
+	if !ok || math.Abs(v-2) > 1e-12 {
+		t.Errorf("Value = %v, %v", v, ok)
+	}
+}
+
+func TestEWMAAlphaOneTracksLatest(t *testing.T) {
+	e := EWMA{Alpha: 1}
+	e.Update(5)
+	if got := e.Update(7); got != 7 {
+		t.Errorf("alpha=1 should track latest, got %v", got)
+	}
+}
+
+func TestMutualInformationInformativeVsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	x := make([]float64, n)
+	noise := make([]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		y[i] = rng.Intn(10) == 0
+		if y[i] {
+			x[i] = 5 + rng.NormFloat64()
+		} else {
+			x[i] = rng.NormFloat64()
+		}
+		noise[i] = rng.NormFloat64()
+	}
+	miX := MutualInformation(x, y, 16)
+	miN := MutualInformation(noise, y, 16)
+	if miX <= miN {
+		t.Errorf("informative MI %v should exceed noise MI %v", miX, miN)
+	}
+	if miN > 0.05 {
+		t.Errorf("noise MI = %v, should be near 0", miN)
+	}
+}
+
+func TestMutualInformationDegenerate(t *testing.T) {
+	if got := MutualInformation(nil, nil, 8); got != 0 {
+		t.Errorf("empty MI = %v", got)
+	}
+	if got := MutualInformation([]float64{1}, []bool{true, false}, 8); got != 0 {
+		t.Errorf("mismatched MI = %v", got)
+	}
+	if got := MutualInformation([]float64{1, 2}, []bool{true, false}, 1); got != 0 {
+		t.Errorf("bins<2 MI = %v", got)
+	}
+	// Constant feature carries no information.
+	x := []float64{3, 3, 3, 3}
+	y := []bool{true, false, true, false}
+	if got := MutualInformation(x, y, 4); got > 1e-9 {
+		t.Errorf("constant feature MI = %v, want 0", got)
+	}
+}
+
+func TestMutualInformationHandlesNaN(t *testing.T) {
+	x := []float64{math.NaN(), 1, 2, math.NaN()}
+	y := []bool{true, false, true, false}
+	got := MutualInformation(x, y, 4)
+	if math.IsNaN(got) || got < 0 {
+		t.Errorf("MI with NaNs = %v", got)
+	}
+}
+
+func TestMutualInformationNonNegativeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		x := make([]float64, n)
+		y := make([]bool, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.Intn(3) == 0
+		}
+		return MutualInformation(x, y, 8) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

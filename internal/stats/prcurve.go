@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PRPoint is one operating point of a detector or classifier: predicting
+// "anomaly" for every point whose score is ≥ Threshold yields the given
+// recall and precision.
+type PRPoint struct {
+	Threshold float64
+	Recall    float64
+	Precision float64
+}
+
+// PRCurve plots precision against recall for every possible threshold of the
+// anomaly scores (a cThld of the classifier, or an sThld of a basic
+// detector). Higher scores must mean "more anomalous". NaN scores are
+// treated as the lowest possible severity. The curve is returned in order of
+// decreasing threshold, i.e. increasing recall; it contains one point per
+// distinct score value.
+func PRCurve(scores []float64, truth []bool) []PRPoint {
+	if len(scores) != len(truth) {
+		panic(fmt.Sprintf("stats: %d scores vs %d truths", len(scores), len(truth)))
+	}
+	totalPos := 0
+	for _, t := range truth {
+		if t {
+			totalPos++
+		}
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	key := func(i int) float64 {
+		s := scores[i]
+		if math.IsNaN(s) {
+			return math.Inf(-1)
+		}
+		return s
+	}
+	sort.Slice(idx, func(a, b int) bool { return key(idx[a]) > key(idx[b]) })
+
+	// The "flag nothing" operating point: a threshold just above every
+	// score. Without it, weeks with no anomalies would have no satisfying
+	// point on the curve even though staying silent is perfect there.
+	silentRecall := 0.0
+	if totalPos == 0 {
+		silentRecall = 1
+	}
+	silentThr := math.Inf(1)
+	if len(idx) > 0 {
+		if top := key(idx[0]); !math.IsInf(top, 0) {
+			silentThr = math.Nextafter(top, math.Inf(1))
+		}
+	}
+	curve := []PRPoint{{Threshold: silentThr, Recall: silentRecall, Precision: 1}}
+	tp, fp := 0, 0
+	for k := 0; k < len(idx); {
+		thr := key(idx[k])
+		// Consume the whole tie group so each threshold appears once.
+		for k < len(idx) && key(idx[k]) == thr {
+			if truth[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		p := float64(tp) / float64(tp+fp)
+		r := 1.0
+		if totalPos > 0 {
+			r = float64(tp) / float64(totalPos)
+		}
+		curve = append(curve, PRPoint{Threshold: thr, Recall: r, Precision: p})
+	}
+	return curve
+}
+
+// AUCPR returns the area under the PR curve computed as average precision:
+// the mean, over all true anomalous points, of the precision at the
+// threshold that first recalls that point. It ranges in [0, 1] and equals
+// the anomaly base rate for a random scorer. It returns 0 when there are no
+// anomalous points.
+func AUCPR(scores []float64, truth []bool) float64 {
+	if len(scores) != len(truth) {
+		panic(fmt.Sprintf("stats: %d scores vs %d truths", len(scores), len(truth)))
+	}
+	totalPos := 0
+	for _, t := range truth {
+		if t {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return 0
+	}
+	curve := PRCurve(scores, truth)
+	ap := 0.0
+	prevRecall := 0.0
+	for _, pt := range curve {
+		ap += (pt.Recall - prevRecall) * pt.Precision
+		prevRecall = pt.Recall
+	}
+	return ap
+}
+
+// BestByPCScore returns the curve point with the largest PC-Score under the
+// preference, i.e. the cThld configuration of §4.5.1. The boolean reports
+// whether that point actually satisfies the preference.
+//
+// Any threshold in the half-open interval down to the next curve point
+// yields the same confusion, so the returned Threshold is centered in that
+// interval: a week with cleanly separated scores then reports a cThld in the
+// middle of the margin instead of hugging the lowest anomaly score, which is
+// what makes the EWMA-predicted cThld transfer to the following week
+// (§4.5.2).
+func BestByPCScore(curve []PRPoint, pref Preference) (PRPoint, bool) {
+	bestIdx, bestScore := -1, math.Inf(-1)
+	for i, pt := range curve {
+		if s := PCScore(pt.Recall, pt.Precision, pref); s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestIdx < 0 {
+		return PRPoint{}, false
+	}
+	best := curve[bestIdx]
+	if bestIdx+1 < len(curve) {
+		lower := curve[bestIdx+1].Threshold
+		if mid := (best.Threshold + lower) / 2; !math.IsNaN(mid) && !math.IsInf(mid, 0) {
+			best.Threshold = mid
+		}
+	}
+	return best, pref.Satisfied(best.Recall, best.Precision)
+}
+
+// BestByFScore returns the curve point maximizing the F-Score.
+func BestByFScore(curve []PRPoint) PRPoint {
+	best, bestScore := PRPoint{}, math.Inf(-1)
+	for _, pt := range curve {
+		if s := FScore(pt.Recall, pt.Precision); s > bestScore {
+			best, bestScore = pt, s
+		}
+	}
+	return best
+}
+
+// BestBySD11 returns the curve point minimizing the distance to (1, 1).
+func BestBySD11(curve []PRPoint) PRPoint {
+	best, bestDist := PRPoint{}, math.Inf(1)
+	for _, pt := range curve {
+		if d := SD11(pt.Recall, pt.Precision); d < bestDist {
+			best, bestDist = pt, d
+		}
+	}
+	return best
+}
+
+// AtThresholds evaluates recall and precision at every candidate threshold
+// in one sorted sweep: candidate c yields the confusion of predicting
+// "anomaly" wherever score ≥ c. Candidates must be sorted ascending; the
+// result is aligned with them. This is the O((n+k) log n) backbone of the
+// 5-fold cThld search, which evaluates 1000 candidates per fold (§4.5.2).
+func AtThresholds(scores []float64, truth []bool, candidates []float64) []PRPoint {
+	if len(scores) != len(truth) {
+		panic(fmt.Sprintf("stats: %d scores vs %d truths", len(scores), len(truth)))
+	}
+	totalPos := 0
+	for _, t := range truth {
+		if t {
+			totalPos++
+		}
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	key := func(i int) float64 {
+		s := scores[i]
+		if math.IsNaN(s) {
+			return math.Inf(-1)
+		}
+		return s
+	}
+	sort.Slice(idx, func(a, b int) bool { return key(idx[a]) > key(idx[b]) })
+
+	out := make([]PRPoint, len(candidates))
+	// Walk candidates from the highest down, consuming scores ≥ candidate.
+	k := 0
+	tp, fp := 0, 0
+	for c := len(candidates) - 1; c >= 0; c-- {
+		thr := candidates[c]
+		for k < len(idx) && key(idx[k]) >= thr {
+			if truth[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		p := 1.0
+		if tp+fp > 0 {
+			p = float64(tp) / float64(tp+fp)
+		}
+		r := 1.0
+		if totalPos > 0 {
+			r = float64(tp) / float64(totalPos)
+		}
+		out[c] = PRPoint{Threshold: thr, Recall: r, Precision: p}
+	}
+	return out
+}
+
+// AtThreshold evaluates the recall and precision of predicting "anomaly"
+// wherever score ≥ thr.
+func AtThreshold(scores []float64, truth []bool, thr float64) (recall, precision float64) {
+	pred := make([]bool, len(scores))
+	for i, s := range scores {
+		pred[i] = !math.IsNaN(s) && s >= thr
+	}
+	c := Confuse(pred, truth)
+	return c.Recall(), c.Precision()
+}

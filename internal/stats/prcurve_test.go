@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRCurveSimple(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	truth := []bool{true, false, true, false}
+	curve := PRCurve(scores, truth)
+	if curve[0].Recall != 0 || curve[0].Precision != 1 || curve[0].Threshold <= 0.9 {
+		t.Fatalf("missing flag-nothing point: %+v", curve[0])
+	}
+	curve = curve[1:]
+	want := []PRPoint{
+		{0.9, 0.5, 1},
+		{0.8, 0.5, 0.5},
+		{0.7, 1, 2.0 / 3},
+		{0.6, 1, 0.5},
+	}
+	if len(curve) != len(want) {
+		t.Fatalf("curve = %v", curve)
+	}
+	for i := range want {
+		if math.Abs(curve[i].Recall-want[i].Recall) > 1e-12 ||
+			math.Abs(curve[i].Precision-want[i].Precision) > 1e-12 ||
+			curve[i].Threshold != want[i].Threshold {
+			t.Errorf("curve[%d] = %+v, want %+v", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestPRCurveTies(t *testing.T) {
+	scores := []float64{1, 1, 0}
+	truth := []bool{true, false, false}
+	curve := PRCurve(scores, truth)
+	if len(curve) != 3 { // flag-nothing + 2 distinct thresholds
+		t.Fatalf("tie group should collapse: %v", curve)
+	}
+	if curve[1].Precision != 0.5 || curve[1].Recall != 1 {
+		t.Errorf("curve[1] = %+v", curve[1])
+	}
+}
+
+func TestPRCurveNaNRanksLast(t *testing.T) {
+	scores := []float64{math.NaN(), 1}
+	truth := []bool{false, true}
+	curve := PRCurve(scores, truth)
+	if curve[1].Precision != 1 || curve[1].Recall != 1 {
+		t.Errorf("NaN should sort last: %v", curve)
+	}
+}
+
+func TestAUCPRPerfectAndRandom(t *testing.T) {
+	truth := []bool{true, true, false, false, false, false}
+	perfect := []float64{6, 5, 4, 3, 2, 1}
+	if got := AUCPR(perfect, truth); got != 1 {
+		t.Errorf("perfect AUCPR = %v, want 1", got)
+	}
+	worst := []float64{1, 2, 3, 4, 5, 6}
+	got := AUCPR(worst, truth)
+	// Worst ranking: anomalies recalled last; AP = (1/2)(1/5) + (1/2)(2/6).
+	want := 0.5*(1.0/5) + 0.5*(2.0/6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("worst AUCPR = %v, want %v", got, want)
+	}
+}
+
+func TestAUCPRNoPositives(t *testing.T) {
+	if got := AUCPR([]float64{1, 2}, []bool{false, false}); got != 0 {
+		t.Errorf("AUCPR with no positives = %v, want 0", got)
+	}
+}
+
+func TestAUCPRBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(100)
+		scores := make([]float64, n)
+		truth := make([]bool, n)
+		anyPos := false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			truth[i] = rng.Intn(5) == 0
+			anyPos = anyPos || truth[i]
+		}
+		if !anyPos {
+			truth[0] = true
+		}
+		a := AUCPR(scores, truth)
+		return a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestByPCScorePrefersBox(t *testing.T) {
+	curve := []PRPoint{
+		{0.9, 0.95, 0.40}, // high recall, low precision, best F outside box
+		{0.5, 0.70, 0.70}, // inside the (0.66, 0.66) box
+		{0.2, 0.30, 0.90},
+	}
+	pref := Preference{Recall: 0.66, Precision: 0.66}
+	best, ok := BestByPCScore(curve, pref)
+	if !ok || best.Recall != 0.70 || best.Precision != 0.70 {
+		t.Errorf("BestByPCScore = %+v, ok=%v; want the in-box point", best, ok)
+	}
+	// The reported threshold centers the equivalence interval (0.2, 0.5].
+	if best.Threshold != 0.35 {
+		t.Errorf("threshold = %v, want margin midpoint 0.35", best.Threshold)
+	}
+}
+
+func TestBestByPCScoreMidpointKeepsConfusion(t *testing.T) {
+	// The centered threshold must produce the same confusion as the curve
+	// point it represents.
+	scores := []float64{0.9, 0.85, 0.3, 0.2}
+	truth := []bool{true, true, false, false}
+	pref := Preference{Recall: 0.66, Precision: 0.66}
+	best, ok := BestByPCScore(PRCurve(scores, truth), pref)
+	if !ok {
+		t.Fatal("perfectly separable week should satisfy")
+	}
+	if best.Threshold <= 0.3 || best.Threshold > 0.85 {
+		t.Errorf("threshold %v should sit inside the (0.3, 0.85] margin", best.Threshold)
+	}
+	r, p := AtThreshold(scores, truth, best.Threshold)
+	if r != best.Recall || p != best.Precision {
+		t.Errorf("midpoint threshold changed the confusion: (%v,%v) vs (%v,%v)",
+			r, p, best.Recall, best.Precision)
+	}
+}
+
+func TestBestByPCScoreApproximatesWhenUnreachable(t *testing.T) {
+	curve := []PRPoint{{0.9, 0.3, 0.3}, {0.5, 0.5, 0.5}}
+	best, ok := BestByPCScore(curve, Preference{Recall: 0.9, Precision: 0.9})
+	if ok {
+		t.Error("no point satisfies; ok should be false")
+	}
+	if best.Threshold != 0.5 {
+		t.Errorf("should fall back to max F-Score point, got %+v", best)
+	}
+}
+
+func TestBestByFScoreAndSD11(t *testing.T) {
+	curve := []PRPoint{{0.9, 0.2, 0.9}, {0.5, 0.8, 0.7}, {0.1, 1, 0.1}}
+	if got := BestByFScore(curve); got.Threshold != 0.5 {
+		t.Errorf("BestByFScore = %+v", got)
+	}
+	if got := BestBySD11(curve); got.Threshold != 0.5 {
+		t.Errorf("BestBySD11 = %+v", got)
+	}
+}
+
+func TestAtThreshold(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, math.NaN()}
+	truth := []bool{true, false, true, false}
+	r, p := AtThreshold(scores, truth, 0.5)
+	if r != 0.5 || p != 0.5 {
+		t.Errorf("AtThreshold = (%v, %v), want (0.5, 0.5)", r, p)
+	}
+}
+
+// The PR point at any threshold on the curve must agree with a direct
+// evaluation at that threshold.
+func TestPRCurveConsistentWithAtThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = rng.Intn(10) == 0
+	}
+	truth[0] = true
+	curve := PRCurve(scores, truth)
+	for _, pt := range curve[:10] {
+		r, p := AtThreshold(scores, truth, pt.Threshold)
+		if math.Abs(r-pt.Recall) > 1e-12 || math.Abs(p-pt.Precision) > 1e-12 {
+			t.Fatalf("threshold %v: curve (%v,%v) vs direct (%v,%v)",
+				pt.Threshold, pt.Recall, pt.Precision, r, p)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a detector on the ROC plane.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROCCurve plots the true-positive rate against the false-positive rate for
+// every threshold, the evaluation technique of [9, 14, 26] that §7 credits.
+// The paper prefers PR curves because KPI anomalies are heavily imbalanced
+// (footnote 3); both are provided so the claim can be checked. The curve is
+// returned in order of decreasing threshold, starting from the implicit
+// (0, 0) silent point.
+func ROCCurve(scores []float64, truth []bool) []ROCPoint {
+	if len(scores) != len(truth) {
+		panic(fmt.Sprintf("stats: %d scores vs %d truths", len(scores), len(truth)))
+	}
+	pos, neg := 0, 0
+	for _, t := range truth {
+		if t {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	key := func(i int) float64 {
+		if math.IsNaN(scores[i]) {
+			return math.Inf(-1)
+		}
+		return scores[i]
+	}
+	sort.Slice(idx, func(a, b int) bool { return key(idx[a]) > key(idx[b]) })
+
+	curve := []ROCPoint{{Threshold: math.Inf(1)}}
+	tp, fp := 0, 0
+	for k := 0; k < len(idx); {
+		thr := key(idx[k])
+		for k < len(idx) && key(idx[k]) == thr {
+			if truth[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		pt := ROCPoint{Threshold: thr, TPR: 1, FPR: 1}
+		if pos > 0 {
+			pt.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			pt.FPR = float64(fp) / float64(neg)
+		}
+		curve = append(curve, pt)
+	}
+	return curve
+}
+
+// AUROC returns the area under the ROC curve by trapezoidal integration:
+// 0.5 for a random scorer, 1 for a perfect one.
+func AUROC(scores []float64, truth []bool) float64 {
+	curve := ROCCurve(scores, truth)
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCCurvePerfect(t *testing.T) {
+	scores := []float64{4, 3, 2, 1}
+	truth := []bool{true, true, false, false}
+	curve := ROCCurve(scores, truth)
+	if curve[0].FPR != 0 || curve[0].TPR != 0 {
+		t.Errorf("curve should start at (0,0): %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve should end at (1,1): %+v", last)
+	}
+	if got := AUROC(scores, truth); got != 1 {
+		t.Errorf("perfect AUROC = %v, want 1", got)
+	}
+}
+
+func TestAUROCRandomIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = rng.Intn(5) == 0
+	}
+	if got := AUROC(scores, truth); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("random AUROC = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestAUROCReversedIsZero(t *testing.T) {
+	scores := []float64{1, 2, 3, 4}
+	truth := []bool{true, true, false, false}
+	if got := AUROC(scores, truth); got != 0 {
+		t.Errorf("anti-perfect AUROC = %v, want 0", got)
+	}
+}
+
+func TestROCPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	ROCCurve([]float64{1}, []bool{true, false})
+}
+
+// AUROC equals the probability a random positive outranks a random negative
+// (the Wilcoxon/Mann-Whitney identity), counting ties as half.
+func TestAUROCMatchesPairwiseProbability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		scores := make([]float64, n)
+		truth := make([]bool, n)
+		hasPos, hasNeg := false, false
+		for i := range scores {
+			scores[i] = float64(rng.Intn(8)) // coarse so ties occur
+			truth[i] = rng.Intn(3) == 0
+			hasPos = hasPos || truth[i]
+			hasNeg = hasNeg || !truth[i]
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		var wins, pairs float64
+		for i := range scores {
+			if !truth[i] {
+				continue
+			}
+			for j := range scores {
+				if truth[j] {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					wins += 0.5
+				}
+			}
+		}
+		want := wins / pairs
+		got := AUROC(scores, truth)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's footnote-3 claim: with heavy class imbalance the ROC looks
+// great while the PR curve exposes the false-alarm problem. A mediocre
+// scorer on rare anomalies must have AUROC far above AUCPR.
+func TestImbalanceMakesROCOptimistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 20000
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		truth[i] = rng.Intn(100) == 0 // 1% anomalies
+		if truth[i] {
+			scores[i] = 1.5 + rng.NormFloat64()
+		} else {
+			scores[i] = rng.NormFloat64()
+		}
+	}
+	auroc := AUROC(scores, truth)
+	aucpr := AUCPR(scores, truth)
+	if auroc < aucpr+0.2 {
+		t.Errorf("imbalanced data: AUROC %v should far exceed AUCPR %v", auroc, aucpr)
+	}
+}

@@ -1,0 +1,44 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that everything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("timestamp,value\n2015-01-05T00:00:00Z,1\n2015-01-05T00:01:00Z,2\n")
+	f.Add("timestamp,value,label\n2015-01-05T00:00:00Z,1,1\n2015-01-05T00:01:00Z,2,0\n")
+	f.Add("garbage")
+	f.Add("timestamp,value\nbad,1\nworse,2\n")
+	f.Add("timestamp,value\n2015-01-05T00:00:00Z,NaN\n2015-01-05T00:01:00Z,Inf\n")
+	f.Add("a,b\n\"unclosed")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, labels, err := ReadCSV(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		if s.Len() < 2 {
+			t.Fatalf("accepted a series with %d points", s.Len())
+		}
+		if labels != nil && len(labels) != s.Len() {
+			t.Fatalf("labels/points mismatch: %d vs %d", len(labels), s.Len())
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, s, labels); err != nil {
+			t.Fatalf("WriteCSV of accepted input: %v", err)
+		}
+		back, backLabels, err := ReadCSV(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of written CSV: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), s.Len())
+		}
+		if (labels == nil) != (backLabels == nil) {
+			t.Fatal("round trip changed label presence")
+		}
+	})
+}

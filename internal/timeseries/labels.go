@@ -1,0 +1,72 @@
+package timeseries
+
+// Labels marks, for each point of a series, whether the operators consider it
+// anomalous. Labels[i] corresponds to Series.Values[i].
+type Labels []bool
+
+// Count returns the number of anomalous points.
+func (l Labels) Count() int {
+	n := 0
+	for _, b := range l {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Fraction returns the fraction of anomalous points (0 for empty labels).
+func (l Labels) Fraction() float64 {
+	if len(l) == 0 {
+		return 0
+	}
+	return float64(l.Count()) / float64(len(l))
+}
+
+// Window is a half-open index range [Start, End) of consecutive anomalous
+// points — what one label action with the labeling tool produces.
+type Window struct {
+	Start, End int
+}
+
+// Len returns the number of points in the window.
+func (w Window) Len() int { return w.End - w.Start }
+
+// Windows returns the maximal runs of consecutive anomalous points, in order.
+func (l Labels) Windows() []Window {
+	var ws []Window
+	in := false
+	start := 0
+	for i, b := range l {
+		switch {
+		case b && !in:
+			in, start = true, i
+		case !b && in:
+			in = false
+			ws = append(ws, Window{start, i})
+		}
+	}
+	if in {
+		ws = append(ws, Window{start, len(l)})
+	}
+	return ws
+}
+
+// FromWindows builds labels of length n with the given windows marked
+// anomalous. Windows may overlap and are clipped to [0, n).
+func FromWindows(n int, ws []Window) Labels {
+	l := make(Labels, n)
+	for _, w := range ws {
+		start, end := max(w.Start, 0), min(w.End, n)
+		for i := start; i < end; i++ {
+			l[i] = true
+		}
+	}
+	return l
+}
+
+// Slice returns the labels for points [i, j).
+func (l Labels) Slice(i, j int) Labels { return l[i:j] }
+
+// Clone returns a copy of the labels.
+func (l Labels) Clone() Labels { return append(Labels(nil), l...) }

@@ -1,0 +1,84 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelsCountFraction(t *testing.T) {
+	l := Labels{false, true, true, false}
+	if l.Count() != 2 {
+		t.Errorf("Count = %d, want 2", l.Count())
+	}
+	if l.Fraction() != 0.5 {
+		t.Errorf("Fraction = %v, want 0.5", l.Fraction())
+	}
+	if (Labels{}).Fraction() != 0 {
+		t.Error("empty Fraction should be 0")
+	}
+}
+
+func TestWindowsBasic(t *testing.T) {
+	l := Labels{false, true, true, false, true, false, false, true}
+	ws := l.Windows()
+	want := []Window{{1, 3}, {4, 5}, {7, 8}}
+	if len(ws) != len(want) {
+		t.Fatalf("Windows = %v, want %v", ws, want)
+	}
+	for i := range ws {
+		if ws[i] != want[i] {
+			t.Errorf("Windows[%d] = %v, want %v", i, ws[i], want[i])
+		}
+	}
+}
+
+func TestWindowsAllAnomalous(t *testing.T) {
+	l := Labels{true, true, true}
+	ws := l.Windows()
+	if len(ws) != 1 || ws[0] != (Window{0, 3}) {
+		t.Errorf("Windows = %v, want [{0 3}]", ws)
+	}
+}
+
+func TestWindowsNone(t *testing.T) {
+	if ws := (Labels{false, false}).Windows(); ws != nil {
+		t.Errorf("Windows = %v, want nil", ws)
+	}
+}
+
+func TestFromWindowsClipsAndOverlaps(t *testing.T) {
+	l := FromWindows(5, []Window{{-2, 2}, {1, 3}, {4, 99}})
+	want := Labels{true, true, true, false, true}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Fatalf("FromWindows = %v, want %v", l, want)
+		}
+	}
+}
+
+func TestWindowsRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := make(Labels, int(n))
+		for i := range l {
+			l[i] = rng.Intn(4) == 0
+		}
+		back := FromWindows(len(l), l.Windows())
+		for i := range l {
+			if back[i] != l[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowLen(t *testing.T) {
+	if (Window{3, 8}).Len() != 5 {
+		t.Error("Window{3,8}.Len() should be 5")
+	}
+}

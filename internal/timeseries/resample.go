@@ -1,0 +1,179 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// AggFunc selects how Resample combines the fine-grained points inside one
+// coarse bucket.
+type AggFunc int
+
+// The supported bucket aggregations.
+const (
+	// AggMean averages the bucket — the natural choice for volumes and
+	// latencies.
+	AggMean AggFunc = iota
+	// AggSum totals the bucket — the natural choice for counts like #SR.
+	AggSum
+	// AggMax keeps the bucket maximum — conservative for alert-worthy
+	// latencies.
+	AggMax
+	// AggLast keeps the newest point — sampling without aggregation.
+	AggLast
+)
+
+// String names the aggregation.
+func (a AggFunc) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggMax:
+		return "max"
+	case AggLast:
+		return "last"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(a))
+	}
+}
+
+// Resample converts the series to a coarser interval that must be a multiple
+// of the current one, aggregating each bucket with agg. Labels, when given,
+// are carried over: a coarse point is anomalous if any fine point in its
+// bucket is. A trailing partial bucket is dropped. Missing masks aggregate
+// the same way: a coarse point is missing only if its whole bucket is.
+func Resample(s *Series, interval time.Duration, agg AggFunc, labels Labels) (*Series, Labels, error) {
+	if interval <= 0 || s.Interval <= 0 || interval%s.Interval != 0 {
+		return nil, nil, fmt.Errorf("timeseries: %v is not a multiple of %v", interval, s.Interval)
+	}
+	if labels != nil && len(labels) != s.Len() {
+		return nil, nil, fmt.Errorf("timeseries: %d labels for %d points", len(labels), s.Len())
+	}
+	factor := int(interval / s.Interval)
+	if factor == 1 {
+		out := s.Clone()
+		var outLabels Labels
+		if labels != nil {
+			outLabels = labels.Clone()
+		}
+		return out, outLabels, nil
+	}
+	n := s.Len() / factor
+	out := New(s.Name, s.Start, interval)
+	out.Values = make([]float64, n)
+	if s.Missing != nil {
+		out.Missing = make([]bool, n)
+	}
+	var outLabels Labels
+	if labels != nil {
+		outLabels = make(Labels, n)
+	}
+	for b := 0; b < n; b++ {
+		lo, hi := b*factor, (b+1)*factor
+		var acc float64
+		switch agg {
+		case AggSum, AggMean:
+			for i := lo; i < hi; i++ {
+				acc += s.Values[i]
+			}
+			if agg == AggMean {
+				acc /= float64(factor)
+			}
+		case AggMax:
+			acc = math.Inf(-1)
+			for i := lo; i < hi; i++ {
+				acc = math.Max(acc, s.Values[i])
+			}
+		default: // AggLast
+			acc = s.Values[hi-1]
+		}
+		out.Values[b] = acc
+		if labels != nil {
+			for i := lo; i < hi; i++ {
+				if labels[i] {
+					outLabels[b] = true
+					break
+				}
+			}
+		}
+		if s.Missing != nil {
+			allMissing := true
+			for i := lo; i < hi; i++ {
+				if !s.Missing[i] {
+					allMissing = false
+					break
+				}
+			}
+			out.Missing[b] = allMissing
+		}
+	}
+	return out, outLabels, nil
+}
+
+// FillGaps returns a copy of the series with any missing points (per the
+// Missing mask) replaced by linear interpolation between the nearest
+// observed neighbors; leading and trailing gaps repeat the nearest
+// observation. It clears the Missing mask. A series with no observed points
+// is returned unchanged.
+func FillGaps(s *Series) *Series {
+	out := s.Clone()
+	if out.Missing == nil {
+		return out
+	}
+	n := out.Len()
+	i := 0
+	for i < n {
+		if !out.Missing[i] {
+			i++
+			continue
+		}
+		// Gap [i, j).
+		j := i
+		for j < n && out.Missing[j] {
+			j++
+		}
+		switch {
+		case i == 0 && j == n:
+			return out // nothing observed at all
+		case i == 0:
+			for k := i; k < j; k++ {
+				out.Values[k] = out.Values[j]
+			}
+		case j == n:
+			for k := i; k < j; k++ {
+				out.Values[k] = out.Values[i-1]
+			}
+		default:
+			lo, hi := out.Values[i-1], out.Values[j]
+			span := float64(j - i + 1)
+			for k := i; k < j; k++ {
+				frac := float64(k-i+1) / span
+				out.Values[k] = lo + (hi-lo)*frac
+			}
+		}
+		i = j
+	}
+	out.Missing = nil
+	return out
+}
+
+// TrimToWholeWeeks returns the series (and labels, when non-nil) truncated
+// to a whole number of weeks, which the training-set policies require.
+func TrimToWholeWeeks(s *Series, labels Labels) (*Series, Labels, error) {
+	ppw, err := s.PointsPerWeek()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := (s.Len() / ppw) * ppw
+	out := s.Slice(0, n)
+	if labels == nil {
+		return out, nil, nil
+	}
+	if len(labels) != s.Len() {
+		return nil, nil, fmt.Errorf("timeseries: %d labels for %d points", len(labels), s.Len())
+	}
+	return out, labels.Slice(0, n), nil
+}

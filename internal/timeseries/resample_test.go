@@ -1,0 +1,218 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResampleMean(t *testing.T) {
+	s := New("x", epoch, time.Minute)
+	for _, v := range []float64{1, 3, 5, 7, 9, 11, 100} { // 7th drops (partial)
+		s.Append(v)
+	}
+	labels := Labels{false, true, false, false, false, false, true}
+	out, outLabels, err := Resample(s, 2*time.Minute, AggMean, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := []float64{2, 6, 10}
+	wantLabels := Labels{true, false, false}
+	if out.Len() != 3 {
+		t.Fatalf("len = %d, want 3", out.Len())
+	}
+	for i := range wantVals {
+		if out.Values[i] != wantVals[i] {
+			t.Errorf("value[%d] = %v, want %v", i, out.Values[i], wantVals[i])
+		}
+		if outLabels[i] != wantLabels[i] {
+			t.Errorf("label[%d] = %v, want %v", i, outLabels[i], wantLabels[i])
+		}
+	}
+	if out.Interval != 2*time.Minute {
+		t.Errorf("interval = %v", out.Interval)
+	}
+}
+
+func TestResampleAggregations(t *testing.T) {
+	s := New("x", epoch, time.Minute)
+	for _, v := range []float64{1, 5, 2, 8} {
+		s.Append(v)
+	}
+	cases := []struct {
+		agg  AggFunc
+		want []float64
+	}{
+		{AggSum, []float64{6, 10}},
+		{AggMax, []float64{5, 8}},
+		{AggLast, []float64{5, 8}},
+		{AggMean, []float64{3, 5}},
+	}
+	for _, c := range cases {
+		out, _, err := Resample(s, 2*time.Minute, c.agg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range c.want {
+			if out.Values[i] != c.want[i] {
+				t.Errorf("%v: value[%d] = %v, want %v", c.agg, i, out.Values[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	s := New("x", epoch, 2*time.Minute)
+	s.Append(1)
+	if _, _, err := Resample(s, 3*time.Minute, AggMean, nil); err == nil {
+		t.Error("non-multiple interval should error")
+	}
+	if _, _, err := Resample(s, 4*time.Minute, AggMean, Labels{true, false}); err == nil {
+		t.Error("label mismatch should error")
+	}
+}
+
+func TestResampleIdentityFactor(t *testing.T) {
+	s := New("x", epoch, time.Minute)
+	s.Append(1)
+	s.Append(2)
+	out, labels, err := Resample(s, time.Minute, AggMean, Labels{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Values[0] = 99 // must be a copy
+	if s.Values[0] != 1 {
+		t.Error("factor-1 resample should copy")
+	}
+	if !labels[0] || labels[1] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestResampleMissingMask(t *testing.T) {
+	s := New("x", epoch, time.Minute)
+	s.Append(1)
+	s.AppendMissing()
+	s.AppendMissing()
+	s.AppendMissing()
+	out, _, err := Resample(s, 2*time.Minute, AggMean, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IsMissing(0) {
+		t.Error("half-observed bucket should not be missing")
+	}
+	if !out.IsMissing(1) {
+		t.Error("fully-missing bucket should be missing")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	if AggMean.String() != "mean" || AggSum.String() != "sum" ||
+		AggMax.String() != "max" || AggLast.String() != "last" {
+		t.Error("agg names wrong")
+	}
+	if AggFunc(9).String() != "AggFunc(9)" {
+		t.Error("unknown agg name wrong")
+	}
+}
+
+func TestFillGapsInterpolates(t *testing.T) {
+	s := New("x", epoch, time.Minute)
+	s.Append(10)
+	s.AppendMissing()
+	s.AppendMissing()
+	s.Append(40) // carried placeholder would be 10; actual observation 40
+	s.Values[3] = 40
+	filled := FillGaps(s)
+	want := []float64{10, 20, 30, 40}
+	for i := range want {
+		if math.Abs(filled.Values[i]-want[i]) > 1e-9 {
+			t.Fatalf("filled = %v, want %v", filled.Values, want)
+		}
+	}
+	if filled.Missing != nil {
+		t.Error("mask should be cleared")
+	}
+	if s.IsMissing(1) != true {
+		t.Error("input must not be mutated")
+	}
+}
+
+func TestFillGapsEdges(t *testing.T) {
+	s := New("x", epoch, time.Minute)
+	s.AppendMissing() // leading gap
+	s.Append(5)
+	s.AppendMissing() // trailing gap
+	filled := FillGaps(s)
+	if filled.Values[0] != 5 || filled.Values[2] != 5 {
+		t.Errorf("edge fill = %v", filled.Values)
+	}
+	// All-missing series unchanged.
+	allGone := New("x", epoch, time.Minute)
+	allGone.AppendMissing()
+	allGone.AppendMissing()
+	out := FillGaps(allGone)
+	if out.Missing == nil {
+		t.Error("all-missing series cannot be filled")
+	}
+	// No mask at all: plain copy.
+	plain := New("x", epoch, time.Minute)
+	plain.Append(1)
+	if FillGaps(plain).Values[0] != 1 {
+		t.Error("mask-free series should copy through")
+	}
+}
+
+func TestTrimToWholeWeeks(t *testing.T) {
+	s := New("x", epoch, time.Hour)
+	for i := 0; i < 168+10; i++ {
+		s.Append(float64(i))
+	}
+	labels := make(Labels, s.Len())
+	out, outLabels, err := TrimToWholeWeeks(s, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 168 || len(outLabels) != 168 {
+		t.Errorf("trimmed to %d/%d, want 168", out.Len(), len(outLabels))
+	}
+	if _, _, err := TrimToWholeWeeks(s, labels[:5]); err == nil {
+		t.Error("label mismatch should error")
+	}
+	if _, _, err := TrimToWholeWeeks(New("y", epoch, 11*time.Minute), nil); err == nil {
+		t.Error("bad interval should error")
+	}
+}
+
+// Resampling preserves the total for AggSum (up to the dropped tail) — the
+// invariant count KPIs care about.
+func TestResampleSumConservationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("x", epoch, time.Minute)
+		n := 10 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Append(rng.Float64() * 100)
+		}
+		factor := 2 + rng.Intn(5)
+		out, _, err := Resample(s, time.Duration(factor)*time.Minute, AggSum, nil)
+		if err != nil {
+			return false
+		}
+		whole := (n / factor) * factor
+		var want, got float64
+		for _, v := range s.Values[:whole] {
+			want += v
+		}
+		for _, v := range out.Values {
+			got += v
+		}
+		return math.Abs(want-got) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package tsdb is the service's durable storage: an append-only JSON-lines
+// write-ahead log per monitored series, recording creation metadata, point
+// batches and label actions. Replaying a log reconstructs the series and its
+// labels exactly; classifiers are retrained from them, which is cheap
+// (§5.8) and avoids model/state divergence.
+//
+// The format is deliberately boring: one self-describing JSON object per
+// line, so logs can be inspected, grepped, truncated and repaired with
+// standard tools. A torn final line (crash mid-write) is detected and
+// ignored.
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Meta describes a series at creation time.
+type Meta struct {
+	Name            string    `json:"name"`
+	Start           time.Time `json:"start"`
+	IntervalSeconds int       `json:"interval_seconds"`
+	Recall          float64   `json:"recall"`
+	Precision       float64   `json:"precision"`
+	Trees           int       `json:"trees"`
+	WebhookURL      string    `json:"webhook_url,omitempty"`
+	RetrainEvery    int       `json:"retrain_every,omitempty"`
+}
+
+// record is one WAL line.
+type record struct {
+	Kind      string    `json:"kind"` // "meta" | "points" | "label"
+	Meta      *Meta     `json:"meta,omitempty"`
+	Values    []float64 `json:"values,omitempty"`
+	Start     int       `json:"start,omitempty"`
+	End       int       `json:"end,omitempty"`
+	Anomalous bool      `json:"anomalous,omitempty"`
+}
+
+// Store manages per-series WAL files inside a directory.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// Open prepares a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	return &Store{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+// Close releases all open log files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, name)
+	}
+	return first
+}
+
+// walPath returns the on-disk path for a series name, rejecting names that
+// would escape the directory.
+func (s *Store) walPath(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return "", fmt.Errorf("tsdb: invalid series name %q", name)
+	}
+	return filepath.Join(s.dir, name+".wal"), nil
+}
+
+// file returns (opening if necessary) the append handle for a series.
+func (s *Store) file(name string) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		return f, nil
+	}
+	path, err := s.walPath(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	s.files[name] = f
+	return f, nil
+}
+
+// append writes one record line.
+func (s *Store) append(name string, r record) error {
+	f, err := s.file(name)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = f.Write(line)
+	return err
+}
+
+// CreateSeries records a series' creation metadata. It must be the first
+// record of a log.
+func (s *Store) CreateSeries(meta Meta) error {
+	if meta.Name == "" {
+		return errors.New("tsdb: meta needs a name")
+	}
+	return s.append(meta.Name, record{Kind: "meta", Meta: &meta})
+}
+
+// AppendPoints records a batch of consecutive point values.
+func (s *Store) AppendPoints(name string, values []float64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	return s.append(name, record{Kind: "points", Values: values})
+}
+
+// AppendLabel records one label action over the half-open range [start, end).
+func (s *Store) AppendLabel(name string, start, end int, anomalous bool) error {
+	if start < 0 || end <= start {
+		return fmt.Errorf("tsdb: invalid label range [%d, %d)", start, end)
+	}
+	return s.append(name, record{Kind: "label", Start: start, End: end, Anomalous: anomalous})
+}
+
+// Loaded is a series reconstructed from its log.
+type Loaded struct {
+	Meta   Meta
+	Values []float64
+	Labels []bool
+}
+
+// Load replays one series' log. A torn trailing line is ignored; any other
+// malformed record is an error.
+func (s *Store) Load(name string) (*Loaded, error) {
+	path, err := s.walPath(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	defer f.Close()
+
+	var out *Loaded
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A torn final line is expected after a crash; anything earlier
+			// is corruption.
+			if isLastLine(sc) {
+				break
+			}
+			return nil, fmt.Errorf("tsdb: %s line %d: %w", name, lineNo, err)
+		}
+		switch r.Kind {
+		case "meta":
+			if out != nil {
+				return nil, fmt.Errorf("tsdb: %s line %d: duplicate meta", name, lineNo)
+			}
+			if r.Meta == nil {
+				return nil, fmt.Errorf("tsdb: %s line %d: empty meta", name, lineNo)
+			}
+			out = &Loaded{Meta: *r.Meta}
+		case "points":
+			if out == nil {
+				return nil, fmt.Errorf("tsdb: %s line %d: points before meta", name, lineNo)
+			}
+			out.Values = append(out.Values, r.Values...)
+			for range r.Values {
+				out.Labels = append(out.Labels, false)
+			}
+		case "label":
+			if out == nil {
+				return nil, fmt.Errorf("tsdb: %s line %d: label before meta", name, lineNo)
+			}
+			if r.End > len(out.Labels) {
+				return nil, fmt.Errorf("tsdb: %s line %d: label [%d, %d) beyond %d points",
+					name, lineNo, r.Start, r.End, len(out.Labels))
+			}
+			for i := r.Start; i < r.End; i++ {
+				out.Labels[i] = r.Anomalous
+			}
+		default:
+			return nil, fmt.Errorf("tsdb: %s line %d: unknown record kind %q", name, lineNo, r.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsdb: %s: %w", name, err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("tsdb: %s: log has no meta record", name)
+	}
+	return out, nil
+}
+
+// isLastLine reports whether the scanner has no further tokens; used to
+// distinguish a torn tail from mid-log corruption.
+func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
+
+// List returns the names of all stored series.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() && strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".wal"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes a series' log (for tests and administrative cleanup).
+func (s *Store) Remove(name string) error {
+	path, err := s.walPath(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if f, ok := s.files[name]; ok {
+		f.Close()
+		delete(s.files, name)
+	}
+	s.mu.Unlock()
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package tsdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+var meta = Meta{
+	Name:            "pv",
+	Start:           time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC),
+	IntervalSeconds: 60,
+	Recall:          0.66,
+	Precision:       0.66,
+	Trees:           60,
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	if err := s.CreateSeries(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoints("pv", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoints("pv", []float64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendLabel("pv", 1, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendLabel("pv", 2, 3, false); err != nil { // partial undo
+		t.Fatal(err)
+	}
+	got, err := s.Load("pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != meta {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+	wantVals := []float64{1, 2, 3, 4, 5}
+	wantLabels := []bool{false, true, false, false, false}
+	for i := range wantVals {
+		if got.Values[i] != wantVals[i] || got.Labels[i] != wantLabels[i] {
+			t.Fatalf("replay = %v / %v", got.Values, got.Labels)
+		}
+	}
+}
+
+func TestLoadSurvivesTornTail(t *testing.T) {
+	s := openTemp(t)
+	if err := s.CreateSeries(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoints("pv", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a torn, non-JSON trailing line.
+	path := filepath.Join(s.dir, "pv.wal")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"points","values":[9,9`)
+	f.Close()
+	got, err := s.Load("pv")
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if len(got.Values) != 2 {
+		t.Errorf("values = %v, want the 2 intact points", got.Values)
+	}
+}
+
+func TestLoadRejectsMidLogCorruption(t *testing.T) {
+	s := openTemp(t)
+	path := filepath.Join(s.dir, "bad.wal")
+	content := `{"kind":"meta","meta":{"name":"bad","interval_seconds":60}}
+not json at all
+{"kind":"points","values":[1]}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("bad"); err == nil {
+		t.Error("mid-log corruption accepted")
+	}
+}
+
+func TestLoadValidations(t *testing.T) {
+	s := openTemp(t)
+	cases := map[string]string{
+		"nometa":    `{"kind":"points","values":[1]}` + "\n",
+		"dupmeta":   `{"kind":"meta","meta":{"name":"x"}}` + "\n" + `{"kind":"meta","meta":{"name":"x"}}` + "\n",
+		"badlabel":  `{"kind":"meta","meta":{"name":"x"}}` + "\n" + `{"kind":"label","start":0,"end":5,"anomalous":true}` + "\n",
+		"unknown":   `{"kind":"meta","meta":{"name":"x"}}` + "\n" + `{"kind":"zap"}` + "\n",
+		"emptymeta": `{"kind":"meta"}` + "\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(s.dir, name+".wal")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(name); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	s := openTemp(t)
+	for _, name := range []string{"", "a/b", `a\b`, ".."} {
+		if err := s.AppendPoints(name, []float64{1}); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestListAndRemove(t *testing.T) {
+	s := openTemp(t)
+	for _, n := range []string{"b", "a"} {
+		m := meta
+		m.Name = n
+		if err := s.CreateSeries(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("List = %v", names)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = s.List()
+	if len(names) != 1 || names[0] != "b" {
+		t.Errorf("after Remove, List = %v", names)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Errorf("removing a missing series should be idempotent: %v", err)
+	}
+}
+
+func TestAppendAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CreateSeries(meta)
+	s.AppendPoints("pv", []float64{1})
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.AppendPoints("pv", []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Load("pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 2 || got.Values[1] != 2 {
+		t.Errorf("reopened replay = %v", got.Values)
+	}
+}
+
+func TestAppendLabelValidation(t *testing.T) {
+	s := openTemp(t)
+	if err := s.AppendLabel("pv", 3, 3, true); err == nil {
+		t.Error("empty range accepted")
+	}
+	if err := s.AppendLabel("pv", -1, 2, true); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestAppendPointsEmptyNoop(t *testing.T) {
+	s := openTemp(t)
+	if err := s.AppendPoints("pv", nil); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := s.List(); len(names) != 0 {
+		t.Errorf("empty append created a log: %v", names)
+	}
+}

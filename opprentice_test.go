@@ -1,0 +1,99 @@
+package opprentice
+
+import (
+	"testing"
+	"time"
+
+	"opprentice/internal/detectors"
+	"opprentice/internal/experiments"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+)
+
+func TestDetectorsBuilds133(t *testing.T) {
+	ds, err := Detectors(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != detectors.NumConfigurations {
+		t.Fatalf("got %d configurations, want %d", len(ds), detectors.NumConfigurations)
+	}
+}
+
+func TestSyntheticKPINames(t *testing.T) {
+	for _, name := range []string{"pv", "sr", "srt"} {
+		s, labels, err := SyntheticKPI(name, kpigen.Small, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() == 0 || len(labels) != s.Len() {
+			t.Errorf("%s: bad shapes", name)
+		}
+	}
+	if _, _, err := SyntheticKPI("nope", kpigen.Small, 1); err == nil {
+		t.Error("want error for unknown KPI")
+	}
+}
+
+func TestExperimentsRegistryExposed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 14 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	if _, err := RunExperiment("definitely-not-an-id", experiments.Options{Scale: kpigen.Small, Trees: 8}); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	s, labels, err := SyntheticKPI("srt", kpigen.Small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Detectors(s.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Extract(s, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppw, err := s.PointsPerWeek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(f, labels, ppw, Config{
+		Forest:       forest.Config{Trees: 10, Seed: 1},
+		SkipWeeklyCV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weeks) == 0 {
+		t.Fatal("no detection weeks")
+	}
+}
+
+func TestNewSeriesAndErrors(t *testing.T) {
+	s := NewSeries("x", time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC), time.Minute)
+	s.Append(1)
+	if s.Len() != 1 || s.Interval != time.Minute {
+		t.Errorf("NewSeries produced %+v", s)
+	}
+	if got := (&UnknownExperimentError{ID: "Z9"}).Error(); got != "opprentice: unknown experiment Z9" {
+		t.Errorf("experiment error = %q", got)
+	}
+	if got := (&UnknownKPIError{Name: "zz"}).Error(); got == "" {
+		t.Error("empty KPI error text")
+	}
+}
+
+func TestRunExperimentHappyPath(t *testing.T) {
+	tabs, err := RunExperiment("T3", experiments.Options{Scale: kpigen.Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || tabs[0].ID != "T3" {
+		t.Errorf("tables = %+v", tabs)
+	}
+}
