@@ -1,9 +1,9 @@
 # Opprentice reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build test vet race bench eval eval-html fuzz clean
+.PHONY: all build test vet race faults bench eval eval-html fuzz clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/alerting/ ./internal/tsdb/ ./internal/ml/forest/
+	$(GO) test -race ./...
+
+# Fault-injection suite only (panicking detectors/notifiers, WAL corruption,
+# retry/shutdown behaviour) — every such test is named TestFault*.
+faults:
+	$(GO) test -run TestFault -v ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

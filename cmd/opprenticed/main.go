@@ -75,8 +75,12 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
+			srv.Close()
 			os.Exit(1)
 		}
+		// Drain pending webhook deliveries, then the deferred store.Close
+		// flushes and closes the WAL handles.
+		srv.Close()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve", "err", err)

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -87,18 +88,20 @@ func (n WebhookNotifier) Notify(ctx context.Context, e Event) error {
 	return nil
 }
 
-// Multi fans an event out to several notifiers, returning the first error.
+// Multi fans an event out to several notifiers. Every notifier is attempted
+// even when earlier ones fail; the returned error aggregates all failures
+// with errors.Join, so no delivery problem is silently swallowed.
 type Multi []Notifier
 
 // Notify implements Notifier.
 func (m Multi) Notify(ctx context.Context, e Event) error {
-	var first error
+	var errs []error
 	for _, n := range m {
-		if err := n.Notify(ctx, e); err != nil && first == nil {
-			first = err
+		if err := n.Notify(ctx, e); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Manager coalesces verdicts into incidents and notifies on transitions.

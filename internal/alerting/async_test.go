@@ -1,0 +1,183 @@
+package alerting_test
+
+// Fault-injection tests for the asynchronous notification pipeline. The
+// tests live in an external test package so they can use the shared
+// internal/faultinject harness (which itself imports alerting).
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+
+	"opprentice/internal/alerting"
+	"opprentice/internal/faultinject"
+)
+
+func quietCfg() alerting.PipelineConfig {
+	return alerting.PipelineConfig{
+		BaseDelay:       time.Millisecond,
+		MaxDelay:        4 * time.Millisecond,
+		BreakerCooldown: 5 * time.Millisecond,
+		Log:             slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+}
+
+func event(series string) alerting.Event {
+	return alerting.Event{Series: series, State: "open", Start: time.Now(), Points: 1}
+}
+
+// waitFor polls cond until true or the deadline.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFaultPipelineRetriesFlakyNotifier(t *testing.T) {
+	n := &faultinject.FlakyNotifier{FailFirst: 3}
+	p := alerting.NewPipeline(n, quietCfg())
+	defer p.Close()
+
+	start := time.Now()
+	if err := p.Notify(context.Background(), event("pv")); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("Notify blocked for %v; must be non-blocking", d)
+	}
+	waitFor(t, "delivery", func() bool { return len(n.Delivered()) == 1 })
+	if got := n.Attempts(); got != 4 {
+		t.Errorf("attempts = %d, want 4 (3 failures + 1 success)", got)
+	}
+	st := p.Stats()
+	if st.Delivered != 1 || st.Retried != 3 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want delivered=1 retried=3 dropped=0", st)
+	}
+	// Exactly once: no duplicate delivery after success.
+	time.Sleep(20 * time.Millisecond)
+	if got := len(n.Delivered()); got != 1 {
+		t.Errorf("delivered %d times, want exactly 1", got)
+	}
+}
+
+func TestFaultPipelineDropsAfterMaxAttempts(t *testing.T) {
+	n := &faultinject.FailingNotifier{Err: errors.New("permanently down")}
+	cfg := quietCfg()
+	cfg.MaxAttempts = 3
+	p := alerting.NewPipeline(n, cfg)
+	defer p.Close()
+
+	p.Notify(context.Background(), event("pv"))
+	waitFor(t, "drop", func() bool { return p.Stats().Dropped == 1 })
+	st := p.Stats()
+	if st.Delivered != 0 || st.Retried != 2 {
+		t.Errorf("stats = %+v, want delivered=0 retried=2", st)
+	}
+	if n.Attempts() != 3 {
+		t.Errorf("attempts = %d, want 3", n.Attempts())
+	}
+}
+
+func TestFaultPipelineQueueFullDropsNewest(t *testing.T) {
+	n := faultinject.NewBlockingNotifier()
+	defer n.Unblock()
+	cfg := quietCfg()
+	cfg.QueueSize = 1
+	cfg.AttemptTimeout = time.Minute
+	p := alerting.NewPipeline(n, cfg)
+	defer p.Close()
+
+	ctx := context.Background()
+	// First event is picked up by the worker and blocks inside Notify.
+	p.Notify(ctx, event("a"))
+	waitFor(t, "worker blocked", func() bool { return n.Blocked() == 1 })
+	// Second fills the queue; third must be rejected without blocking.
+	if err := p.Notify(ctx, event("b")); err != nil {
+		t.Fatalf("queued Notify: %v", err)
+	}
+	start := time.Now()
+	err := p.Notify(ctx, event("c"))
+	if !errors.Is(err, alerting.ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("overflow Notify took %v; must not block", d)
+	}
+	if st := p.Stats(); st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestFaultPipelineCircuitBreakerTrips(t *testing.T) {
+	n := &faultinject.FailingNotifier{}
+	cfg := quietCfg()
+	cfg.MaxAttempts = 4
+	cfg.BreakerThreshold = 4
+	cfg.BreakerCooldown = time.Hour // long enough to observe open state
+	p := alerting.NewPipeline(n, cfg)
+	defer p.Close()
+
+	p.Notify(context.Background(), event("pv"))
+	waitFor(t, "breaker trip", func() bool { return p.Stats().BreakerTrips >= 1 })
+	if !p.BreakerOpen() {
+		t.Error("breaker should be open after threshold consecutive failures")
+	}
+}
+
+func TestFaultPipelineSandboxesPanickingNotifier(t *testing.T) {
+	cfg := quietCfg()
+	cfg.MaxAttempts = 2
+	p := alerting.NewPipeline(faultinject.PanickingNotifier{}, cfg)
+	defer p.Close()
+
+	p.Notify(context.Background(), event("pv"))
+	waitFor(t, "drop after panics", func() bool { return p.Stats().Dropped == 1 })
+	if st := p.Stats(); st.Retried != 1 {
+		t.Errorf("retried = %d, want 1 (panic treated as failure)", st.Retried)
+	}
+}
+
+func TestFaultPipelineCloseDropsQueued(t *testing.T) {
+	n := faultinject.NewBlockingNotifier()
+	defer n.Unblock()
+	cfg := quietCfg()
+	cfg.QueueSize = 8
+	cfg.AttemptTimeout = 10 * time.Millisecond
+	p := alerting.NewPipeline(n, cfg)
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		p.Notify(ctx, event("pv"))
+	}
+	p.Close() // must not hang; queued events become drops
+	st := p.Stats()
+	if st.Delivered+st.Dropped != st.Enqueued {
+		t.Errorf("accounting leak: %+v", st)
+	}
+	if err := p.Notify(ctx, event("pv")); !errors.Is(err, alerting.ErrPipelineClosed) {
+		t.Errorf("Notify after Close = %v, want ErrPipelineClosed", err)
+	}
+}
+
+func TestFaultPipelineDrain(t *testing.T) {
+	n := &faultinject.FlakyNotifier{FailFirst: 2}
+	p := alerting.NewPipeline(n, quietCfg())
+	defer p.Close()
+	p.Notify(context.Background(), event("pv"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := len(n.Delivered()); got != 1 {
+		t.Errorf("delivered = %d after Drain, want 1", got)
+	}
+}

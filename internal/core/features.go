@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"opprentice/internal/detectors"
@@ -18,10 +19,23 @@ import (
 // Features is the severity matrix the detectors extract from one series:
 // one column per configuration, one row per point. Warm-up points hold NaN
 // ("feature absent"); Imputed returns the NaN-free view the learners use.
+//
+// A detector configuration that panics during extraction is sandboxed: its
+// column becomes all-NaN ("never ready") and the configuration is listed in
+// Degraded, so one faulty configuration cannot take down the whole
+// extraction (§6 "dirty data": Opprentice keeps working when some detectors
+// are unusable).
 type Features struct {
 	Names []string
 	Cols  [][]float64 // Cols[j][i] = severity of configuration j at point i
+	// Degraded lists the configuration names whose extraction panicked and
+	// was sandboxed into an all-NaN column.
+	Degraded []string
 }
+
+// DegradedCount returns how many configurations were sandboxed during
+// extraction.
+func (f *Features) DegradedCount() int { return len(f.Degraded) }
 
 // ExtractConfig controls feature extraction.
 type ExtractConfig struct {
@@ -60,7 +74,10 @@ func Extract(s *timeseries.Series, ds []detectors.Detector, cfg ExtractConfig) (
 		Names: detectors.Names(ds),
 		Cols:  make([][]float64, len(ds)),
 	}
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		degradedMu sync.Mutex
+	)
 	sem := make(chan struct{}, workers)
 	for j, d := range ds {
 		wg.Add(1)
@@ -68,26 +85,50 @@ func Extract(s *timeseries.Series, ds []detectors.Detector, cfg ExtractConfig) (
 		go func(j int, d detectors.Detector) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			d.Reset()
-			if tr, ok := d.(detectors.Trainable); ok && fitN > 0 {
-				// Best effort: an unfittable detector contributes no
-				// features rather than failing the whole extraction.
-				_ = tr.Fit(s.Values[:fitN])
-			}
-			col := make([]float64, s.Len())
-			for i, v := range s.Values {
-				sev, ready := d.Step(v)
-				if ready {
-					col[i] = sev
-				} else {
-					col[i] = math.NaN()
-				}
+			col, ok := extractColumn(s, d, fitN)
+			if !ok {
+				degradedMu.Lock()
+				f.Degraded = append(f.Degraded, f.Names[j])
+				degradedMu.Unlock()
 			}
 			f.Cols[j] = col
 		}(j, d)
 	}
 	wg.Wait()
+	sort.Strings(f.Degraded)
 	return f, nil
+}
+
+// extractColumn runs one detector over the series, sandboxing panics: if the
+// detector panics anywhere (Reset, Fit or Step), the whole column is returned
+// as all-NaN — "this configuration was never ready" — and ok is false. The
+// learners already impute NaN to "no evidence of anomaly", so a faulty
+// configuration degrades to a silent feature rather than a crashed request.
+func extractColumn(s *timeseries.Series, d detectors.Detector, fitN int) (col []float64, ok bool) {
+	col = make([]float64, s.Len())
+	defer func() {
+		if r := recover(); r != nil {
+			for i := range col {
+				col[i] = math.NaN()
+			}
+			ok = false
+		}
+	}()
+	d.Reset()
+	if tr, isTrainable := d.(detectors.Trainable); isTrainable && fitN > 0 {
+		// Best effort: an unfittable detector contributes no
+		// features rather than failing the whole extraction.
+		_ = tr.Fit(s.Values[:fitN])
+	}
+	for i, v := range s.Values {
+		sev, ready := d.Step(v)
+		if ready {
+			col[i] = sev
+		} else {
+			col[i] = math.NaN()
+		}
+	}
+	return col, true
 }
 
 // NumPoints returns the number of rows in the matrix.

@@ -25,6 +25,14 @@ type Monitor struct {
 	row    []float64
 	points int
 	filter *DurationFilter
+
+	// Detector sandboxing: a configuration that panics is permanently
+	// degraded — its feature becomes 0 ("no evidence") and it is never
+	// stepped again — so one faulty configuration cannot take down the
+	// online detection path.
+	dead    []bool
+	panics  int
+	onPanic func(name string, recovered any)
 }
 
 // MonitorConfig configures NewMonitor. Zero values choose the paper's
@@ -42,6 +50,12 @@ type MonitorConfig struct {
 	// raised only once MinDuration consecutive points classify anomalous.
 	// Verdicts for withheld points are then delayed (see Verdict.Decided).
 	MinDuration int
+	// OnDetectorPanic, when set, is invoked every time a detector
+	// configuration panics (during training extraction or online Step) and
+	// is sandboxed. recovered is the panic value, or nil when the panic was
+	// observed indirectly (a degraded extraction column). Callbacks run on
+	// the goroutine that observed the panic and must be cheap.
+	OnDetectorPanic func(name string, recovered any)
 }
 
 // NewMonitor trains a monitor on labeled history: detectors are fitted and
@@ -76,19 +90,40 @@ func NewMonitor(history *timeseries.Series, labels timeseries.Labels, dets []det
 	pred := NewCThldPredictor(cfg.EWMAAlpha)
 	pred.Seed(cthld)
 	m := &Monitor{
-		dets:   dets,
-		model:  model,
-		cthld:  pred.Predict(),
-		pred:   pred,
-		fcfg:   cfg.Forest,
-		pref:   cfg.Preference,
-		row:    make([]float64, len(dets)),
-		points: history.Len(),
+		dets:    dets,
+		model:   model,
+		cthld:   pred.Predict(),
+		pred:    pred,
+		fcfg:    cfg.Forest,
+		pref:    cfg.Preference,
+		row:     make([]float64, len(dets)),
+		points:  history.Len(),
+		dead:    make([]bool, len(dets)),
+		onPanic: cfg.OnDetectorPanic,
 	}
 	if cfg.MinDuration > 1 {
 		m.filter = &DurationFilter{MinPoints: cfg.MinDuration}
 	}
+	// Configurations that panicked during training extraction are the same
+	// live instances Step would call: mark them degraded up front.
+	m.markDegraded(feats.Degraded)
 	return m, nil
+}
+
+// markDegraded flags the named configurations as dead and accounts for their
+// panics.
+func (m *Monitor) markDegraded(names []string) {
+	for _, name := range names {
+		for j, d := range m.dets {
+			if d.Name() == name && !m.dead[j] {
+				m.dead[j] = true
+				m.panics++
+				if m.onPanic != nil {
+					m.onPanic(name, nil)
+				}
+			}
+		}
+	}
 }
 
 // Verdict is the monitor's judgment of one point.
@@ -106,15 +141,17 @@ type Verdict struct {
 	Decided int
 }
 
-// Step consumes the next incoming point and classifies it online.
+// Step consumes the next incoming point and classifies it online. A
+// detector that panics is sandboxed: its feature reads 0 ("no evidence of
+// anomaly") for this and all subsequent points, and the verdict is still
+// produced from the remaining configurations.
 func (m *Monitor) Step(v float64) Verdict {
 	for j, d := range m.dets {
-		sev, ready := d.Step(v)
-		if ready {
-			m.row[j] = sev
-		} else {
+		if m.dead[j] {
 			m.row[j] = 0
+			continue
 		}
+		m.row[j] = m.stepDetector(j, d, v)
 	}
 	m.points++
 	p := m.model.Prob(m.row)
@@ -131,8 +168,45 @@ func (m *Monitor) Step(v float64) Verdict {
 	return verdict
 }
 
+// stepDetector runs one detector for one point inside a panic sandbox. On
+// panic the configuration is marked dead and contributes a 0 severity.
+func (m *Monitor) stepDetector(j int, d detectors.Detector, v float64) (sev float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.dead[j] = true
+			m.panics++
+			sev = 0
+			if m.onPanic != nil {
+				m.onPanic(d.Name(), r)
+			}
+		}
+	}()
+	s, ready := d.Step(v)
+	if !ready {
+		return 0
+	}
+	return s
+}
+
 // CThld returns the threshold currently in force.
 func (m *Monitor) CThld() float64 { return m.cthld }
+
+// DetectorPanics returns how many detector panics this monitor has sandboxed
+// (training extraction and online Steps combined). Not safe for concurrent
+// use with Step; serialize as you would Step itself.
+func (m *Monitor) DetectorPanics() int { return m.panics }
+
+// DegradedDetectors returns how many configurations are currently degraded
+// (dead) and contributing no features.
+func (m *Monitor) DegradedDetectors() int {
+	n := 0
+	for _, d := range m.dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
 
 // Retrain replaces the classifier with one trained on the full labeled
 // history (incremental retraining, §3.2) and folds the period's best cThld
@@ -150,6 +224,15 @@ func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, 
 	feats, err := Extract(history, dets, ExtractConfig{})
 	if err != nil {
 		return err
+	}
+	// Account for configurations that panicked during this extraction; the
+	// fresh instances are discarded afterwards, so the live detectors keep
+	// streaming (they are sandboxed separately by Step).
+	for _, name := range feats.Degraded {
+		m.panics++
+		if m.onPanic != nil {
+			m.onPanic(name, nil)
+		}
 	}
 	cols := feats.Imputed(0, feats.NumPoints())
 	m.model = forest.Train(cols, labels, m.fcfg)

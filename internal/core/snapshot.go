@@ -58,26 +58,45 @@ func LoadMonitor(r io.Reader, recent *timeseries.Series, dets []detectors.Detect
 	if err != nil {
 		return nil, err
 	}
-	// Re-warm the detectors by replaying the recent history.
+	// Re-warm the detectors by replaying the recent history. A detector
+	// that panics while re-warming is sandboxed (marked dead) like in
+	// Monitor.Step, instead of failing the whole restore.
+	m := &Monitor{
+		dets:   dets,
+		model:  model,
+		pref:   dto.Preference,
+		row:    make([]float64, len(dets)),
+		points: recent.Len(),
+		dead:   make([]bool, len(dets)),
+	}
 	fitN := recent.Len()
-	for _, d := range dets {
-		d.Reset()
-		if tr, ok := d.(detectors.Trainable); ok && fitN > 0 {
-			_ = tr.Fit(recent.Values)
-		}
-		for _, v := range recent.Values {
-			d.Step(v)
+	for j, d := range dets {
+		if !rewarm(d, recent.Values, fitN) {
+			m.dead[j] = true
+			m.panics++
 		}
 	}
 	pred := NewCThldPredictor(dto.EWMAAlpha)
 	pred.Seed(dto.CThld)
-	return &Monitor{
-		dets:   dets,
-		model:  model,
-		cthld:  dto.CThld,
-		pred:   pred,
-		pref:   dto.Preference,
-		row:    make([]float64, len(dets)),
-		points: recent.Len(),
-	}, nil
+	m.pred = pred
+	m.cthld = dto.CThld
+	return m, nil
+}
+
+// rewarm replays history through one detector inside a panic sandbox,
+// reporting false when the detector panicked.
+func rewarm(d detectors.Detector, values []float64, fitN int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	d.Reset()
+	if tr, isTrainable := d.(detectors.Trainable); isTrainable && fitN > 0 {
+		_ = tr.Fit(values)
+	}
+	for _, v := range values {
+		d.Step(v)
+	}
+	return true
 }

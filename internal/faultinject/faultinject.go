@@ -1,0 +1,257 @@
+// Package faultinject is the repo's shared fault-injection harness: small,
+// deterministic wrappers that make dependencies misbehave on purpose —
+// notifiers that fail N times / panic / block, detectors that panic, and
+// WAL mutators that truncate or corrupt log files on disk. The fault-
+// tolerance layer (core detector sandboxing, the alerting.Pipeline,
+// tsdb checksums + quarantine, service restore/shutdown) is exercised with
+// these from each package's tests; future chaos tests should build on this
+// package instead of re-inventing ad-hoc fakes.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"opprentice/internal/alerting"
+)
+
+// FlakyNotifier fails the first FailFirst Notify calls and succeeds
+// afterwards, recording everything. It is safe for concurrent use.
+type FlakyNotifier struct {
+	// FailFirst is how many leading attempts fail.
+	FailFirst int
+	// Err is the failure returned while failing (default a generic error).
+	Err error
+
+	mu        sync.Mutex
+	attempts  int
+	delivered []alerting.Event
+}
+
+// Notify implements alerting.Notifier.
+func (n *FlakyNotifier) Notify(_ context.Context, e alerting.Event) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.attempts++
+	if n.attempts <= n.FailFirst {
+		if n.Err != nil {
+			return n.Err
+		}
+		return fmt.Errorf("faultinject: flaky notifier failing attempt %d/%d", n.attempts, n.FailFirst)
+	}
+	n.delivered = append(n.delivered, e)
+	return nil
+}
+
+// Attempts returns how many Notify calls were made.
+func (n *FlakyNotifier) Attempts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.attempts
+}
+
+// Delivered returns a copy of the successfully delivered events.
+func (n *FlakyNotifier) Delivered() []alerting.Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]alerting.Event(nil), n.delivered...)
+}
+
+// FailingNotifier always fails with Err (or a default error).
+type FailingNotifier struct {
+	Err error
+
+	mu       sync.Mutex
+	attempts int
+}
+
+// Notify implements alerting.Notifier.
+func (n *FailingNotifier) Notify(context.Context, alerting.Event) error {
+	n.mu.Lock()
+	n.attempts++
+	n.mu.Unlock()
+	if n.Err != nil {
+		return n.Err
+	}
+	return fmt.Errorf("faultinject: notifier permanently down")
+}
+
+// Attempts returns how many Notify calls were made.
+func (n *FailingNotifier) Attempts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.attempts
+}
+
+// PanickingNotifier panics on every Notify — the rudest possible dependency.
+type PanickingNotifier struct {
+	// Message is the panic value (default "faultinject: notifier panic").
+	Message string
+}
+
+// Notify implements alerting.Notifier by panicking.
+func (n PanickingNotifier) Notify(context.Context, alerting.Event) error {
+	msg := n.Message
+	if msg == "" {
+		msg = "faultinject: notifier panic"
+	}
+	panic(msg)
+}
+
+// BlockingNotifier blocks every Notify until Release is closed (or the
+// context is canceled), simulating a hung webhook endpoint.
+type BlockingNotifier struct {
+	// Release unblocks all in-flight and future calls when closed.
+	Release chan struct{}
+
+	mu      sync.Mutex
+	blocked int
+}
+
+// NewBlockingNotifier returns a notifier whose deliveries hang until
+// Unblock.
+func NewBlockingNotifier() *BlockingNotifier {
+	return &BlockingNotifier{Release: make(chan struct{})}
+}
+
+// Notify implements alerting.Notifier.
+func (n *BlockingNotifier) Notify(ctx context.Context, _ alerting.Event) error {
+	n.mu.Lock()
+	n.blocked++
+	n.mu.Unlock()
+	select {
+	case <-n.Release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Blocked returns how many Notify calls have started (including finished
+// ones).
+func (n *BlockingNotifier) Blocked() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.blocked
+}
+
+// Unblock releases all current and future deliveries.
+func (n *BlockingNotifier) Unblock() { close(n.Release) }
+
+// PanickingDetector implements detectors.Detector and panics on Step after
+// PanicAfter successful calls (0 = panic on the very first Step). Reset does
+// not clear the call count, so a panicking configuration stays panicky
+// across extraction rounds — like a real buggy detector would.
+type PanickingDetector struct {
+	// ConfigName is returned by Name (default "faulty(panic)").
+	ConfigName string
+	// PanicAfter is how many Steps succeed before panicking.
+	PanicAfter int
+
+	calls int
+}
+
+// Name implements detectors.Detector.
+func (d *PanickingDetector) Name() string {
+	if d.ConfigName == "" {
+		return "faulty(panic)"
+	}
+	return d.ConfigName
+}
+
+// Step implements detectors.Detector; it panics once the call budget is
+// exhausted.
+func (d *PanickingDetector) Step(float64) (float64, bool) {
+	d.calls++
+	if d.calls > d.PanicAfter {
+		panic(fmt.Sprintf("faultinject: detector %s panicking on call %d", d.Name(), d.calls))
+	}
+	return 0, true
+}
+
+// Reset implements detectors.Detector.
+func (d *PanickingDetector) Reset() {}
+
+// WAL / file mutators. These operate on paths, not tsdb types, so they work
+// on any log-structured file.
+
+// TruncateTail removes the last n bytes of the file (simulating a crash
+// mid-write).
+func TruncateTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte XOR-flips the byte at offset (negative = from the end), the
+// classic single-bit-rot fault.
+func FlipByte(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if offset < 0 {
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		offset += info.Size()
+	}
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, offset); err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	_, err = f.WriteAt(b, offset)
+	return err
+}
+
+// CorruptLine XOR-flips a byte in the payload of 1-based line lineNo,
+// leaving the line count intact — a targeted mid-log corruption.
+func CorruptLine(path string, lineNo int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	line := 1
+	for i, c := range data {
+		if line == lineNo && c != '\n' && c != '{' && c != '"' {
+			// Flip a benign-looking byte inside the target line; avoiding
+			// the structural characters keeps the mutation subtle, which is
+			// exactly what a checksum must still catch.
+			data[i] ^= 0x01
+			return os.WriteFile(path, data, 0o644)
+		}
+		if c == '\n' {
+			line++
+			if line > lineNo {
+				break
+			}
+		}
+	}
+	return fmt.Errorf("faultinject: %s has no corruptible byte on line %d", path, lineNo)
+}
+
+// AppendGarbage appends raw bytes (default: a plausible-but-broken record)
+// to the file.
+func AppendGarbage(path string, garbage []byte) error {
+	if garbage == nil {
+		garbage = []byte("deadbeef {\"kind\":\"points\",\"values\":[1.0,2\n")
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(garbage)
+	return err
+}

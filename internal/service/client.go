@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"time"
@@ -16,6 +18,25 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// Retry configures automatic retry with exponential backoff for
+	// idempotent requests (GET, PUT, HEAD, DELETE) that fail with a
+	// transport error or a 5xx status. The zero value disables retry, so
+	// existing callers keep single-attempt semantics. Non-idempotent
+	// requests (POST points/labels/train) are never retried: a retried
+	// points POST could double-append.
+	Retry RetryConfig
+}
+
+// RetryConfig tunes Client retry behaviour.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values <= 1 mean no retry.
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 100ms); it doubles per
+	// attempt up to MaxDelay (default 2s), with up to 20% random jitter.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
 }
 
 // NewClient returns a client for the service at baseURL (e.g.
@@ -25,6 +46,16 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 		httpClient = &http.Client{Timeout: 5 * time.Minute}
 	}
 	return &Client{base: baseURL, http: httpClient}
+}
+
+// retryable reports whether a request with this method may be safely
+// re-sent.
+func retryable(method string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
 }
 
 // APIError is a non-2xx response from the service.
@@ -38,21 +69,73 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("opprenticed: %d: %s", e.StatusCode, e.Message)
 }
 
-// do performs one JSON round trip; out may be nil.
+// do performs one JSON round trip (with retry for idempotent methods when
+// configured); out may be nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	attempts := 1
+	if c.Retry.MaxAttempts > 1 && retryable(method) {
+		attempts = c.Retry.MaxAttempts
+	}
+	delay := c.Retry.BaseDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	maxDelay := c.Retry.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			jittered := delay + time.Duration(0.2*rand.Float64()*float64(delay))
+			t := time.NewTimer(jittered)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			if delay *= 2; delay > maxDelay {
+				delay = maxDelay
+			}
+		}
+		err := c.doOnce(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		// Only transport errors and 5xx responses are worth retrying; a 4xx
+		// will not improve on its own.
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// doOnce performs exactly one HTTP round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"opprentice/internal/alerting"
 )
 
 // metrics are the service's operational counters, exposed in the Prometheus
@@ -17,6 +19,8 @@ type metrics struct {
 	trainingsRun    atomic.Int64
 	trainingSeconds atomic.Int64 // milliseconds, summed (named for the metric)
 	requestErrors   atomic.Int64
+	detectorPanics  atomic.Int64 // sandboxed detector panics (training + online)
+	walQuarantined  atomic.Int64 // corrupt series logs set aside during Restore
 }
 
 // handleMetrics renders the Prometheus text exposition format. Only
@@ -32,10 +36,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter("opprenticed_alarms_raised_total", "Anomalous verdicts across all series.", s.metrics.alarmsRaised.Load())
 	writeCounter("opprenticed_trainings_total", "Classifier (re)trainings across all series.", s.metrics.trainingsRun.Load())
 	writeCounter("opprenticed_request_errors_total", "Requests answered with a non-2xx status.", s.metrics.requestErrors.Load())
+	writeCounter("opprenticed_detector_panics_total", "Detector configuration panics sandboxed into degraded features.", s.metrics.detectorPanics.Load())
+	writeCounter("opprenticed_wal_quarantined_total", "Corrupt series logs quarantined during restore.", s.metrics.walQuarantined.Load())
 	fmt.Fprintf(w, "# HELP opprenticed_training_seconds_total Cumulative training wall time.\n# TYPE opprenticed_training_seconds_total counter\nopprenticed_training_seconds_total %.3f\n",
 		float64(s.metrics.trainingSeconds.Load())/1000)
 
-	// Per-series gauges.
+	// Per-series gauges + notification pipeline counters.
 	s.mu.RLock()
 	names := make([]string, 0, len(s.series))
 	for name := range s.series {
@@ -43,14 +49,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Strings(names)
-	fmt.Fprintf(w, "# HELP opprenticed_series_points Points stored per series.\n# TYPE opprenticed_series_points gauge\n")
 	type snap struct {
 		name            string
 		points, windows int
 		trained         bool
 		cthld           float64
+		degraded        int
+		notify          alerting.Stats
 	}
 	snaps := make([]snap, 0, len(names))
+	var notify alerting.Stats
 	for _, name := range names {
 		s.mu.RLock()
 		m := s.series[name]
@@ -62,10 +70,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sn := snap{name: name, points: m.series.Len(), windows: len(m.labels.Windows()), trained: m.monitor != nil}
 		if sn.trained {
 			sn.cthld = m.monitor.CThld()
+			sn.degraded = m.monitor.DegradedDetectors()
+		}
+		if m.pipeline != nil {
+			sn.notify = m.pipeline.Stats()
 		}
 		m.mu.Unlock()
+		notify.Enqueued += sn.notify.Enqueued
+		notify.Delivered += sn.notify.Delivered
+		notify.Retried += sn.notify.Retried
+		notify.Dropped += sn.notify.Dropped
 		snaps = append(snaps, sn)
 	}
+	writeCounter("opprenticed_notify_delivered_total", "Incident events acknowledged by notifiers.", notify.Delivered)
+	writeCounter("opprenticed_notify_retries_total", "Incident delivery attempts beyond each event's first.", notify.Retried)
+	writeCounter("opprenticed_notify_dropped_total", "Incident events dropped (queue full, max attempts, shutdown).", notify.Dropped)
+	fmt.Fprintf(w, "# HELP opprenticed_series_points Points stored per series.\n# TYPE opprenticed_series_points gauge\n")
 	for _, sn := range snaps {
 		fmt.Fprintf(w, "opprenticed_series_points{series=%q} %d\n", sn.name, sn.points)
 	}
@@ -77,6 +97,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, sn := range snaps {
 		if sn.trained {
 			fmt.Fprintf(w, "opprenticed_series_cthld{series=%q} %.4f\n", sn.name, sn.cthld)
+		}
+	}
+	fmt.Fprintf(w, "# HELP opprenticed_series_degraded_detectors Detector configurations currently sandboxed (dead) per trained series.\n# TYPE opprenticed_series_degraded_detectors gauge\n")
+	for _, sn := range snaps {
+		if sn.trained {
+			fmt.Fprintf(w, "opprenticed_series_degraded_detectors{series=%q} %d\n", sn.name, sn.degraded)
 		}
 	}
 }

@@ -14,6 +14,30 @@
 //	POST /v1/series/{name}/labels       label/unlabel windows
 //	POST /v1/series/{name}/train        (re)train the classifier
 //	GET  /v1/series/{name}/alarms       recent alarms
+//	GET  /v1/metrics                    Prometheus text exposition
+//
+// # Operational metrics
+//
+// GET /v1/metrics exposes counters in the Prometheus text format (no client
+// library needed). Besides the throughput counters
+// (opprenticed_points_ingested_total, opprenticed_alarms_raised_total,
+// opprenticed_trainings_total, opprenticed_training_seconds_total,
+// opprenticed_request_errors_total) and per-series gauges
+// (opprenticed_series_points, opprenticed_series_labeled_windows,
+// opprenticed_series_cthld), the fault-tolerance layer reports:
+//
+//   - opprenticed_detector_panics_total — detector-configuration panics that
+//     were sandboxed into degraded features instead of crashing the server.
+//   - opprenticed_series_degraded_detectors{series=...} — configurations
+//     currently dead (sandboxed) per trained series.
+//   - opprenticed_notify_delivered_total / opprenticed_notify_retries_total /
+//     opprenticed_notify_dropped_total — asynchronous webhook delivery
+//     outcomes, summed over the per-series alerting pipelines.
+//   - opprenticed_wal_quarantined_total — corrupt series logs set aside
+//     (renamed to *.wal.corrupt) during Restore.
+//
+// A non-zero rate on any of these means a dependency is degrading while the
+// service keeps running; see DESIGN.md's "Failure modes & degradation".
 package service
 
 import (
@@ -46,6 +70,12 @@ type Server struct {
 	// MaxAlarms bounds the per-series alarm history (default 1024).
 	maxAlarms int
 	metrics   metrics
+	// registry builds the detector set for (re)training; overridable for
+	// fault injection (see SetDetectorRegistry).
+	registry func(time.Duration) ([]detectors.Detector, error)
+	// notifyCfg tunes the per-series async delivery pipelines; overridable
+	// for fault injection (see SetNotifyConfig).
+	notifyCfg alerting.PipelineConfig
 }
 
 // monitored is one KPI under management.
@@ -58,7 +88,8 @@ type monitored struct {
 	monitor  *core.Monitor
 	alarms   []Alarm
 	trained  time.Time
-	incident *alerting.Manager // nil without a webhook
+	incident *alerting.Manager  // nil without a webhook
+	pipeline *alerting.Pipeline // nil without a webhook; async delivery
 
 	retrainEvery  int
 	pointsAtTrain int
@@ -77,7 +108,13 @@ func NewServer(log *slog.Logger) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
-	return &Server{series: make(map[string]*monitored), log: log, maxAlarms: 1024}
+	return &Server{
+		series:    make(map[string]*monitored),
+		log:       log,
+		maxAlarms: 1024,
+		registry:  detectors.Registry,
+		notifyCfg: alerting.PipelineConfig{Log: log},
+	}
 }
 
 // SetStore makes the service durable: every create/points/labels mutation is
@@ -85,9 +122,60 @@ func NewServer(log *slog.Logger) *Server {
 // to reload existing logs.
 func (s *Server) SetStore(store *tsdb.Store) { s.store = store }
 
+// SetDetectorRegistry replaces the detector-set factory used by training.
+// Intended for tests and fault injection (e.g. wrapping the default registry
+// with a panicking configuration); call it before any series is trained.
+func (s *Server) SetDetectorRegistry(fn func(time.Duration) ([]detectors.Detector, error)) {
+	if fn != nil {
+		s.registry = fn
+	}
+}
+
+// SetNotifyConfig tunes the asynchronous webhook delivery pipelines created
+// for series from then on (queue size, backoff, circuit breaker). Call it
+// before creating or restoring series.
+func (s *Server) SetNotifyConfig(cfg alerting.PipelineConfig) {
+	if cfg.Log == nil {
+		cfg.Log = s.log
+	}
+	s.notifyCfg = cfg
+}
+
+// Close shuts down the per-series notification pipelines. Pending webhook
+// deliveries are given grace (a short drain window) before being dropped;
+// call it after http.Server.Shutdown so no new events can arrive.
+func (s *Server) Close() {
+	s.mu.RLock()
+	pipelines := make([]*alerting.Pipeline, 0, len(s.series))
+	for _, m := range s.series {
+		if m.pipeline != nil {
+			pipelines = append(pipelines, m.pipeline)
+		}
+	}
+	s.mu.RUnlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, p := range pipelines {
+		_ = p.Drain(ctx)
+		p.Close()
+	}
+}
+
+// newIncident wires a webhook URL to an incident manager whose notifier is
+// an asynchronous retrying pipeline, so webhook trouble never blocks ingest.
+func (s *Server) newIncident(m *monitored, name, webhookURL string) {
+	m.pipeline = alerting.NewPipeline(alerting.WebhookNotifier{URL: webhookURL}, s.notifyCfg)
+	m.incident = &alerting.Manager{Series: name, Notifier: m.pipeline}
+}
+
 // Restore replays every series in the store and, when a series has labeled
 // anomalies and enough data, retrains its classifier so detection resumes
 // immediately. It returns the number of series restored.
+//
+// A series whose log is damaged (checksum mismatch, malformed records) is
+// quarantined — the log is renamed to "<name>.wal.corrupt", logged, and
+// counted in opprenticed_wal_quarantined_total — and restore continues with
+// the remaining series: one corrupt log must not take down the daemon.
 func (s *Server) Restore() (int, error) {
 	if s.store == nil {
 		return 0, nil
@@ -100,7 +188,16 @@ func (s *Server) Restore() (int, error) {
 	for _, name := range names {
 		loaded, err := s.store.Load(name)
 		if err != nil {
-			return restored, err
+			quarantined, qErr := s.store.Quarantine(name)
+			if qErr != nil {
+				s.log.Error("series unrestorable and quarantine failed",
+					"series", name, "load_err", err, "quarantine_err", qErr)
+				continue
+			}
+			s.metrics.walQuarantined.Add(1)
+			s.log.Warn("corrupt series log quarantined",
+				"series", name, "err", err, "quarantined_to", quarantined)
+			continue
 		}
 		meta := loaded.Meta
 		m := &monitored{
@@ -112,7 +209,7 @@ func (s *Server) Restore() (int, error) {
 		m.series.Values = loaded.Values
 		m.labels = timeseries.Labels(loaded.Labels)
 		if meta.WebhookURL != "" {
-			m.incident = &alerting.Manager{Series: meta.Name, Notifier: alerting.WebhookNotifier{URL: meta.WebhookURL}}
+			s.newIncident(m, meta.Name, meta.WebhookURL)
 		}
 		if err := s.retrainLocked(m); err != nil {
 			// Not trainable yet (no labels or too little data): restore the
@@ -269,10 +366,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		retrainEvery: req.RetrainEvery,
 	}
 	if req.WebhookURL != "" {
-		m.incident = &alerting.Manager{
-			Series:   name,
-			Notifier: alerting.WebhookNotifier{URL: req.WebhookURL},
-		}
+		s.newIncident(m, name, req.WebhookURL)
 	}
 	s.mu.Lock()
 	_, exists := s.series[name]
@@ -281,6 +375,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if exists {
+		if m.pipeline != nil {
+			m.pipeline.Close() // don't leak the losing candidate's worker
+		}
 		s.countError(w, http.StatusConflict, fmt.Errorf("series %q already exists", name))
 		return
 	}
@@ -418,14 +515,15 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 	incident := m.incident
 	m.mu.Unlock()
 
-	// Deliver incident notifications outside the series lock so a slow
-	// webhook cannot stall ingestion of other requests for long.
+	// Fold observations into the incident state outside the series lock.
+	// Delivery itself is asynchronous (alerting.Pipeline), so Observe only
+	// enqueues: a slow or dead webhook can never stall the ingest hot path.
+	// The only error surface here is a saturated queue, which is counted by
+	// the pipeline and logged.
 	if incident != nil {
-		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
-		defer cancel()
 		for _, o := range observations {
-			if err := incident.Observe(ctx, o.ts, o.anomalous, o.prob); err != nil {
-				s.log.Warn("incident notification failed", "series", r.PathValue("name"), "err", err)
+			if err := incident.Observe(context.Background(), o.ts, o.anomalous, o.prob); err != nil {
+				s.log.Warn("incident notification not queued", "series", r.PathValue("name"), "err", err)
 			}
 		}
 	}
@@ -489,14 +587,20 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) retrainLocked(m *monitored) error {
 	started := time.Now()
 	defer func() { s.metrics.observeTraining(time.Since(started)) }()
-	dets, err := detectors.Registry(m.series.Interval)
+	dets, err := s.registry(m.series.Interval)
 	if err != nil {
 		return err
 	}
+	name := m.series.Name
 	cfg := core.MonitorConfig{
 		Preference:    m.pref,
 		Forest:        forest.Config{Trees: m.trees, Seed: 1},
 		SkipInitialCV: m.monitor != nil, // CV once; EWMA carries after that
+		OnDetectorPanic: func(detName string, recovered any) {
+			s.metrics.detectorPanics.Add(1)
+			s.log.Warn("detector panic sandboxed", "series", name,
+				"detector", detName, "panic", recovered)
+		},
 	}
 	if m.monitor == nil {
 		mon, err := core.NewMonitor(m.series, m.labels, dets, cfg)

@@ -391,22 +391,29 @@ func TestWebhookIncidentNotifications(t *testing.T) {
 	}
 	doJSON(t, http.MethodPost, ts.URL+"/v1/series/pv/points", PointsRequest{Points: recovery})
 
-	mu.Lock()
-	defer mu.Unlock()
-	var open, resolved int
-	for _, e := range events {
-		switch e["state"] {
-		case "open":
-			open++
-		case "resolved":
-			resolved++
+	// Delivery is asynchronous (alerting.Pipeline), so wait for the events
+	// to arrive instead of asserting immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		var open, resolved int
+		for _, e := range events {
+			switch e["state"] {
+			case "open":
+				open++
+			case "resolved":
+				resolved++
+			}
 		}
-	}
-	if open == 0 {
-		t.Errorf("no incident-open webhook delivered (events: %v)", events)
-	}
-	if resolved == 0 {
-		t.Errorf("no incident-resolved webhook delivered (events: %v)", events)
+		snapshot := fmt.Sprintf("%v", events)
+		mu.Unlock()
+		if open > 0 && resolved > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("open=%d resolved=%d webhooks delivered (events: %s)", open, resolved, snapshot)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,175 @@
+package tsdb
+
+// Fault-injection tests for WAL hardening: checksummed lines must turn bit
+// rot into ErrCorrupt (not silently-wrong replays), torn tails must stay
+// tolerated, legacy unchecksummed logs must still load, and Quarantine must
+// set a damaged log aside so the rest of the store keeps working.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opprentice/internal/faultinject"
+)
+
+// seedSeries writes a small multi-record log and returns its path.
+func seedSeries(t *testing.T, s *Store, name string) string {
+	t.Helper()
+	m := meta
+	m.Name = name
+	if err := s.CreateSeries(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoints(name, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoints(name, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendLabel(name, 1, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(s.dir, name+".wal")
+}
+
+func TestFaultLoadDetectsMidLogBitFlip(t *testing.T) {
+	s := openTemp(t)
+	path := seedSeries(t, s, "pv")
+	// Flip one subtle byte inside line 2 (a points batch). Without checksums
+	// this could replay as a silently wrong value; with them it must be an
+	// ErrCorrupt, because only the torn *last* line is forgivable.
+	if err := faultinject.CorruptLine(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Load("pv")
+	if err == nil {
+		t.Fatal("bit-flipped mid-log line accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want errors.Is(_, ErrCorrupt)", err)
+	}
+}
+
+func TestFaultLoadToleratesTornTail(t *testing.T) {
+	s := openTemp(t)
+	path := seedSeries(t, s, "pv")
+	// Chop bytes off the final line: a crash mid-write. The intact prefix
+	// must still replay.
+	if err := faultinject.TruncateTail(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("pv")
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if len(got.Values) != 6 {
+		t.Errorf("values = %v, want the 6 intact points", got.Values)
+	}
+	// The torn record was the label, so no point should be labeled.
+	for i, l := range got.Labels {
+		if l {
+			t.Errorf("label %d survived a torn label record", i)
+		}
+	}
+}
+
+func TestFaultLoadRejectsGarbageBeforeValidRecord(t *testing.T) {
+	s := openTemp(t)
+	path := seedSeries(t, s, "pv")
+	// Garbage followed by a genuine record: the garbage is now mid-log, so
+	// it must be rejected rather than skipped.
+	if err := faultinject.AppendGarbage(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPoints("pv", []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Load("pv")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want errors.Is(_, ErrCorrupt)", err)
+	}
+}
+
+func TestFaultLoadLegacyUnchecksummedLog(t *testing.T) {
+	s := openTemp(t)
+	// A log written by the pre-checksum format: bare JSON lines.
+	content := `{"kind":"meta","meta":{"name":"old","interval_seconds":60}}
+{"kind":"points","values":[1,2,3]}
+{"kind":"label","start":0,"end":2,"anomalous":true}
+`
+	path := filepath.Join(s.dir, "old.wal")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("old")
+	if err != nil {
+		t.Fatalf("legacy log should load: %v", err)
+	}
+	if len(got.Values) != 3 || !got.Labels[0] || !got.Labels[1] || got.Labels[2] {
+		t.Errorf("legacy replay = %v / %v", got.Values, got.Labels)
+	}
+	// New appends to a legacy log are checksummed; the mixed log must load.
+	if err := s.AppendPoints("old", []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Load("old")
+	if err != nil {
+		t.Fatalf("mixed legacy+checksummed log should load: %v", err)
+	}
+	if len(got.Values) != 4 || got.Values[3] != 4 {
+		t.Errorf("mixed replay = %v", got.Values)
+	}
+}
+
+func TestFaultQuarantineSetsCorruptLogAside(t *testing.T) {
+	s := openTemp(t)
+	path := seedSeries(t, s, "bad")
+	seedSeries(t, s, "good")
+	if err := faultinject.FlipByte(path, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("bad"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("setup: corrupted log should fail Load, got %v", err)
+	}
+
+	dst, err := s.Quarantine("bad")
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if !strings.HasSuffix(dst, "bad.wal.corrupt") {
+		t.Errorf("quarantine path = %q, want *.wal.corrupt", dst)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("original path still present: %v", err)
+	}
+	// The store keeps serving healthy series, and List hides the corpse.
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "good" {
+		t.Errorf("List = %v, want [good]", names)
+	}
+	if _, err := s.Load("good"); err != nil {
+		t.Errorf("healthy series must survive a sibling's quarantine: %v", err)
+	}
+	// The name is reusable: a fresh series can be created under it.
+	m := meta
+	m.Name = "bad"
+	if err := s.CreateSeries(m); err != nil {
+		t.Fatalf("re-create after quarantine: %v", err)
+	}
+	if got, err := s.Load("bad"); err != nil || len(got.Values) != 0 {
+		t.Errorf("re-created series: %v, err %v", got, err)
+	}
+	// Quarantining a series that has no log is an error, not a silent no-op.
+	if _, err := s.Quarantine("ghost"); err == nil {
+		t.Error("quarantining a missing series should fail")
+	}
+}

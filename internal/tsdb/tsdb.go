@@ -8,6 +8,14 @@
 // line, so logs can be inspected, grepped, truncated and repaired with
 // standard tools. A torn final line (crash mid-write) is detected and
 // ignored.
+//
+// Durability hardening: every line this version writes is prefixed with an
+// 8-hex-digit CRC32-C checksum of the JSON payload ("deadbeef {...}"), so
+// bit rot and hand-editing mistakes are detected, not replayed. Lines
+// without the prefix (logs written by earlier versions) still load. Mid-log
+// corruption surfaces as an error wrapping ErrCorrupt, which callers (see
+// service.Restore) use to Quarantine the one bad series instead of aborting
+// the daemon.
 package tsdb
 
 import (
@@ -15,14 +23,24 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 )
+
+// ErrCorrupt is wrapped by Load errors caused by a damaged log (checksum
+// mismatch, malformed or semantically invalid records) as opposed to I/O
+// errors. Callers can errors.Is for it to decide on quarantine.
+var ErrCorrupt = errors.New("corrupt WAL")
+
+// crcTable is the Castagnoli polynomial, the usual choice for storage CRCs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Meta describes a series at creation time.
 type Meta struct {
@@ -104,16 +122,20 @@ func (s *Store) file(name string) (*os.File, error) {
 	return f, nil
 }
 
-// append writes one record line.
+// append writes one checksummed record line: "xxxxxxxx {json}\n" where the
+// prefix is the CRC32-C of the JSON payload in fixed-width hex.
 func (s *Store) append(name string, r record) error {
 	f, err := s.file(name)
 	if err != nil {
 		return err
 	}
-	line, err := json.Marshal(r)
+	payload, err := json.Marshal(r)
 	if err != nil {
 		return err
 	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, crcTable))
+	line = append(line, payload...)
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -153,8 +175,9 @@ type Loaded struct {
 	Labels []bool
 }
 
-// Load replays one series' log. A torn trailing line is ignored; any other
-// malformed record is an error.
+// Load replays one series' log. A torn trailing line (crash mid-write) is
+// ignored; any other malformed or checksum-failing record is an error
+// wrapping ErrCorrupt.
 func (s *Store) Load(name string) (*Loaded, error) {
 	path, err := s.walPath(name)
 	if err != nil {
@@ -176,8 +199,8 @@ func (s *Store) Load(name string) (*Loaded, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var r record
-		if err := json.Unmarshal(line, &r); err != nil {
+		payload, err := verifyLine(line)
+		if err != nil {
 			// A torn final line is expected after a crash; anything earlier
 			// is corruption.
 			if isLastLine(sc) {
@@ -185,18 +208,25 @@ func (s *Store) Load(name string) (*Loaded, error) {
 			}
 			return nil, fmt.Errorf("tsdb: %s line %d: %w", name, lineNo, err)
 		}
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			if isLastLine(sc) {
+				break
+			}
+			return nil, fmt.Errorf("tsdb: %s line %d: %w (%w)", name, lineNo, err, ErrCorrupt)
+		}
 		switch r.Kind {
 		case "meta":
 			if out != nil {
-				return nil, fmt.Errorf("tsdb: %s line %d: duplicate meta", name, lineNo)
+				return nil, fmt.Errorf("tsdb: %s line %d: duplicate meta (%w)", name, lineNo, ErrCorrupt)
 			}
 			if r.Meta == nil {
-				return nil, fmt.Errorf("tsdb: %s line %d: empty meta", name, lineNo)
+				return nil, fmt.Errorf("tsdb: %s line %d: empty meta (%w)", name, lineNo, ErrCorrupt)
 			}
 			out = &Loaded{Meta: *r.Meta}
 		case "points":
 			if out == nil {
-				return nil, fmt.Errorf("tsdb: %s line %d: points before meta", name, lineNo)
+				return nil, fmt.Errorf("tsdb: %s line %d: points before meta (%w)", name, lineNo, ErrCorrupt)
 			}
 			out.Values = append(out.Values, r.Values...)
 			for range r.Values {
@@ -204,26 +234,47 @@ func (s *Store) Load(name string) (*Loaded, error) {
 			}
 		case "label":
 			if out == nil {
-				return nil, fmt.Errorf("tsdb: %s line %d: label before meta", name, lineNo)
+				return nil, fmt.Errorf("tsdb: %s line %d: label before meta (%w)", name, lineNo, ErrCorrupt)
 			}
 			if r.End > len(out.Labels) {
-				return nil, fmt.Errorf("tsdb: %s line %d: label [%d, %d) beyond %d points",
-					name, lineNo, r.Start, r.End, len(out.Labels))
+				return nil, fmt.Errorf("tsdb: %s line %d: label [%d, %d) beyond %d points (%w)",
+					name, lineNo, r.Start, r.End, len(out.Labels), ErrCorrupt)
 			}
 			for i := r.Start; i < r.End; i++ {
 				out.Labels[i] = r.Anomalous
 			}
 		default:
-			return nil, fmt.Errorf("tsdb: %s line %d: unknown record kind %q", name, lineNo, r.Kind)
+			return nil, fmt.Errorf("tsdb: %s line %d: unknown record kind %q (%w)", name, lineNo, r.Kind, ErrCorrupt)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("tsdb: %s: %w", name, err)
 	}
 	if out == nil {
-		return nil, fmt.Errorf("tsdb: %s: log has no meta record", name)
+		return nil, fmt.Errorf("tsdb: %s: log has no meta record (%w)", name, ErrCorrupt)
 	}
 	return out, nil
+}
+
+// verifyLine strips and checks a line's checksum prefix, returning the JSON
+// payload. Lines starting with '{' are legacy (pre-checksum) records and are
+// accepted as-is for backward compatibility.
+func verifyLine(line []byte) ([]byte, error) {
+	if line[0] == '{' {
+		return line, nil // legacy unchecksummed record
+	}
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("malformed checksum prefix (%w)", ErrCorrupt)
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed checksum prefix: %v (%w)", err, ErrCorrupt)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, crcTable); got != uint32(want) {
+		return nil, fmt.Errorf("checksum mismatch: recorded %08x, computed %08x (%w)", want, got, ErrCorrupt)
+	}
+	return payload, nil
 }
 
 // isLastLine reports whether the scanner has no further tokens; used to
@@ -244,6 +295,29 @@ func (s *Store) List() ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// Quarantine sets a damaged series' log aside: the append handle is closed
+// and the file renamed to "<name>.wal.corrupt" so List no longer returns it,
+// the daemon can keep serving every healthy series, and an operator can
+// inspect or repair the log offline (it is plain JSON lines). The quarantine
+// path is returned. Quarantining a series with no log is an error.
+func (s *Store) Quarantine(name string) (string, error) {
+	path, err := s.walPath(name)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if f, ok := s.files[name]; ok {
+		f.Close()
+		delete(s.files, name)
+	}
+	s.mu.Unlock()
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("tsdb: quarantine %s: %w", name, err)
+	}
+	return dst, nil
 }
 
 // Remove deletes a series' log (for tests and administrative cleanup).
