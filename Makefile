@@ -1,9 +1,9 @@
 # Opprentice reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build test vet race faults bench eval eval-html fuzz clean
+.PHONY: all build test vet race engine-race faults bench eval eval-html fuzz clean
 
-all: build vet test
+all: build vet test engine-race
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Concurrency suite for the serving stack: the engine's ingest/retrain/swap
+# protocol and the HTTP adapter, under the race detector, twice (-count=2
+# also defeats test caching so the schedule varies between runs).
+engine-race:
+	$(GO) test -race -count=2 ./internal/engine/ ./internal/service/
 
 # Fault-injection suite only (panicking detectors/notifiers, WAL corruption,
 # retry/shutdown behaviour) — every such test is named TestFault*.

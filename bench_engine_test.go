@@ -1,0 +1,141 @@
+package opprentice
+
+// Ingest-path benchmarks for the transport-agnostic engine, mirroring the
+// HTTP-level BenchmarkHandlePoints in internal/service so the adapter's
+// overhead (JSON, routing, pooling) is separable from the engine's own cost.
+// Run with:
+//
+//	go test -bench=BenchmarkEngineAppend -benchmem
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opprentice/internal/engine"
+	"opprentice/internal/kpigen"
+)
+
+const benchBatch = 256
+
+var benchStart = time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC)
+
+// benchEngine builds an engine with nSeries trained series and returns it
+// plus a pool of values to stream.
+func benchEngine(b *testing.B, nSeries int) (*engine.Engine, []float64) {
+	b.Helper()
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = 9
+	d := kpigen.Generate(p, 91)
+	ppw, err := d.Series.PointsPerWeek()
+	if err != nil {
+		b.Fatal(err)
+	}
+	boot := 8 * ppw
+	pts := make([]engine.Point, boot)
+	for i := range pts {
+		pts[i] = engine.Point{Value: d.Series.Values[i]}
+	}
+	var windows []engine.Window
+	for _, w := range d.Labels.Windows() {
+		if w.End <= boot {
+			windows = append(windows, engine.Window{Start: w.Start, End: w.End, Anomalous: true})
+		}
+	}
+
+	e := engine.New(engine.Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	b.Cleanup(e.Close)
+	for i := 0; i < nSeries; i++ {
+		name := fmt.Sprintf("pv-%03d", i)
+		if err := e.Create(name, engine.SeriesConfig{IntervalSeconds: 3600, Start: benchStart, Trees: 10}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Append(name, pts, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Label(name, windows); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Train(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, d.Series.Values[boot:]
+}
+
+// BenchmarkEngineAppend measures the in-process ingest hot path: one
+// Append call per op, batch of 256 points, trained monitor stepping every
+// point. The serial case is one series; the parallel case spreads RunParallel
+// goroutines across 64 series so shard and series locks are exercised the way
+// a busy multi-tenant daemon would.
+func BenchmarkEngineAppend(b *testing.B) {
+	// Untrained series: pure append + WALless bookkeeping, no Monitor.Step.
+	// Directly comparable to internal/service's BenchmarkHandlePoints (also
+	// untrained) to isolate the HTTP adapter's decode/encode overhead.
+	b.Run("serial-1series-untrained", func(b *testing.B) {
+		e := engine.New(engine.Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))})
+		b.Cleanup(e.Close)
+		if err := e.Create("pv", engine.SeriesConfig{IntervalSeconds: 3600, Start: benchStart}); err != nil {
+			b.Fatal(err)
+		}
+		pts := make([]engine.Point, benchBatch)
+		for i := range pts {
+			pts[i] = engine.Point{Value: float64(i % 97)}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Append("pv", pts, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("serial-1series", func(b *testing.B) {
+		e, vals := benchEngine(b, 1)
+		pts := make([]engine.Point, benchBatch)
+		for i := range pts {
+			pts[i] = engine.Point{Value: vals[i%len(vals)]}
+		}
+		var vbuf []engine.Verdict
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Append("pv-000", pts, vbuf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vbuf = res.Verdicts
+		}
+	})
+
+	b.Run("parallel-64series", func(b *testing.B) {
+		const nSeries = 64
+		e, vals := benchEngine(b, nSeries)
+		names := make([]string, nSeries)
+		for i := range names {
+			names[i] = fmt.Sprintf("pv-%03d", i)
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			name := names[int(next.Add(1)-1)%nSeries]
+			pts := make([]engine.Point, benchBatch)
+			for i := range pts {
+				pts[i] = engine.Point{Value: vals[i%len(vals)]}
+			}
+			var vbuf []engine.Verdict
+			for pb.Next() {
+				res, err := e.Append(name, pts, vbuf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vbuf = res.Verdicts
+			}
+		})
+	})
+}

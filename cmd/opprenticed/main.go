@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"opprentice/internal/engine"
 	"opprentice/internal/service"
 	"opprentice/internal/tsdb"
 )
@@ -33,12 +34,21 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		dataDir = flag.String("data-dir", "", "directory for durable series logs (empty = memory only)")
+		shards  = flag.Int("shards", 0, "series registry shards (0 = default; rounded up to a power of two)")
+		workers = flag.Int("retrain-workers", 0, "background retrain workers (0 = default)")
 		timeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := service.NewServer(logger)
+	// The engine owns all series state and background training; the server is
+	// a thin HTTP/JSON adapter over it.
+	eng := engine.New(engine.Config{
+		Log:            logger,
+		Shards:         *shards,
+		RetrainWorkers: *workers,
+	})
+	srv := service.NewServerWithEngine(eng, logger)
 	if *dataDir != "" {
 		store, err := tsdb.Open(*dataDir)
 		if err != nil {

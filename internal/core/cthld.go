@@ -170,3 +170,12 @@ func (p *CThldPredictor) Predict() float64 {
 
 // Observe folds in the best cThld of the week that just completed.
 func (p *CThldPredictor) Observe(best float64) { p.ewma.Update(best) }
+
+// Clone returns an independent copy of the predictor. An asynchronous
+// retrain folds the latest weekly observation into the clone and only
+// publishes it when the new monitor is swapped in, so a failed or abandoned
+// training round never disturbs the live predictor's EWMA state.
+func (p *CThldPredictor) Clone() *CThldPredictor {
+	c := *p
+	return &c
+}

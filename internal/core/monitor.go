@@ -252,6 +252,66 @@ func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, 
 	return nil
 }
 
+// RetrainSnapshot builds a replacement monitor from a snapshot of the
+// labeled history without mutating m. The returned monitor carries m's
+// tuning forward — preference, forest configuration, the cThld predictor's
+// EWMA state (cloned, with the snapshot's most recent week observed into
+// it), duration-filter configuration and panic callback — but has a freshly
+// trained model and a fresh detector set fitted over the snapshot and
+// positioned after its last point.
+//
+// It is the training half of an asynchronous retrain: while it runs, the
+// live monitor keeps Stepping newly arriving points; the caller then replays
+// the points that arrived mid-train through the returned monitor (to advance
+// its detectors and duration filter to the stream head) and atomically swaps
+// it in. Concurrent Step on m is safe — RetrainSnapshot only reads fields
+// Step never writes — but concurrent Retrain/RetrainSnapshot calls on the
+// same monitor must be serialized by the caller.
+func (m *Monitor) RetrainSnapshot(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector) (*Monitor, error) {
+	if len(labels) != history.Len() {
+		return nil, fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
+	}
+	if !bothClasses(labels) {
+		return nil, fmt.Errorf("core: history must contain labeled anomalies and normal data")
+	}
+	feats, err := Extract(history, dets, ExtractConfig{})
+	if err != nil {
+		return nil, err
+	}
+	cols := feats.Imputed(0, feats.NumPoints())
+	model := forest.Train(cols, labels, m.fcfg)
+
+	// Best cThld of the most recent week, observed into a cloned predictor so
+	// the live monitor is untouched until the swap.
+	pred := m.pred.Clone()
+	ppw, err := history.PointsPerWeek()
+	if err != nil {
+		return nil, err
+	}
+	if lo := history.Len() - ppw; lo > 0 && bothClasses(labels[lo:]) {
+		scores := model.ProbAll(featsSlice(cols, lo, history.Len()))
+		best, _ := stats.BestByPCScore(stats.PRCurve(scores, labels[lo:]), m.pref)
+		pred.Observe(best.Threshold)
+	}
+	n := &Monitor{
+		dets:    dets,
+		model:   model,
+		cthld:   pred.Predict(),
+		pred:    pred,
+		fcfg:    m.fcfg,
+		pref:    m.pref,
+		row:     make([]float64, len(dets)),
+		points:  history.Len(),
+		dead:    make([]bool, len(dets)),
+		onPanic: m.onPanic,
+	}
+	if m.filter != nil {
+		n.filter = &DurationFilter{MinPoints: m.filter.MinPoints}
+	}
+	n.markDegraded(feats.Degraded)
+	return n, nil
+}
+
 // featsSlice slices a column-major matrix by rows.
 func featsSlice(cols [][]float64, lo, hi int) [][]float64 {
 	out := make([][]float64, len(cols))

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Point is one (timestamp, value) observation. Timestamp is optional: when
+// zero, the point lands at the series' next slot. Field tags double as the
+// service's wire format.
+type Point struct {
+	Timestamp time.Time `json:"timestamp,omitempty"`
+	Value     float64   `json:"value"`
+}
+
+// Verdict is one classified point. Field tags double as the service's wire
+// format.
+type Verdict struct {
+	Index       int     `json:"index"`
+	Probability float64 `json:"probability"`
+	Anomalous   bool    `json:"anomalous"`
+}
+
+// Alarm is one anomalous verdict the engine raised. Field tags double as
+// the service's wire format.
+type Alarm struct {
+	Time        time.Time `json:"time"`
+	Value       float64   `json:"value"`
+	Probability float64   `json:"probability"`
+	CThld       float64   `json:"cthld"`
+}
+
+// AppendResult reports one Append call.
+type AppendResult struct {
+	// Appended is how many points were added (all of them, or none on error).
+	Appended int
+	// Total is the series length afterwards.
+	Total int
+	// Verdicts holds one verdict per appended point once the series is
+	// trained. It aliases the buffer passed to Append (or a fresh slice when
+	// none was given): it is valid until the caller reuses that buffer.
+	Verdicts []Verdict
+	// Persisted is false only when a durable store is attached and its
+	// append failed: the points are live in memory but a restart would lose
+	// them. The failure is also counted in Counters().WALAppendErrors.
+	Persisted bool
+}
+
+// Append is the ingest hot path: it validates the whole batch's timestamps
+// up front (an out-of-order timestamp anywhere rejects the entire batch with
+// an ErrRejected-wrapped error and appends nothing), then under the series'
+// single-writer mutex appends each point, steps the live monitor for a
+// verdict, records alarms in the bounded ring, enqueues incident
+// observations (delivery is asynchronous), and issues one WAL append for the
+// batch. Metrics are updated once per batch, not per point.
+//
+// vbuf, when non-nil, is reused for the verdicts (grown as needed) so a
+// serving layer can pool allocations; pass nil for a fresh slice.
+func (e *Engine) Append(name string, pts []Point, vbuf []Verdict) (AppendResult, error) {
+	if len(pts) == 0 {
+		return AppendResult{}, invalidf("no points")
+	}
+	m, err := e.lookup(name)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	vbuf = vbuf[:0]
+
+	m.mu.Lock()
+	// Whole-batch timestamp validation before any mutation: a rejected batch
+	// must leave the series exactly as it was (the pre-engine service
+	// appended the points preceding the bad one — see the regression test).
+	base := m.series.Len()
+	for i, p := range pts {
+		if p.Timestamp.IsZero() {
+			continue
+		}
+		want := m.series.TimeAt(base + i)
+		if !p.Timestamp.UTC().Equal(want) {
+			m.mu.Unlock()
+			return AppendResult{}, rejectedf("out-of-order point: got %v, next slot is %v", p.Timestamp.UTC(), want)
+		}
+	}
+
+	alarmsRaised := 0
+	for i, p := range pts {
+		idx := base + i
+		m.series.Append(p.Value)
+		m.labels = append(m.labels, false)
+		if m.monitor == nil {
+			continue
+		}
+		v := m.monitor.Step(p.Value)
+		vbuf = append(vbuf, Verdict{Index: idx, Probability: v.Probability, Anomalous: v.Anomalous})
+		if v.Anomalous {
+			alarmsRaised++
+			m.alarms.push(Alarm{
+				Time:        m.series.TimeAt(idx),
+				Value:       p.Value,
+				Probability: v.Probability,
+				CThld:       v.CThld,
+			})
+		}
+		if m.incident != nil {
+			// Observe only folds state and enqueues on the async pipeline —
+			// it cannot block on delivery. The one error surface is a
+			// saturated queue, which the pipeline counts and we log.
+			if err := m.incident.Observe(context.Background(), m.series.TimeAt(idx), v.Anomalous, v.Probability); err != nil {
+				e.log.Warn("incident notification not queued", "series", m.name, "err", err)
+			}
+		}
+	}
+	res := AppendResult{
+		Appended:  len(pts),
+		Total:     m.series.Len(),
+		Verdicts:  vbuf,
+		Persisted: true,
+	}
+	if e.store != nil {
+		// Issued under the series mutex so WAL order matches append order
+		// (single-writer discipline).
+		values := m.series.Values[res.Total-res.Appended:]
+		if err := e.store.AppendPoints(m.name, values); err != nil {
+			res.Persisted = false
+			e.counters.walAppendErrors.Add(1)
+			e.log.Error("wal append failed", "series", m.name, "err", err)
+		}
+	}
+	// Weekly-style automatic incremental retraining (§3.2), scheduled on the
+	// background workers: ingest never blocks on a training round.
+	if m.retrainEvery > 0 && m.monitor != nil &&
+		m.series.Len()-m.pointsAtTrain >= m.retrainEvery {
+		e.scheduleRetrain(m)
+	}
+	m.mu.Unlock()
+
+	// Per-batch metric updates keep hot-path atomics off the per-point loop.
+	e.counters.pointsIngested.Add(int64(res.Appended))
+	if alarmsRaised > 0 {
+		e.counters.alarmsRaised.Add(int64(alarmsRaised))
+	}
+	return res, nil
+}
+
+// alarmRing is a bounded buffer of the most recent alarms: O(1) push with no
+// growth beyond max, unlike the slice-trim approach it replaces.
+type alarmRing struct {
+	max  int
+	buf  []Alarm
+	next int // index of the oldest element once saturated
+}
+
+// push records one alarm, evicting the oldest when full.
+func (r *alarmRing) push(a Alarm) {
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, a)
+		return
+	}
+	if r.max == 0 {
+		return
+	}
+	r.buf[r.next] = a
+	r.next++
+	if r.next == r.max {
+		r.next = 0
+	}
+}
+
+// len returns how many alarms are retained.
+func (r *alarmRing) len() int { return len(r.buf) }
+
+// since returns the retained alarms strictly after t, oldest first, as a
+// fresh slice (never nil).
+func (r *alarmRing) since(t time.Time) []Alarm {
+	out := make([]Alarm, 0, len(r.buf))
+	emit := func(as []Alarm) {
+		for _, a := range as {
+			if a.Time.After(t) {
+				out = append(out, a)
+			}
+		}
+	}
+	if len(r.buf) < r.max || r.next == 0 {
+		emit(r.buf)
+	} else {
+		emit(r.buf[r.next:])
+		emit(r.buf[:r.next])
+	}
+	return out
+}
+
+// last returns up to n of the most recent alarms, oldest first.
+func (r *alarmRing) last(n int) []Alarm {
+	all := r.since(time.Time{})
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// drainContext bounds the pipeline drain during Close.
+func drainContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 2*time.Second)
+}

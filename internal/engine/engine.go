@@ -1,0 +1,548 @@
+// Package engine is the transport-agnostic heart of the anomaly-detection
+// service: a sharded registry of monitored KPI series, the single-writer
+// ingest path (append → Monitor.Step → alarm ring → WAL → incident fan-out),
+// label management, and an asynchronous retrain scheduler implementing the
+// paper's weekly incremental loop (§3.2, Fig. 3) without ever blocking
+// ingest.
+//
+// internal/service is a thin HTTP/JSON adapter over this package; the engine
+// itself knows nothing about HTTP and is fully exercisable (and benchmarked)
+// in-process. Persistence is behind the small Store interface, satisfied by
+// *tsdb.Store, so storage faults are injectable in tests.
+//
+// # Concurrency model
+//
+//   - The registry is split into N shards keyed by FNV-1a of the series
+//     name; a shard's RWMutex only guards its map, so lookups from parallel
+//     clients touch disjoint locks.
+//   - Each series has one mutex and a single-writer discipline: every
+//     mutation of the series data, labels, monitor pointer, or alarm ring
+//     happens under that mutex, and WAL appends are issued under it too, so
+//     the log order always matches the in-memory order.
+//   - Retraining never runs under the series mutex. A training round clones
+//     the series and labels (a cheap memcpy snapshot), fits a replacement
+//     core.Monitor off to the side, then re-acquires the mutex only to
+//     replay the points that arrived mid-train and swap the monitor pointer.
+//     Ingest therefore proceeds at full speed during a retrain, and every
+//     appended point receives exactly one verdict — from whichever monitor
+//     was live at append time.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opprentice/internal/alerting"
+	"opprentice/internal/core"
+	"opprentice/internal/detectors"
+	"opprentice/internal/stats"
+	"opprentice/internal/timeseries"
+	"opprentice/internal/tsdb"
+)
+
+// Store is the persistence seam between the engine and the write-ahead log.
+// *tsdb.Store satisfies it; tests substitute failing or recording fakes.
+type Store interface {
+	CreateSeries(meta tsdb.Meta) error
+	AppendPoints(name string, values []float64) error
+	AppendLabel(name string, start, end int, anomalous bool) error
+	List() ([]string, error)
+	Load(name string) (*tsdb.Loaded, error)
+	Quarantine(name string) (string, error)
+}
+
+var _ Store = (*tsdb.Store)(nil)
+
+// Sentinel error kinds. Engine errors wrap exactly one of these so
+// transports can map them to status codes without string matching; the
+// human-readable message is unchanged by the wrapping.
+var (
+	// ErrNotFound: the named series does not exist.
+	ErrNotFound = errors.New("series not found")
+	// ErrExists: create collided with an existing series.
+	ErrExists = errors.New("series already exists")
+	// ErrInvalid: the request itself is malformed (HTTP 400 class).
+	ErrInvalid = errors.New("invalid request")
+	// ErrRejected: the request is well-formed but inapplicable to the
+	// series' current state (HTTP 422 class): out-of-order timestamps,
+	// out-of-range label windows, untrainable history.
+	ErrRejected = errors.New("request rejected")
+)
+
+// kindError tags an error with a sentinel kind while keeping the original
+// message (errors.Is sees both; Error() shows only the cause).
+type kindError struct {
+	kind  error
+	cause error
+}
+
+func (e *kindError) Error() string   { return e.cause.Error() }
+func (e *kindError) Unwrap() []error { return []error{e.kind, e.cause} }
+
+func invalidf(format string, args ...any) error {
+	return &kindError{kind: ErrInvalid, cause: fmt.Errorf(format, args...)}
+}
+
+func rejectedf(format string, args ...any) error {
+	return &kindError{kind: ErrRejected, cause: fmt.Errorf(format, args...)}
+}
+
+func rejected(err error) error { return &kindError{kind: ErrRejected, cause: err} }
+
+func notFound(name string) error {
+	return &kindError{kind: ErrNotFound, cause: fmt.Errorf("no series %q", name)}
+}
+
+// Config configures New. Zero values pick production defaults.
+type Config struct {
+	// Log receives operational events (default slog.Default).
+	Log *slog.Logger
+	// Shards is the series-registry shard count (default 16, rounded up to a
+	// power of two).
+	Shards int
+	// MaxAlarms bounds each series' in-memory alarm ring (default 1024).
+	MaxAlarms int
+	// Registry builds the detector set for (re)training; overridable for
+	// fault injection (default detectors.Registry).
+	Registry func(time.Duration) ([]detectors.Detector, error)
+	// Notify tunes the per-series async webhook delivery pipelines.
+	Notify alerting.PipelineConfig
+	// Store, when non-nil, makes the engine durable (see SetStore).
+	Store Store
+	// RetrainWorkers is the number of background training workers shared by
+	// all series (default 2).
+	RetrainWorkers int
+	// RetrainQueue bounds the pending automatic-retrain queue (default 64).
+	// When it is full a trigger is dropped and re-armed by the next append.
+	RetrainQueue int
+}
+
+// Engine owns all monitored series and the ingest/train/label/status
+// operations over them. Create it with New; Close it to stop the retrain
+// workers and drain the notification pipelines.
+type Engine struct {
+	shards    []shard
+	shardMask uint32
+
+	log       *slog.Logger
+	store     Store
+	maxAlarms int
+	registry  func(time.Duration) ([]detectors.Detector, error)
+	notifyCfg alerting.PipelineConfig
+
+	counters counters
+
+	trainQ    chan *managed
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[string]*managed
+}
+
+// managed is one KPI under management. All fields after mu are guarded by
+// it; trainMu serializes training rounds and is never acquired while mu is
+// held.
+type managed struct {
+	name string
+
+	mu            sync.Mutex
+	series        *timeseries.Series
+	labels        timeseries.Labels
+	pref          stats.Preference
+	trees         int
+	monitor       *core.Monitor
+	alarms        alarmRing
+	trained       time.Time
+	pointsAtTrain int
+	retrainEvery  int
+	incident      *alerting.Manager  // nil without a webhook
+	pipeline      *alerting.Pipeline // nil without a webhook; async delivery
+
+	trainMu  sync.Mutex  // serializes snapshot→fit→swap rounds
+	training atomic.Bool // an automatic retrain is queued or in flight
+}
+
+// New returns an engine with no series and its retrain workers running.
+func New(cfg Config) *Engine {
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.MaxAlarms <= 0 {
+		cfg.MaxAlarms = 1024
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = detectors.Registry
+	}
+	if cfg.Notify.Log == nil {
+		cfg.Notify.Log = cfg.Log
+	}
+	if cfg.RetrainWorkers <= 0 {
+		cfg.RetrainWorkers = 2
+	}
+	if cfg.RetrainQueue <= 0 {
+		cfg.RetrainQueue = 64
+	}
+	e := &Engine{
+		shards:    make([]shard, n),
+		shardMask: uint32(n - 1),
+		log:       cfg.Log,
+		store:     cfg.Store,
+		maxAlarms: cfg.MaxAlarms,
+		registry:  cfg.Registry,
+		notifyCfg: cfg.Notify,
+		trainQ:    make(chan *managed, cfg.RetrainQueue),
+		stop:      make(chan struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i].series = make(map[string]*managed)
+	}
+	e.wg.Add(cfg.RetrainWorkers)
+	for i := 0; i < cfg.RetrainWorkers; i++ {
+		go e.retrainWorker()
+	}
+	return e
+}
+
+// shardFor hashes a series name onto its shard (FNV-1a).
+func (e *Engine) shardFor(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &e.shards[h.Sum32()&e.shardMask]
+}
+
+// lookup returns the managed series or a not-found error.
+func (e *Engine) lookup(name string) (*managed, error) {
+	sh := e.shardFor(name)
+	sh.mu.RLock()
+	m := sh.series[name]
+	sh.mu.RUnlock()
+	if m == nil {
+		return nil, notFound(name)
+	}
+	return m, nil
+}
+
+// SetStore makes the engine durable: every create/points/labels mutation is
+// appended to the store's per-series write-ahead log. Call Restore after it
+// to reload existing logs. Must be called before traffic.
+func (e *Engine) SetStore(store Store) { e.store = store }
+
+// SetDetectorRegistry replaces the detector-set factory used by training.
+// Intended for tests and fault injection; call it before any series is
+// trained.
+func (e *Engine) SetDetectorRegistry(fn func(time.Duration) ([]detectors.Detector, error)) {
+	if fn != nil {
+		e.registry = fn
+	}
+}
+
+// SetNotifyConfig tunes the asynchronous webhook delivery pipelines created
+// for series from then on. Call it before creating or restoring series.
+func (e *Engine) SetNotifyConfig(cfg alerting.PipelineConfig) {
+	if cfg.Log == nil {
+		cfg.Log = e.log
+	}
+	e.notifyCfg = cfg
+}
+
+// SeriesConfig describes a series to create.
+type SeriesConfig struct {
+	// IntervalSeconds is the sampling interval; it must divide a day.
+	IntervalSeconds int
+	// Start is the timestamp of the first point.
+	Start time.Time
+	// Recall and Precision form the accuracy preference (default 0.66 each).
+	Recall, Precision float64
+	// Trees is the forest size (default 60).
+	Trees int
+	// WebhookURL, when set, receives incident open/resolved events.
+	WebhookURL string
+	// RetrainEvery, when > 0, schedules an asynchronous retrain after that
+	// many new points since the last training.
+	RetrainEvery int
+}
+
+// Create registers a new series. It returns an ErrInvalid-wrapped error for
+// malformed parameters and an ErrExists-wrapped error on name collision.
+func (e *Engine) Create(name string, cfg SeriesConfig) error {
+	interval := time.Duration(cfg.IntervalSeconds) * time.Second
+	if interval <= 0 || timeseries.Day%interval != 0 {
+		return invalidf("interval %v must divide a day", interval)
+	}
+	if cfg.Start.IsZero() {
+		return invalidf("start timestamp required")
+	}
+	pref := stats.Preference{Recall: cfg.Recall, Precision: cfg.Precision}
+	if pref == (stats.Preference{}) {
+		pref = stats.Preference{Recall: 0.66, Precision: 0.66}
+	}
+	trees := cfg.Trees
+	if trees <= 0 {
+		trees = 60
+	}
+	m := &managed{
+		name:         name,
+		series:       timeseries.New(name, cfg.Start.UTC(), interval),
+		pref:         pref,
+		trees:        trees,
+		retrainEvery: cfg.RetrainEvery,
+		alarms:       alarmRing{max: e.maxAlarms},
+	}
+	if cfg.WebhookURL != "" {
+		e.attachIncident(m, cfg.WebhookURL)
+	}
+	sh := e.shardFor(name)
+	sh.mu.Lock()
+	_, exists := sh.series[name]
+	if !exists {
+		sh.series[name] = m
+	}
+	sh.mu.Unlock()
+	if exists {
+		if m.pipeline != nil {
+			m.pipeline.Close() // don't leak the losing candidate's worker
+		}
+		return &kindError{kind: ErrExists, cause: fmt.Errorf("series %q already exists", name)}
+	}
+	if e.store != nil {
+		if err := e.store.CreateSeries(tsdb.Meta{
+			Name:            name,
+			Start:           cfg.Start.UTC(),
+			IntervalSeconds: cfg.IntervalSeconds,
+			Recall:          pref.Recall,
+			Precision:       pref.Precision,
+			Trees:           trees,
+			WebhookURL:      cfg.WebhookURL,
+			RetrainEvery:    cfg.RetrainEvery,
+		}); err != nil {
+			return err
+		}
+	}
+	e.log.Info("series created", "name", name, "interval", interval)
+	return nil
+}
+
+// attachIncident wires a webhook URL to an incident manager whose notifier
+// is an asynchronous retrying pipeline, so webhook trouble never blocks
+// ingest.
+func (e *Engine) attachIncident(m *managed, webhookURL string) {
+	m.pipeline = alerting.NewPipeline(alerting.WebhookNotifier{URL: webhookURL}, e.notifyCfg)
+	m.incident = &alerting.Manager{Series: m.name, Notifier: m.pipeline}
+}
+
+// Names returns the managed series names, sorted.
+func (e *Engine) Names() []string {
+	var names []string
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for name := range sh.series {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+	}
+	if names == nil {
+		names = []string{}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Status describes one monitored series. Field tags double as the service's
+// wire format so the HTTP layer can return it verbatim.
+type Status struct {
+	Name            string    `json:"name"`
+	Points          int       `json:"points"`
+	AnomalousPoints int       `json:"anomalous_points"`
+	LabeledWindows  int       `json:"labeled_windows"`
+	Trained         bool      `json:"trained"`
+	TrainedAt       time.Time `json:"trained_at,omitempty"`
+	CThld           float64   `json:"cthld,omitempty"`
+	Recall          float64   `json:"recall"`
+	Precision       float64   `json:"precision"`
+	IntervalSeconds int       `json:"interval_seconds"`
+}
+
+// Status reports one series' state.
+func (e *Engine) Status(name string) (Status, error) {
+	m, err := e.lookup(name)
+	if err != nil {
+		return Status{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Name:            m.name,
+		Points:          m.series.Len(),
+		AnomalousPoints: m.labels.Count(),
+		LabeledWindows:  len(m.labels.Windows()),
+		Trained:         m.monitor != nil,
+		Recall:          m.pref.Recall,
+		Precision:       m.pref.Precision,
+		IntervalSeconds: int(m.series.Interval / time.Second),
+	}
+	if m.monitor != nil {
+		st.CThld = m.monitor.CThld()
+		st.TrainedAt = m.trained
+	}
+	return st, nil
+}
+
+// Alarms returns the retained alarms raised after since, oldest first.
+func (e *Engine) Alarms(name string, since time.Time) ([]Alarm, error) {
+	m, err := e.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alarms.since(since), nil
+}
+
+// Window is one label action over the half-open index range [Start, End).
+// Field tags double as the service's wire format.
+type Window struct {
+	Start     int  `json:"start"`
+	End       int  `json:"end"`
+	Anomalous bool `json:"anomalous"`
+}
+
+// LabelResult summarizes a series' labels after a Label call.
+type LabelResult struct {
+	AnomalousPoints int
+	LabeledWindows  int
+}
+
+// Label applies label actions to a series. The whole batch is validated
+// before anything is applied: an out-of-range window rejects the entire
+// request with an ErrRejected-wrapped error and no labels changed.
+func (e *Engine) Label(name string, windows []Window) (LabelResult, error) {
+	m, err := e.lookup(name)
+	if err != nil {
+		return LabelResult{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, lw := range windows {
+		if lw.Start < 0 || lw.End > m.series.Len() || lw.Start >= lw.End {
+			return LabelResult{}, rejectedf("window [%d, %d) out of range 0..%d", lw.Start, lw.End, m.series.Len())
+		}
+	}
+	for _, lw := range windows {
+		for i := lw.Start; i < lw.End; i++ {
+			m.labels[i] = lw.Anomalous
+		}
+		if e.store != nil {
+			if err := e.store.AppendLabel(m.name, lw.Start, lw.End, lw.Anomalous); err != nil {
+				e.counters.walAppendErrors.Add(1)
+				e.log.Error("wal label failed", "series", m.name, "err", err)
+			}
+		}
+	}
+	return LabelResult{
+		AnomalousPoints: m.labels.Count(),
+		LabeledWindows:  len(m.labels.Windows()),
+	}, nil
+}
+
+// Restore replays every series in the store and, when a series has labeled
+// anomalies and enough data, retrains its classifier (synchronously — this
+// is startup, not the ingest path) so detection resumes immediately. It
+// returns the number of series restored.
+//
+// A series whose log is damaged is quarantined — renamed to
+// "<name>.wal.corrupt", logged, and counted — and restore continues with the
+// remaining series: one corrupt log must not take down the daemon.
+func (e *Engine) Restore() (int, error) {
+	if e.store == nil {
+		return 0, nil
+	}
+	names, err := e.store.List()
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, name := range names {
+		loaded, err := e.store.Load(name)
+		if err != nil {
+			quarantined, qErr := e.store.Quarantine(name)
+			if qErr != nil {
+				e.log.Error("series unrestorable and quarantine failed",
+					"series", name, "load_err", err, "quarantine_err", qErr)
+				continue
+			}
+			e.counters.walQuarantined.Add(1)
+			e.log.Warn("corrupt series log quarantined",
+				"series", name, "err", err, "quarantined_to", quarantined)
+			continue
+		}
+		meta := loaded.Meta
+		m := &managed{
+			name:         meta.Name,
+			series:       timeseries.New(meta.Name, meta.Start.UTC(), time.Duration(meta.IntervalSeconds)*time.Second),
+			pref:         stats.Preference{Recall: meta.Recall, Precision: meta.Precision},
+			trees:        meta.Trees,
+			retrainEvery: meta.RetrainEvery,
+			alarms:       alarmRing{max: e.maxAlarms},
+		}
+		m.series.Values = loaded.Values
+		m.labels = timeseries.Labels(loaded.Labels)
+		if meta.WebhookURL != "" {
+			e.attachIncident(m, meta.WebhookURL)
+		}
+		if _, err := e.train(m); err != nil {
+			// Not trainable yet (no labels or too little data): restore the
+			// data anyway and let the operator train later.
+			e.log.Info("restored without classifier", "series", meta.Name, "reason", err)
+		}
+		sh := e.shardFor(meta.Name)
+		sh.mu.Lock()
+		sh.series[meta.Name] = m
+		sh.mu.Unlock()
+		restored++
+	}
+	return restored, nil
+}
+
+// Close stops the retrain workers (waiting out a training round already in
+// flight) and shuts down the per-series notification pipelines, giving
+// pending webhook deliveries a short drain window. Call it after the serving
+// transport has stopped so no new work can arrive.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
+	var pipelines []*alerting.Pipeline
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.series {
+			if m.pipeline != nil {
+				pipelines = append(pipelines, m.pipeline)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	ctx, cancel := drainContext()
+	defer cancel()
+	for _, p := range pipelines {
+		_ = p.Drain(ctx)
+		p.Close()
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"opprentice/internal/alerting"
+)
+
+// counters are the engine's operational counters. They are updated once per
+// batch/event (never per point) and exported via Counters for whatever
+// exposition format the transport layer speaks.
+type counters struct {
+	pointsIngested  atomic.Int64
+	alarmsRaised    atomic.Int64
+	trainingsRun    atomic.Int64
+	trainingMillis  atomic.Int64
+	detectorPanics  atomic.Int64 // sandboxed detector panics (training + online)
+	walQuarantined  atomic.Int64 // corrupt series logs set aside during Restore
+	walAppendErrors atomic.Int64 // failed durable appends (points + labels)
+}
+
+// observeTraining records one training round's wall time (failed rounds
+// count too, as before the engine split).
+func (c *counters) observeTraining(d time.Duration) {
+	c.trainingsRun.Add(1)
+	c.trainingMillis.Add(d.Milliseconds())
+}
+
+// Counters is a point-in-time snapshot of the engine-wide counters.
+type Counters struct {
+	PointsIngested  int64
+	AlarmsRaised    int64
+	TrainingsRun    int64
+	TrainingSeconds float64
+	DetectorPanics  int64
+	WALQuarantined  int64
+	WALAppendErrors int64
+}
+
+// Counters returns the current engine-wide counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		PointsIngested:  e.counters.pointsIngested.Load(),
+		AlarmsRaised:    e.counters.alarmsRaised.Load(),
+		TrainingsRun:    e.counters.trainingsRun.Load(),
+		TrainingSeconds: float64(e.counters.trainingMillis.Load()) / 1000,
+		DetectorPanics:  e.counters.detectorPanics.Load(),
+		WALQuarantined:  e.counters.walQuarantined.Load(),
+		WALAppendErrors: e.counters.walAppendErrors.Load(),
+	}
+}
+
+// SeriesMetrics is one series' gauge snapshot for metric exposition.
+type SeriesMetrics struct {
+	Name              string
+	Points            int
+	LabeledWindows    int
+	Trained           bool
+	CThld             float64
+	DegradedDetectors int
+	Notify            alerting.Stats
+}
+
+// MetricsSnapshot returns per-series gauges sorted by name. Each series is
+// locked only briefly.
+func (e *Engine) MetricsSnapshot() []SeriesMetrics {
+	names := e.Names()
+	out := make([]SeriesMetrics, 0, len(names))
+	for _, name := range names {
+		m, err := e.lookup(name)
+		if err != nil {
+			continue // deleted between Names and here
+		}
+		m.mu.Lock()
+		sm := SeriesMetrics{
+			Name:           name,
+			Points:         m.series.Len(),
+			LabeledWindows: len(m.labels.Windows()),
+			Trained:        m.monitor != nil,
+		}
+		if sm.Trained {
+			sm.CThld = m.monitor.CThld()
+			sm.DegradedDetectors = m.monitor.DegradedDetectors()
+		}
+		if m.pipeline != nil {
+			sm.Notify = m.pipeline.Stats()
+		}
+		m.mu.Unlock()
+		out = append(out, sm)
+	}
+	return out
+}
+
+// Inspection is the dashboard's view of one series: copies of the trailing
+// values and most recent alarms plus the headline gauges.
+type Inspection struct {
+	Points         int
+	LabeledWindows int
+	Trained        bool
+	CThld          float64
+	Recent         []float64
+	LastAlarms     []Alarm
+}
+
+// Inspect returns a dashboard snapshot of one series with up to lastValues
+// trailing points and lastAlarms recent alarms. The returned slices are
+// copies.
+func (e *Engine) Inspect(name string, lastValues, lastAlarms int) (Inspection, bool) {
+	m, err := e.lookup(name)
+	if err != nil {
+		return Inspection{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ins := Inspection{
+		Points:         m.series.Len(),
+		LabeledWindows: len(m.labels.Windows()),
+		Trained:        m.monitor != nil,
+	}
+	if ins.Trained {
+		ins.CThld = m.monitor.CThld()
+	}
+	lo := m.series.Len() - lastValues
+	if lo < 0 {
+		lo = 0
+	}
+	ins.Recent = append([]float64(nil), m.series.Values[lo:]...)
+	ins.LastAlarms = m.alarms.last(lastAlarms)
+	return ins, true
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"time"
+
+	"opprentice/internal/core"
+	"opprentice/internal/ml/forest"
+)
+
+// TrainResult reports one completed training round.
+type TrainResult struct {
+	TrainedAt time.Time
+	CThld     float64
+	Points    int
+}
+
+// Train (re)trains the named series' classifier and blocks until the new
+// monitor is live. The caller waits, but ingest does not: training runs
+// against a snapshot and only briefly re-acquires the series mutex to replay
+// mid-train points and swap the monitor in (see train). Untrainable history
+// returns an ErrRejected-wrapped error.
+func (e *Engine) Train(name string) (TrainResult, error) {
+	m, err := e.lookup(name)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	return e.train(m)
+}
+
+// train runs one snapshot → fit → replay+swap round. The retrain-swap
+// protocol:
+//
+//  1. Under m.mu: clone the series and labels (cheap memcpy) and note the
+//     live monitor. Release m.mu — ingest continues against the live
+//     monitor throughout the expensive part.
+//  2. Off-lock: fit a replacement monitor. First-ever training builds it
+//     with core.NewMonitor (cross-validated initial cThld); afterwards
+//     Monitor.RetrainSnapshot carries the EWMA cThld state forward without
+//     touching the live monitor.
+//  3. Under m.mu again: replay the points appended since the snapshot
+//     through the new monitor — their client-facing verdicts were already
+//     issued by the old monitor, so replay verdicts are discarded; the
+//     replay only advances detector and duration-filter state to the stream
+//     head — then swap the monitor pointer. Every point thus receives
+//     exactly one verdict across the swap.
+//
+// m.trainMu serializes rounds so two trains cannot interleave their swaps.
+// On any error the live monitor is left untouched.
+func (e *Engine) train(m *managed) (TrainResult, error) {
+	m.trainMu.Lock()
+	defer m.trainMu.Unlock()
+
+	started := time.Now()
+	defer func() { e.counters.observeTraining(time.Since(started)) }()
+
+	// 1. Snapshot.
+	m.mu.Lock()
+	snap := m.series.Clone()
+	labels := m.labels.Clone()
+	cur := m.monitor
+	m.mu.Unlock()
+
+	// 2. Fit off-lock.
+	dets, err := e.registry(snap.Interval)
+	if err != nil {
+		return TrainResult{}, rejected(err)
+	}
+	var next *core.Monitor
+	if cur == nil {
+		cfg := core.MonitorConfig{
+			Preference:      m.pref,
+			Forest:          forest.Config{Trees: m.trees, Seed: 1},
+			OnDetectorPanic: e.panicHook(m.name),
+		}
+		next, err = core.NewMonitor(snap, labels, dets, cfg)
+	} else {
+		next, err = cur.RetrainSnapshot(snap, labels, dets)
+	}
+	if err != nil {
+		return TrainResult{}, rejected(err)
+	}
+
+	// 3. Replay and swap.
+	m.mu.Lock()
+	for _, v := range m.series.Values[snap.Len():] {
+		next.Step(v)
+	}
+	m.monitor = next
+	m.trained = time.Now().UTC()
+	m.pointsAtTrain = m.series.Len()
+	res := TrainResult{TrainedAt: m.trained, CThld: next.CThld(), Points: m.series.Len()}
+	m.mu.Unlock()
+
+	e.log.Info("series trained", "name", m.name, "points", res.Points,
+		"cthld", res.CThld, "replayed", res.Points-snap.Len(), "took", time.Since(started))
+	return res, nil
+}
+
+// panicHook builds the per-series detector-panic callback: count and log,
+// never crash (see core's sandboxing).
+func (e *Engine) panicHook(name string) func(string, any) {
+	return func(detName string, recovered any) {
+		e.counters.detectorPanics.Add(1)
+		e.log.Warn("detector panic sandboxed", "series", name,
+			"detector", detName, "panic", recovered)
+	}
+}
+
+// scheduleRetrain arms one asynchronous retrain for m. Callers hold m.mu;
+// only the CAS and a non-blocking channel send happen here. If the queue is
+// saturated the trigger is dropped and re-armed by the next append.
+func (e *Engine) scheduleRetrain(m *managed) {
+	if !m.training.CompareAndSwap(false, true) {
+		return // already queued or running
+	}
+	select {
+	case e.trainQ <- m:
+	default:
+		m.training.Store(false)
+		e.log.Warn("retrain queue full, trigger dropped", "series", m.name)
+	}
+}
+
+// retrainWorker consumes scheduled retrains until Close.
+func (e *Engine) retrainWorker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case m := <-e.trainQ:
+			if _, err := e.train(m); err != nil {
+				e.log.Warn("auto-retrain failed", "series", m.name, "err", err)
+			}
+			m.training.Store(false)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package service
 import (
 	"html/template"
 	"net/http"
-	"sort"
 	"time"
 
 	"opprentice/internal/report"
@@ -33,47 +32,21 @@ type dashboardData struct {
 }
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	names := make([]string, 0, len(s.series))
-	for name := range s.series {
-		names = append(names, name)
-	}
-	s.mu.RUnlock()
-	sort.Strings(names)
-
 	data := dashboardData{Generated: time.Now().UTC()}
-	for _, name := range names {
-		s.mu.RLock()
-		m := s.series[name]
-		s.mu.RUnlock()
-		if m == nil {
-			continue
+	for _, name := range s.eng.Names() {
+		ins, ok := s.eng.Inspect(name, dashboardWindow, 5)
+		if !ok {
+			continue // deleted between Names and here
 		}
-		m.mu.Lock()
-		ds := dashboardSeries{
-			Name:    name,
-			Points:  m.series.Len(),
-			Windows: len(m.labels.Windows()),
-			Trained: m.monitor != nil,
-		}
-		if ds.Trained {
-			ds.CThld = m.monitor.CThld()
-		}
-		lo := m.series.Len() - dashboardWindow
-		if lo < 0 {
-			lo = 0
-		}
-		recent := append([]float64(nil), m.series.Values[lo:]...)
-		nAlarms := len(m.alarms)
-		start := nAlarms - 5
-		if start < 0 {
-			start = 0
-		}
-		ds.LastAlarms = append([]Alarm(nil), m.alarms[start:]...)
-		m.mu.Unlock()
-
-		ds.Spark = report.Sparkline(recent, 420, 64)
-		data.Series = append(data.Series, ds)
+		data.Series = append(data.Series, dashboardSeries{
+			Name:       name,
+			Points:     ins.Points,
+			Windows:    ins.LabeledWindows,
+			Trained:    ins.Trained,
+			CThld:      ins.CThld,
+			Spark:      report.Sparkline(ins.Recent, 420, 64),
+			LastAlarms: ins.LastAlarms,
+		})
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_ = dashboardTemplate.Execute(w, data)

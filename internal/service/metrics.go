@@ -3,24 +3,16 @@ package service
 import (
 	"fmt"
 	"net/http"
-	"sort"
 	"sync/atomic"
-	"time"
 
 	"opprentice/internal/alerting"
 )
 
-// metrics are the service's operational counters, exposed in the Prometheus
-// text format at GET /v1/metrics so a fleet of opprenticed instances can be
-// monitored by the usual scrapers (fittingly, perhaps by Opprentice itself).
+// metrics are the transport layer's own counters. Everything else — ingest,
+// training, alarms, WAL health, per-series gauges — lives in the engine and
+// is read via engine.Counters / engine.MetricsSnapshot at scrape time.
 type metrics struct {
-	pointsIngested  atomic.Int64
-	alarmsRaised    atomic.Int64
-	trainingsRun    atomic.Int64
-	trainingSeconds atomic.Int64 // milliseconds, summed (named for the metric)
-	requestErrors   atomic.Int64
-	detectorPanics  atomic.Int64 // sandboxed detector panics (training + online)
-	walQuarantined  atomic.Int64 // corrupt series logs set aside during Restore
+	requestErrors atomic.Int64
 }
 
 // handleMetrics renders the Prometheus text exposition format. Only
@@ -32,83 +24,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	writeCounter("opprenticed_points_ingested_total", "Points appended across all series.", s.metrics.pointsIngested.Load())
-	writeCounter("opprenticed_alarms_raised_total", "Anomalous verdicts across all series.", s.metrics.alarmsRaised.Load())
-	writeCounter("opprenticed_trainings_total", "Classifier (re)trainings across all series.", s.metrics.trainingsRun.Load())
+	c := s.eng.Counters()
+	writeCounter("opprenticed_points_ingested_total", "Points appended across all series.", c.PointsIngested)
+	writeCounter("opprenticed_alarms_raised_total", "Anomalous verdicts across all series.", c.AlarmsRaised)
+	writeCounter("opprenticed_trainings_total", "Classifier (re)trainings across all series.", c.TrainingsRun)
 	writeCounter("opprenticed_request_errors_total", "Requests answered with a non-2xx status.", s.metrics.requestErrors.Load())
-	writeCounter("opprenticed_detector_panics_total", "Detector configuration panics sandboxed into degraded features.", s.metrics.detectorPanics.Load())
-	writeCounter("opprenticed_wal_quarantined_total", "Corrupt series logs quarantined during restore.", s.metrics.walQuarantined.Load())
+	writeCounter("opprenticed_detector_panics_total", "Detector configuration panics sandboxed into degraded features.", c.DetectorPanics)
+	writeCounter("opprenticed_wal_quarantined_total", "Corrupt series logs quarantined during restore.", c.WALQuarantined)
+	writeCounter("opprenticed_wal_append_errors_total", "Durable appends that failed; the affected points are live in memory only.", c.WALAppendErrors)
 	fmt.Fprintf(w, "# HELP opprenticed_training_seconds_total Cumulative training wall time.\n# TYPE opprenticed_training_seconds_total counter\nopprenticed_training_seconds_total %.3f\n",
-		float64(s.metrics.trainingSeconds.Load())/1000)
+		c.TrainingSeconds)
 
 	// Per-series gauges + notification pipeline counters.
-	s.mu.RLock()
-	names := make([]string, 0, len(s.series))
-	for name := range s.series {
-		names = append(names, name)
-	}
-	s.mu.RUnlock()
-	sort.Strings(names)
-	type snap struct {
-		name            string
-		points, windows int
-		trained         bool
-		cthld           float64
-		degraded        int
-		notify          alerting.Stats
-	}
-	snaps := make([]snap, 0, len(names))
+	snaps := s.eng.MetricsSnapshot()
 	var notify alerting.Stats
-	for _, name := range names {
-		s.mu.RLock()
-		m := s.series[name]
-		s.mu.RUnlock()
-		if m == nil {
-			continue
-		}
-		m.mu.Lock()
-		sn := snap{name: name, points: m.series.Len(), windows: len(m.labels.Windows()), trained: m.monitor != nil}
-		if sn.trained {
-			sn.cthld = m.monitor.CThld()
-			sn.degraded = m.monitor.DegradedDetectors()
-		}
-		if m.pipeline != nil {
-			sn.notify = m.pipeline.Stats()
-		}
-		m.mu.Unlock()
-		notify.Enqueued += sn.notify.Enqueued
-		notify.Delivered += sn.notify.Delivered
-		notify.Retried += sn.notify.Retried
-		notify.Dropped += sn.notify.Dropped
-		snaps = append(snaps, sn)
+	for _, sn := range snaps {
+		notify.Enqueued += sn.Notify.Enqueued
+		notify.Delivered += sn.Notify.Delivered
+		notify.Retried += sn.Notify.Retried
+		notify.Dropped += sn.Notify.Dropped
 	}
 	writeCounter("opprenticed_notify_delivered_total", "Incident events acknowledged by notifiers.", notify.Delivered)
 	writeCounter("opprenticed_notify_retries_total", "Incident delivery attempts beyond each event's first.", notify.Retried)
 	writeCounter("opprenticed_notify_dropped_total", "Incident events dropped (queue full, max attempts, shutdown).", notify.Dropped)
 	fmt.Fprintf(w, "# HELP opprenticed_series_points Points stored per series.\n# TYPE opprenticed_series_points gauge\n")
 	for _, sn := range snaps {
-		fmt.Fprintf(w, "opprenticed_series_points{series=%q} %d\n", sn.name, sn.points)
+		fmt.Fprintf(w, "opprenticed_series_points{series=%q} %d\n", sn.Name, sn.Points)
 	}
 	fmt.Fprintf(w, "# HELP opprenticed_series_labeled_windows Labeled anomalous windows per series.\n# TYPE opprenticed_series_labeled_windows gauge\n")
 	for _, sn := range snaps {
-		fmt.Fprintf(w, "opprenticed_series_labeled_windows{series=%q} %d\n", sn.name, sn.windows)
+		fmt.Fprintf(w, "opprenticed_series_labeled_windows{series=%q} %d\n", sn.Name, sn.LabeledWindows)
 	}
 	fmt.Fprintf(w, "# HELP opprenticed_series_cthld Current classification threshold per trained series.\n# TYPE opprenticed_series_cthld gauge\n")
 	for _, sn := range snaps {
-		if sn.trained {
-			fmt.Fprintf(w, "opprenticed_series_cthld{series=%q} %.4f\n", sn.name, sn.cthld)
+		if sn.Trained {
+			fmt.Fprintf(w, "opprenticed_series_cthld{series=%q} %.4f\n", sn.Name, sn.CThld)
 		}
 	}
 	fmt.Fprintf(w, "# HELP opprenticed_series_degraded_detectors Detector configurations currently sandboxed (dead) per trained series.\n# TYPE opprenticed_series_degraded_detectors gauge\n")
 	for _, sn := range snaps {
-		if sn.trained {
-			fmt.Fprintf(w, "opprenticed_series_degraded_detectors{series=%q} %d\n", sn.name, sn.degraded)
+		if sn.Trained {
+			fmt.Fprintf(w, "opprenticed_series_degraded_detectors{series=%q} %d\n", sn.Name, sn.DegradedDetectors)
 		}
 	}
-}
-
-// observeTraining records one training round's wall time.
-func (m *metrics) observeTraining(d time.Duration) {
-	m.trainingsRun.Add(1)
-	m.trainingSeconds.Add(d.Milliseconds())
 }

@@ -2,7 +2,14 @@
 // service: clients create monitored series, stream points, label anomalous
 // windows with the same window semantics as the labeling tool (§4.2), and
 // trigger (re)training — the weekly operational loop of Fig. 3 over the
-// network. All state is in memory; cmd/opprenticed adds snapshotting.
+// network.
+//
+// The package is a thin transport adapter: all series state, the ingest hot
+// path, and the asynchronous retrain scheduler live in internal/engine
+// (sharded, single-writer per series; see that package and DESIGN.md's
+// "Engine layering"). Handlers only decode JSON, call one engine method, and
+// encode the result; cmd/opprenticed adds durable storage via the engine's
+// Store seam.
 //
 // API (all JSON):
 //
@@ -35,194 +42,101 @@
 //     outcomes, summed over the per-series alerting pipelines.
 //   - opprenticed_wal_quarantined_total — corrupt series logs set aside
 //     (renamed to *.wal.corrupt) during Restore.
+//   - opprenticed_wal_append_errors_total — durable appends (points or
+//     labels) that failed; the affected points responses also carry
+//     "persisted": false.
 //
 // A non-zero rate on any of these means a dependency is degrading while the
 // service keeps running; see DESIGN.md's "Failure modes & degradation".
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
 	"opprentice/internal/alerting"
-	"opprentice/internal/core"
 	"opprentice/internal/detectors"
-	"opprentice/internal/ml/forest"
-	"opprentice/internal/stats"
-	"opprentice/internal/timeseries"
+	"opprentice/internal/engine"
 	"opprentice/internal/tsdb"
 )
 
-// Server is the HTTP anomaly-detection service. Create it with NewServer
-// and mount Handler on an http.Server.
+// Server is the HTTP adapter over an engine.Engine. Create it with NewServer
+// (which builds its own engine) or NewServerWithEngine, and mount Handler on
+// an http.Server.
 type Server struct {
-	mu     sync.RWMutex
-	series map[string]*monitored
-	log    *slog.Logger
-	store  *tsdb.Store // nil = memory only
-	// MaxAlarms bounds the per-series alarm history (default 1024).
-	maxAlarms int
-	metrics   metrics
-	// registry builds the detector set for (re)training; overridable for
-	// fault injection (see SetDetectorRegistry).
-	registry func(time.Duration) ([]detectors.Detector, error)
-	// notifyCfg tunes the per-series async delivery pipelines; overridable
-	// for fault injection (see SetNotifyConfig).
-	notifyCfg alerting.PipelineConfig
+	eng     *engine.Engine
+	log     *slog.Logger
+	metrics metrics
+
+	// vbufs pools verdict buffers for the points hot path; the engine
+	// appends verdicts into a pooled buffer instead of allocating per
+	// request.
+	vbufs sync.Pool
 }
 
-// monitored is one KPI under management.
-type monitored struct {
-	mu       sync.Mutex
-	series   *timeseries.Series
-	labels   timeseries.Labels
-	pref     stats.Preference
-	trees    int
-	monitor  *core.Monitor
-	alarms   []Alarm
-	trained  time.Time
-	incident *alerting.Manager  // nil without a webhook
-	pipeline *alerting.Pipeline // nil without a webhook; async delivery
-
-	retrainEvery  int
-	pointsAtTrain int
-}
-
-// Alarm is one anomalous verdict the service raised.
-type Alarm struct {
-	Time        time.Time `json:"time"`
-	Value       float64   `json:"value"`
-	Probability float64   `json:"probability"`
-	CThld       float64   `json:"cthld"`
-}
-
-// NewServer returns an empty service.
+// NewServer returns a service over a fresh default engine.
 func NewServer(log *slog.Logger) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
-	return &Server{
-		series:    make(map[string]*monitored),
-		log:       log,
-		maxAlarms: 1024,
-		registry:  detectors.Registry,
-		notifyCfg: alerting.PipelineConfig{Log: log},
-	}
+	return NewServerWithEngine(engine.New(engine.Config{Log: log}), log)
 }
+
+// NewServerWithEngine returns a service over an engine the caller
+// constructed (and owns the configuration of).
+func NewServerWithEngine(eng *engine.Engine, log *slog.Logger) *Server {
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{eng: eng, log: log}
+	s.vbufs.New = func() any {
+		buf := make([]engine.Verdict, 0, 256)
+		return &buf
+	}
+	return s
+}
+
+// Engine returns the underlying engine, for construction-time configuration
+// and tests.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // SetStore makes the service durable: every create/points/labels mutation is
 // appended to the store's per-series write-ahead log. Call Restore after it
 // to reload existing logs.
-func (s *Server) SetStore(store *tsdb.Store) { s.store = store }
+func (s *Server) SetStore(store *tsdb.Store) {
+	if store == nil {
+		s.eng.SetStore(nil)
+		return
+	}
+	s.eng.SetStore(store)
+}
 
 // SetDetectorRegistry replaces the detector-set factory used by training.
 // Intended for tests and fault injection (e.g. wrapping the default registry
 // with a panicking configuration); call it before any series is trained.
 func (s *Server) SetDetectorRegistry(fn func(time.Duration) ([]detectors.Detector, error)) {
-	if fn != nil {
-		s.registry = fn
-	}
+	s.eng.SetDetectorRegistry(fn)
 }
 
 // SetNotifyConfig tunes the asynchronous webhook delivery pipelines created
 // for series from then on (queue size, backoff, circuit breaker). Call it
 // before creating or restoring series.
 func (s *Server) SetNotifyConfig(cfg alerting.PipelineConfig) {
-	if cfg.Log == nil {
-		cfg.Log = s.log
-	}
-	s.notifyCfg = cfg
+	s.eng.SetNotifyConfig(cfg)
 }
 
-// Close shuts down the per-series notification pipelines. Pending webhook
-// deliveries are given grace (a short drain window) before being dropped;
-// call it after http.Server.Shutdown so no new events can arrive.
-func (s *Server) Close() {
-	s.mu.RLock()
-	pipelines := make([]*alerting.Pipeline, 0, len(s.series))
-	for _, m := range s.series {
-		if m.pipeline != nil {
-			pipelines = append(pipelines, m.pipeline)
-		}
-	}
-	s.mu.RUnlock()
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	for _, p := range pipelines {
-		_ = p.Drain(ctx)
-		p.Close()
-	}
-}
+// Restore replays every series in the engine's store; see engine.Restore.
+func (s *Server) Restore() (int, error) { return s.eng.Restore() }
 
-// newIncident wires a webhook URL to an incident manager whose notifier is
-// an asynchronous retrying pipeline, so webhook trouble never blocks ingest.
-func (s *Server) newIncident(m *monitored, name, webhookURL string) {
-	m.pipeline = alerting.NewPipeline(alerting.WebhookNotifier{URL: webhookURL}, s.notifyCfg)
-	m.incident = &alerting.Manager{Series: name, Notifier: m.pipeline}
-}
-
-// Restore replays every series in the store and, when a series has labeled
-// anomalies and enough data, retrains its classifier so detection resumes
-// immediately. It returns the number of series restored.
-//
-// A series whose log is damaged (checksum mismatch, malformed records) is
-// quarantined — the log is renamed to "<name>.wal.corrupt", logged, and
-// counted in opprenticed_wal_quarantined_total — and restore continues with
-// the remaining series: one corrupt log must not take down the daemon.
-func (s *Server) Restore() (int, error) {
-	if s.store == nil {
-		return 0, nil
-	}
-	names, err := s.store.List()
-	if err != nil {
-		return 0, err
-	}
-	restored := 0
-	for _, name := range names {
-		loaded, err := s.store.Load(name)
-		if err != nil {
-			quarantined, qErr := s.store.Quarantine(name)
-			if qErr != nil {
-				s.log.Error("series unrestorable and quarantine failed",
-					"series", name, "load_err", err, "quarantine_err", qErr)
-				continue
-			}
-			s.metrics.walQuarantined.Add(1)
-			s.log.Warn("corrupt series log quarantined",
-				"series", name, "err", err, "quarantined_to", quarantined)
-			continue
-		}
-		meta := loaded.Meta
-		m := &monitored{
-			series:       timeseries.New(meta.Name, meta.Start.UTC(), time.Duration(meta.IntervalSeconds)*time.Second),
-			pref:         stats.Preference{Recall: meta.Recall, Precision: meta.Precision},
-			trees:        meta.Trees,
-			retrainEvery: meta.RetrainEvery,
-		}
-		m.series.Values = loaded.Values
-		m.labels = timeseries.Labels(loaded.Labels)
-		if meta.WebhookURL != "" {
-			s.newIncident(m, meta.Name, meta.WebhookURL)
-		}
-		if err := s.retrainLocked(m); err != nil {
-			// Not trainable yet (no labels or too little data): restore the
-			// data anyway and let the operator train later.
-			s.log.Info("restored without classifier", "series", meta.Name, "reason", err)
-		}
-		s.mu.Lock()
-		s.series[meta.Name] = m
-		s.mu.Unlock()
-		restored++
-	}
-	return restored, nil
-}
+// Close shuts down the engine: retrain workers stop and pending webhook
+// deliveries are given grace before being dropped; call it after
+// http.Server.Shutdown so no new events can arrive.
+func (s *Server) Close() { s.eng.Close() }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -240,7 +154,10 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Wire types.
+// Wire types. The point/verdict/alarm/status/window shapes are aliases of
+// the engine's value types (whose JSON tags are the wire format), so the hot
+// path moves data engine→encoder with no conversion copies and the HTTP
+// shapes provably cannot drift from the engine's.
 
 // CreateRequest is the body of PUT /v1/series/{name}.
 type CreateRequest struct {
@@ -259,16 +176,14 @@ type CreateRequest struct {
 	// RetrainEvery, when > 0, retrains the classifier automatically after
 	// that many new points have been appended since the last training —
 	// the paper's weekly incremental retraining, without a cron job. The
-	// retrain runs inline with the triggering points request.
+	// retrain runs asynchronously on the engine's background workers; the
+	// triggering points request returns immediately.
 	RetrainEvery int `json:"retrain_every,omitempty"`
 }
 
 // Point is one (timestamp, value) observation; Timestamp is optional and,
 // when zero, the point is appended at the next slot.
-type Point struct {
-	Timestamp time.Time `json:"timestamp,omitempty"`
-	Value     float64   `json:"value"`
-}
+type Point = engine.Point
 
 // PointsRequest is the body of POST points.
 type PointsRequest struct {
@@ -276,25 +191,21 @@ type PointsRequest struct {
 }
 
 // VerdictResponse echoes one classified point.
-type VerdictResponse struct {
-	Index       int     `json:"index"`
-	Probability float64 `json:"probability"`
-	Anomalous   bool    `json:"anomalous"`
-}
+type VerdictResponse = engine.Verdict
 
 // PointsResponse is the response of POST points.
 type PointsResponse struct {
 	Appended int               `json:"appended"`
 	Total    int               `json:"total"`
 	Verdicts []VerdictResponse `json:"verdicts,omitempty"`
+	// Persisted is present (and false) only when a durable store is attached
+	// and its append failed: the points are live in memory and were
+	// classified, but a restart would lose them.
+	Persisted *bool `json:"persisted,omitempty"`
 }
 
 // LabelWindow labels (or clears) the half-open index range [Start, End).
-type LabelWindow struct {
-	Start     int  `json:"start"`
-	End       int  `json:"end"`
-	Anomalous bool `json:"anomalous"`
-}
+type LabelWindow = engine.Window
 
 // LabelsRequest is the body of POST labels.
 type LabelsRequest struct {
@@ -302,18 +213,10 @@ type LabelsRequest struct {
 }
 
 // Status describes one monitored series.
-type Status struct {
-	Name            string    `json:"name"`
-	Points          int       `json:"points"`
-	AnomalousPoints int       `json:"anomalous_points"`
-	LabeledWindows  int       `json:"labeled_windows"`
-	Trained         bool      `json:"trained"`
-	TrainedAt       time.Time `json:"trained_at,omitempty"`
-	CThld           float64   `json:"cthld,omitempty"`
-	Recall          float64   `json:"recall"`
-	Precision       float64   `json:"precision"`
-	IntervalSeconds int       `json:"interval_seconds"`
-}
+type Status = engine.Status
+
+// Alarm is one anomalous verdict the service raised.
+type Alarm = engine.Alarm
 
 // errorResponse is the uniform error body.
 type errorResponse struct {
@@ -325,14 +228,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	names := make([]string, 0, len(s.series))
-	for name := range s.series {
-		names = append(names, name)
-	}
-	s.mu.RUnlock()
-	sort.Strings(names)
-	writeJSON(w, http.StatusOK, map[string][]string{"series": names})
+	writeJSON(w, http.StatusOK, map[string][]string{"series": s.eng.Names()})
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -342,286 +238,89 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
 		return
 	}
-	interval := time.Duration(req.IntervalSeconds) * time.Second
-	if interval <= 0 || timeseries.Day%interval != 0 {
-		s.countError(w, http.StatusBadRequest, fmt.Errorf("interval %v must divide a day", interval))
+	if err := s.eng.Create(name, engine.SeriesConfig{
+		IntervalSeconds: req.IntervalSeconds,
+		Start:           req.Start,
+		Recall:          req.Recall,
+		Precision:       req.Precision,
+		Trees:           req.Trees,
+		WebhookURL:      req.WebhookURL,
+		RetrainEvery:    req.RetrainEvery,
+	}); err != nil {
+		s.fail(w, err)
 		return
 	}
-	if req.Start.IsZero() {
-		s.countError(w, http.StatusBadRequest, errors.New("start timestamp required"))
-		return
-	}
-	pref := stats.Preference{Recall: req.Recall, Precision: req.Precision}
-	if pref == (stats.Preference{}) {
-		pref = stats.Preference{Recall: 0.66, Precision: 0.66}
-	}
-	trees := req.Trees
-	if trees <= 0 {
-		trees = 60
-	}
-	m := &monitored{
-		series:       timeseries.New(name, req.Start.UTC(), interval),
-		pref:         pref,
-		trees:        trees,
-		retrainEvery: req.RetrainEvery,
-	}
-	if req.WebhookURL != "" {
-		s.newIncident(m, name, req.WebhookURL)
-	}
-	s.mu.Lock()
-	_, exists := s.series[name]
-	if !exists {
-		s.series[name] = m
-	}
-	s.mu.Unlock()
-	if exists {
-		if m.pipeline != nil {
-			m.pipeline.Close() // don't leak the losing candidate's worker
-		}
-		s.countError(w, http.StatusConflict, fmt.Errorf("series %q already exists", name))
-		return
-	}
-	if s.store != nil {
-		if err := s.store.CreateSeries(tsdb.Meta{
-			Name:            name,
-			Start:           req.Start.UTC(),
-			IntervalSeconds: req.IntervalSeconds,
-			Recall:          pref.Recall,
-			Precision:       pref.Precision,
-			Trees:           trees,
-			WebhookURL:      req.WebhookURL,
-			RetrainEvery:    req.RetrainEvery,
-		}); err != nil {
-			s.countError(w, http.StatusInternalServerError, err)
-			return
-		}
-	}
-	s.log.Info("series created", "name", name, "interval", interval)
 	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
 }
 
-// get returns the monitored series or writes a 404.
-func (s *Server) get(w http.ResponseWriter, r *http.Request) *monitored {
-	name := r.PathValue("name")
-	s.mu.RLock()
-	m := s.series[name]
-	s.mu.RUnlock()
-	if m == nil {
-		s.countError(w, http.StatusNotFound, fmt.Errorf("no series %q", name))
-	}
-	return m
-}
-
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	m := s.get(w, r)
-	if m == nil {
+	st, err := s.eng.Status(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, err)
 		return
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := Status{
-		Name:            m.series.Name,
-		Points:          m.series.Len(),
-		AnomalousPoints: m.labels.Count(),
-		LabeledWindows:  len(m.labels.Windows()),
-		Trained:         m.monitor != nil,
-		Recall:          m.pref.Recall,
-		Precision:       m.pref.Precision,
-		IntervalSeconds: int(m.series.Interval / time.Second),
-	}
-	if m.monitor != nil {
-		st.CThld = m.monitor.CThld()
-		st.TrainedAt = m.trained
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
-	m := s.get(w, r)
-	if m == nil {
-		return
-	}
 	var req PointsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
 		return
 	}
-	if len(req.Points) == 0 {
-		s.countError(w, http.StatusBadRequest, errors.New("no points"))
+	bufp := s.vbufs.Get().(*[]engine.Verdict)
+	res, err := s.eng.Append(r.PathValue("name"), req.Points, *bufp)
+	if err != nil {
+		s.vbufs.Put(bufp)
+		s.fail(w, err)
 		return
 	}
-	m.mu.Lock()
-	type observed struct {
-		ts        time.Time
-		anomalous bool
-		prob      float64
+	resp := PointsResponse{
+		Appended: res.Appended,
+		Total:    res.Total,
+		Verdicts: res.Verdicts,
 	}
-	var observations []observed
-	resp := PointsResponse{}
-	for _, p := range req.Points {
-		if !p.Timestamp.IsZero() {
-			// Points must arrive in order, one per slot.
-			want := m.series.TimeAt(m.series.Len())
-			if !p.Timestamp.UTC().Equal(want) {
-				m.mu.Unlock()
-				s.countError(w, http.StatusUnprocessableEntity,
-					fmt.Errorf("out-of-order point: got %v, next slot is %v", p.Timestamp.UTC(), want))
-				return
-			}
-		}
-		idx := m.series.Len()
-		m.series.Append(p.Value)
-		m.labels = append(m.labels, false)
-		resp.Appended++
-		s.metrics.pointsIngested.Add(1)
-		if m.monitor != nil {
-			v := m.monitor.Step(p.Value)
-			resp.Verdicts = append(resp.Verdicts, VerdictResponse{
-				Index: idx, Probability: v.Probability, Anomalous: v.Anomalous,
-			})
-			if v.Anomalous {
-				s.metrics.alarmsRaised.Add(1)
-				m.alarms = append(m.alarms, Alarm{
-					Time:        m.series.TimeAt(idx),
-					Value:       p.Value,
-					Probability: v.Probability,
-					CThld:       v.CThld,
-				})
-				if len(m.alarms) > s.maxAlarms {
-					m.alarms = m.alarms[len(m.alarms)-s.maxAlarms:]
-				}
-			}
-			if m.incident != nil {
-				observations = append(observations, observed{
-					ts: m.series.TimeAt(idx), anomalous: v.Anomalous, prob: v.Probability,
-				})
-			}
-		}
-	}
-	resp.Total = m.series.Len()
-	if s.store != nil && resp.Appended > 0 {
-		values := m.series.Values[m.series.Len()-resp.Appended:]
-		if err := s.store.AppendPoints(m.series.Name, values); err != nil {
-			s.log.Error("wal append failed", "series", m.series.Name, "err", err)
-		}
-	}
-	// Weekly-style automatic incremental retraining (§3.2).
-	if m.retrainEvery > 0 && m.monitor != nil &&
-		m.series.Len()-m.pointsAtTrain >= m.retrainEvery {
-		if err := s.retrainLocked(m); err != nil {
-			s.log.Warn("auto-retrain failed", "series", m.series.Name, "err", err)
-		}
-	}
-	incident := m.incident
-	m.mu.Unlock()
-
-	// Fold observations into the incident state outside the series lock.
-	// Delivery itself is asynchronous (alerting.Pipeline), so Observe only
-	// enqueues: a slow or dead webhook can never stall the ingest hot path.
-	// The only error surface here is a saturated queue, which is counted by
-	// the pipeline and logged.
-	if incident != nil {
-		for _, o := range observations {
-			if err := incident.Observe(context.Background(), o.ts, o.anomalous, o.prob); err != nil {
-				s.log.Warn("incident notification not queued", "series", r.PathValue("name"), "err", err)
-			}
-		}
+	if !res.Persisted {
+		f := false
+		resp.Persisted = &f
 	}
 	writeJSON(w, http.StatusOK, resp)
+	// Return the (possibly grown) buffer to the pool only after encoding.
+	*bufp = res.Verdicts
+	s.vbufs.Put(bufp)
 }
 
 func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
-	m := s.get(w, r)
-	if m == nil {
-		return
-	}
 	var req LabelsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, lw := range req.Windows {
-		if lw.Start < 0 || lw.End > m.series.Len() || lw.Start >= lw.End {
-			s.countError(w, http.StatusUnprocessableEntity,
-				fmt.Errorf("window [%d, %d) out of range 0..%d", lw.Start, lw.End, m.series.Len()))
-			return
-		}
-	}
-	for _, lw := range req.Windows {
-		for i := lw.Start; i < lw.End; i++ {
-			m.labels[i] = lw.Anomalous
-		}
-		if s.store != nil {
-			if err := s.store.AppendLabel(m.series.Name, lw.Start, lw.End, lw.Anomalous); err != nil {
-				s.log.Error("wal label failed", "series", m.series.Name, "err", err)
-			}
-		}
+	res, err := s.eng.Label(r.PathValue("name"), req.Windows)
+	if err != nil {
+		s.fail(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{
-		"anomalous_points": m.labels.Count(),
-		"labeled_windows":  len(m.labels.Windows()),
+		"anomalous_points": res.AnomalousPoints,
+		"labeled_windows":  res.LabeledWindows,
 	})
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
-	m := s.get(w, r)
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := s.retrainLocked(m); err != nil {
-		s.countError(w, http.StatusUnprocessableEntity, err)
+	res, err := s.eng.Train(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"trained_at": m.trained,
-		"cthld":      m.monitor.CThld(),
-		"points":     m.series.Len(),
+		"trained_at": res.TrainedAt,
+		"cthld":      res.CThld,
+		"points":     res.Points,
 	})
 }
 
-// retrainLocked (re)trains m's classifier; callers hold m.mu.
-func (s *Server) retrainLocked(m *monitored) error {
-	started := time.Now()
-	defer func() { s.metrics.observeTraining(time.Since(started)) }()
-	dets, err := s.registry(m.series.Interval)
-	if err != nil {
-		return err
-	}
-	name := m.series.Name
-	cfg := core.MonitorConfig{
-		Preference:    m.pref,
-		Forest:        forest.Config{Trees: m.trees, Seed: 1},
-		SkipInitialCV: m.monitor != nil, // CV once; EWMA carries after that
-		OnDetectorPanic: func(detName string, recovered any) {
-			s.metrics.detectorPanics.Add(1)
-			s.log.Warn("detector panic sandboxed", "series", name,
-				"detector", detName, "panic", recovered)
-		},
-	}
-	if m.monitor == nil {
-		mon, err := core.NewMonitor(m.series, m.labels, dets, cfg)
-		if err != nil {
-			return err
-		}
-		m.monitor = mon
-	} else if err := m.monitor.Retrain(m.series, m.labels, dets); err != nil {
-		return err
-	}
-	m.trained = time.Now().UTC()
-	m.pointsAtTrain = m.series.Len()
-	s.log.Info("series trained", "name", m.series.Name, "points", m.series.Len(), "cthld", m.monitor.CThld())
-	return nil
-}
-
 func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
-	m := s.get(w, r)
-	if m == nil {
-		return
-	}
 	var since time.Time
 	if q := r.URL.Query().Get("since"); q != "" {
 		t, err := time.Parse(time.RFC3339, q)
@@ -631,15 +330,29 @@ func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
 		}
 		since = t
 	}
-	m.mu.Lock()
-	out := make([]Alarm, 0, len(m.alarms))
-	for _, a := range m.alarms {
-		if a.Time.After(since) {
-			out = append(out, a)
-		}
+	alarms, err := s.eng.Alarms(r.PathValue("name"), since)
+	if err != nil {
+		s.fail(w, err)
+		return
 	}
-	m.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string][]Alarm{"alarms": out})
+	writeJSON(w, http.StatusOK, map[string][]Alarm{"alarms": alarms})
+}
+
+// fail maps an engine error kind to its HTTP status and writes the uniform
+// error body.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, engine.ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, engine.ErrInvalid):
+		code = http.StatusBadRequest
+	case errors.Is(err, engine.ErrRejected):
+		code = http.StatusUnprocessableEntity
+	}
+	s.countError(w, code, err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

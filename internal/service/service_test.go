@@ -463,11 +463,20 @@ func TestAutoRetrain(t *testing.T) {
 	if resp, b := doJSON(t, http.MethodPost, ts.URL+"/v1/series/pv/points", PointsRequest{Points: week}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream: %d %s", resp.StatusCode, b)
 	}
-	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/series/pv", nil)
+	// Retraining is asynchronous (ingest never blocks on a training round),
+	// so poll for the swap instead of asserting immediately.
+	deadline := time.Now().Add(15 * time.Second)
 	var after Status
-	json.Unmarshal(body, &after)
-	if !after.TrainedAt.After(before.TrainedAt) {
-		t.Errorf("auto-retrain did not fire: before %v, after %v", before.TrainedAt, after.TrainedAt)
+	for {
+		resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/series/pv", nil)
+		json.Unmarshal(body, &after)
+		if after.TrainedAt.After(before.TrainedAt) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-retrain did not fire: before %v, after %v", before.TrainedAt, after.TrainedAt)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 
