@@ -1,9 +1,9 @@
 # Opprentice reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build test vet race engine-race faults bench eval eval-html fuzz clean
+.PHONY: all build test vet race engine-race faults bench bench-json bench-check eval eval-html fuzz clean
 
-all: build vet test engine-race
+all: build vet test engine-race bench-check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,20 @@ faults:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Run the retrain + flattened-forest benchmarks and record them as JSON
+# (BENCH_retrain.json). The fixed -benchtime keeps the run short while giving
+# a stable cold/incremental ratio.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkRetrainColdVsIncremental|BenchmarkForestProbFlat$$' \
+		-benchmem -benchtime 20x ./internal/core/ ./internal/ml/forest/ | tee bench_retrain.txt
+	$(GO) run ./cmd/benchjson -in bench_retrain.txt -out BENCH_retrain.json
+
+# Regression gate: the cold/incremental retrain speedup RATIO (machine-
+# independent) must stay within 10% of the committed baseline and above the
+# absolute 5x floor, and forest.Prob must stay allocation-free.
+bench-check: bench-json
+	$(GO) run ./cmd/benchjson -in bench_retrain.txt -check BENCH_baseline.json
+
 # Regenerate every paper table/figure (writes results_medium.txt + HTML).
 eval:
 	$(GO) run ./cmd/evalbench -run all -scale medium -o results_medium.txt -html results_medium.html
@@ -41,4 +55,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt bench_retrain.txt

@@ -1,0 +1,171 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// artifact and enforces the retrain-speedup regression gate.
+//
+// Two modes, usually chained by the Makefile:
+//
+//	go test -bench 'RetrainColdVsIncremental|ForestProbFlat' ... | tee bench_retrain.txt
+//	benchjson -in bench_retrain.txt -out BENCH_retrain.json
+//	benchjson -in bench_retrain.txt -check BENCH_baseline.json
+//
+// The regression gate compares the COLD/INCREMENTAL SPEEDUP RATIO of
+// BenchmarkRetrainColdVsIncremental against the committed baseline — the
+// ratio, not absolute ns/op, so the check is stable across machines — and
+// fails (exit 1) when the ratio regressed by more than -tolerance, when it
+// falls below the absolute -min-speedup floor, or when the flattened
+// forest.Prob hot path allocates again.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Report is the JSON artifact (BENCH_retrain.json / BENCH_baseline.json).
+type Report struct {
+	Generated string `json:"generated,omitempty"`
+	// Benchmarks maps the benchmark name (without the Benchmark prefix and
+	// GOMAXPROCS suffix) to its measurement.
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// RetrainSpeedup is cold ns/op ÷ incremental ns/op of
+	// BenchmarkRetrainColdVsIncremental — the machine-independent number the
+	// regression gate compares.
+	RetrainSpeedup float64 `json:"retrain_speedup,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkRetrainColdVsIncremental/cold-8   10   46604300 ns/op   9352404 B/op   54211 allocs/op
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+const (
+	coldName = "RetrainColdVsIncremental/cold"
+	incName  = "RetrainColdVsIncremental/incremental"
+	probName = "ForestProbFlat"
+)
+
+func parse(data []byte) (*Report, error) {
+	rep := &Report{Benchmarks: map[string]Result{}}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		var r Result
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rep.Benchmarks[m[1]] = r
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	cold, okC := rep.Benchmarks[coldName]
+	inc, okI := rep.Benchmarks[incName]
+	if okC && okI && inc.NsPerOp > 0 {
+		rep.RetrainSpeedup = cold.NsPerOp / inc.NsPerOp
+	}
+	return rep, nil
+}
+
+func main() {
+	var (
+		in         = flag.String("in", "", "benchmark output file (default stdin)")
+		out        = flag.String("out", "", "write parsed results as JSON to this file")
+		check      = flag.String("check", "", "baseline JSON to compare the retrain speedup against")
+		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional speedup regression vs the baseline")
+		minSpeedup = flag.Float64("min-speedup", 5.0, "absolute cold/incremental speedup floor (0 disables)")
+	)
+	flag.Parse()
+
+	var (
+		data []byte
+		err  error
+	)
+	if *in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fatal("read input: %v", err)
+	}
+	rep, err := parse(data)
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+
+	if *out != "" {
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+		fmt.Printf("benchjson: wrote %s (retrain speedup %.2fx)\n", *out, rep.RetrainSpeedup)
+	}
+
+	if *check == "" {
+		return
+	}
+	baseBuf, err := os.ReadFile(*check)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(baseBuf, &base); err != nil {
+		fatal("parse baseline %s: %v", *check, err)
+	}
+
+	failed := false
+	if rep.RetrainSpeedup == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has no RetrainColdVsIncremental cold+incremental pair")
+		failed = true
+	} else {
+		floor := base.RetrainSpeedup * (1 - *tolerance)
+		if base.RetrainSpeedup > 0 && rep.RetrainSpeedup < floor {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: retrain speedup %.2fx regressed >%.0f%% vs baseline %.2fx (floor %.2fx)\n",
+				rep.RetrainSpeedup, *tolerance*100, base.RetrainSpeedup, floor)
+			failed = true
+		}
+		if *minSpeedup > 0 && rep.RetrainSpeedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: retrain speedup %.2fx below the absolute %.1fx floor\n",
+				rep.RetrainSpeedup, *minSpeedup)
+			failed = true
+		}
+	}
+	if prob, ok := rep.Benchmarks[probName]; ok && prob.AllocsPerOp != 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: forest.Prob allocates %d objects/op, want 0\n", prob.AllocsPerOp)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: OK: retrain speedup %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
+		rep.RetrainSpeedup, base.RetrainSpeedup, *tolerance*100)
+}
+
+// fatal prints an error and exits 2 (distinct from the regression gate's 1).
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -36,6 +36,7 @@ func main() {
 		dataDir = flag.String("data-dir", "", "directory for durable series logs (empty = memory only)")
 		shards  = flag.Int("shards", 0, "series registry shards (0 = default; rounded up to a power of two)")
 		workers = flag.Int("retrain-workers", 0, "background retrain workers (0 = default)")
+		cacheMB = flag.Int("extract-cache-mb", 0, "incremental feature-extraction cache cap in MiB, shared by all series (0 = default 256, negative = disabled)")
 		timeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		Log:            logger,
 		Shards:         *shards,
 		RetrainWorkers: *workers,
+		ExtractCacheMB: *cacheMB,
 	})
 	srv := service.NewServerWithEngine(eng, logger)
 	if *dataDir != "" {

@@ -92,6 +92,19 @@ func (f *Forecaster) observe(x, forecast float64) {
 	f.seen++
 }
 
+// Clone returns an independent forecaster at the same stream position: the
+// clone and the original produce bit-identical forecasts for the same future
+// inputs. The fitted model is immutable and shared; the lag state is copied.
+func (f *Forecaster) Clone() *Forecaster {
+	return &Forecaster{
+		m:     f.m,
+		xlags: append([]float64(nil), f.xlags...),
+		wlags: append([]float64(nil), f.wlags...),
+		elags: append([]float64(nil), f.elags...),
+		seen:  f.seen,
+	}
+}
+
 // Reset clears the lag state.
 func (f *Forecaster) Reset() {
 	f.xlags, f.wlags, f.elags = nil, nil, nil

@@ -1,0 +1,87 @@
+package core
+
+// Retrain extraction cost, cold vs incremental — the PR's headline number.
+// Both arms run the full paper-scale detector registry (§4.3, 14 detectors /
+// 100+ configurations) over hourly data:
+//
+//   - cold:        re-extracts 13 weeks of history from scratch, the way
+//                  every weekly retrain worked before the cache (includes the
+//                  Trainable ARIMA refit).
+//   - incremental: appends one week onto 12 weeks of already-cached history
+//                  and extracts only the new tail (the cache grows across
+//                  iterations, so every iteration is a realistic
+//                  week-over-week retrain).
+//
+// The speedup ratio cold/incremental is what cmd/benchjson records in
+// BENCH_retrain.json and checks against BENCH_baseline.json (the ratio, not
+// the absolute ns/op, so the check is machine-independent).
+
+import (
+	"testing"
+	"time"
+
+	"opprentice/internal/detectors"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/timeseries"
+)
+
+// benchSeries generates `weeks` of hourly PV data.
+func benchSeries(b *testing.B, weeks int) *timeseries.Series {
+	b.Helper()
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = weeks
+	return kpigen.Generate(p, 17).Series
+}
+
+// benchRegistry returns a fresh full paper registry for hourly data.
+func benchRegistry(b *testing.B) []detectors.Detector {
+	b.Helper()
+	ds, err := detectors.Registry(time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkRetrainColdVsIncremental(b *testing.B) {
+	const (
+		ppw       = 168 // hourly points per week
+		histWeeks = 13
+	)
+
+	b.Run("cold", func(b *testing.B) {
+		full := benchSeries(b, histWeeks)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Extract(full, benchRegistry(b), ExtractConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		full := benchSeries(b, histWeeks)
+		// Seed the cache with all but the last week (one cold round, untimed).
+		s := timeseries.New(full.Name, full.Start, full.Interval)
+		for _, v := range full.Values[:(histWeeks-1)*ppw] {
+			s.Append(v)
+		}
+		cache := NewFeatureCache(nil)
+		if _, _, err := ExtractIncremental(cache, s, benchRegistry(b), ExtractConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		week := full.Values[(histWeeks-1)*ppw:] // cycled tail for the appended weeks
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range week {
+				s.Append(v)
+			}
+			if _, _, err := ExtractIncremental(cache, s, benchRegistry(b), ExtractConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -31,6 +31,11 @@ type Features struct {
 	// Degraded lists the configuration names whose extraction panicked and
 	// was sandboxed into an all-NaN column.
 	Degraded []string
+
+	// imp, when non-nil, is the incrementally maintained NaN→0 view of Cols,
+	// sharing storage with the FeatureCache this Features came from. See
+	// ImputedFull.
+	imp [][]float64
 }
 
 // DegradedCount returns how many configurations were sandboxed during
@@ -53,21 +58,9 @@ type ExtractConfig struct {
 // explicitly designed to keep working when some detectors are unusable (§6
 // "dirty data").
 func Extract(s *timeseries.Series, ds []detectors.Detector, cfg ExtractConfig) (*Features, error) {
-	ppw, err := s.PointsPerWeek()
+	fitN, workers, err := extractParams(s, cfg)
 	if err != nil {
 		return nil, err
-	}
-	fitWeeks := cfg.FitWeeks
-	if fitWeeks <= 0 {
-		fitWeeks = 8
-	}
-	if max := s.Len() / ppw; fitWeeks > max {
-		fitWeeks = max
-	}
-	fitN := fitWeeks * ppw
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 
 	f := &Features{
@@ -97,6 +90,28 @@ func Extract(s *timeseries.Series, ds []detectors.Detector, cfg ExtractConfig) (
 	wg.Wait()
 	sort.Strings(f.Degraded)
 	return f, nil
+}
+
+// extractParams resolves the Trainable fit window (in points) and the worker
+// bound for an extraction over s — shared by Extract and ExtractIncremental
+// so both derive bit-identical fit windows.
+func extractParams(s *timeseries.Series, cfg ExtractConfig) (fitN, workers int, err error) {
+	ppw, err := s.PointsPerWeek()
+	if err != nil {
+		return 0, 0, err
+	}
+	fitWeeks := cfg.FitWeeks
+	if fitWeeks <= 0 {
+		fitWeeks = 8
+	}
+	if max := s.Len() / ppw; fitWeeks > max {
+		fitWeeks = max
+	}
+	workers = cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return fitWeeks * ppw, workers, nil
 }
 
 // extractColumn runs one detector over the series, sandboxing panics: if the
@@ -149,12 +164,18 @@ func (f *Features) Slice(lo, hi int) [][]float64 {
 	return out
 }
 
+// imputedParallelThreshold is the matrix-cell count above which Imputed
+// parallelizes its column work; below it the goroutine overhead dominates.
+const imputedParallelThreshold = 1 << 16
+
 // Imputed returns a copy of rows [lo, hi) with NaN severities replaced by 0
 // — "no evidence of anomaly" — which is what the learners and the static
-// combination baselines consume.
+// combination baselines consume. Large matrices are imputed with one worker
+// per column (bounded by GOMAXPROCS).
 func (f *Features) Imputed(lo, hi int) [][]float64 {
 	out := make([][]float64, len(f.Cols))
-	for j, col := range f.Cols {
+	imputeInto := func(j int) {
+		col := f.Cols[j]
 		dst := make([]float64, hi-lo)
 		for i, v := range col[lo:hi] {
 			if math.IsNaN(v) {
@@ -165,7 +186,47 @@ func (f *Features) Imputed(lo, hi int) [][]float64 {
 		}
 		out[j] = dst
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if (hi-lo)*len(f.Cols) < imputedParallelThreshold || workers < 2 {
+		for j := range f.Cols {
+			imputeInto(j)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for j := range f.Cols {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			imputeInto(j)
+		}(j)
+	}
+	wg.Wait()
 	return out
+}
+
+// ImputedFull returns the full-length NaN→0 matrix in the cheapest way
+// available. When this Features came from a FeatureCache, the cache's
+// incrementally maintained imputed columns are returned (shared storage —
+// treat as read-only). Otherwise the raw columns are imputed *in place* —
+// destroying the NaN warm-up markers — and Cols itself is returned, so no
+// second matrix is materialized; callers that still need raw severities must
+// copy them first.
+func (f *Features) ImputedFull() [][]float64 {
+	if f.imp != nil {
+		return f.imp
+	}
+	for _, col := range f.Cols {
+		for i, v := range col {
+			if math.IsNaN(v) {
+				col[i] = 0
+			}
+		}
+	}
+	return f.Cols
 }
 
 // Column returns the full severity series of configuration j (shared

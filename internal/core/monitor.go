@@ -56,6 +56,11 @@ type MonitorConfig struct {
 	// observed indirectly (a degraded extraction column). Callbacks run on
 	// the goroutine that observed the panic and must be cheap.
 	OnDetectorPanic func(name string, recovered any)
+	// Cache, when set, makes training extraction incremental: the initial
+	// extraction seeds the cache (cold) and every later
+	// RetrainCached/RetrainSnapshotCached against the same cache extracts
+	// only the points appended since (see ExtractIncremental).
+	Cache *FeatureCache
 }
 
 // NewMonitor trains a monitor on labeled history: detectors are fitted and
@@ -73,11 +78,14 @@ func NewMonitor(history *timeseries.Series, labels timeseries.Labels, dets []det
 	if cfg.Folds <= 0 {
 		cfg.Folds = 5
 	}
-	feats, err := Extract(history, dets, ExtractConfig{})
+	feats, liveDets, err := ExtractIncremental(cfg.Cache, history, dets, ExtractConfig{})
 	if err != nil {
 		return nil, err
 	}
-	cols := feats.Imputed(0, feats.NumPoints())
+	// ImputedFull avoids materializing a second matrix: without a cache the
+	// raw columns are imputed in place (this extraction is private to us);
+	// with one, the cache's incrementally maintained imputed view is used.
+	cols := feats.ImputedFull()
 	if !bothClasses(labels) {
 		return nil, fmt.Errorf("core: history must contain labeled anomalies and normal data")
 	}
@@ -90,7 +98,7 @@ func NewMonitor(history *timeseries.Series, labels timeseries.Labels, dets []det
 	pred := NewCThldPredictor(cfg.EWMAAlpha)
 	pred.Seed(cthld)
 	m := &Monitor{
-		dets:    dets,
+		dets:    liveDets,
 		model:   model,
 		cthld:   pred.Predict(),
 		pred:    pred,
@@ -212,8 +220,17 @@ func (m *Monitor) DegradedDetectors() int {
 // history (incremental retraining, §3.2) and folds the period's best cThld
 // into the EWMA prediction. history must cover everything up to the present,
 // including the points already Stepped; detector streaming state is left
-// untouched.
+// untouched. Extraction is cold; use RetrainCached with a FeatureCache to
+// make it O(new points).
 func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector) error {
+	return m.RetrainCached(history, labels, dets, nil)
+}
+
+// RetrainCached is Retrain with incremental feature extraction: with a
+// non-nil cache, only the points appended since the cache's last extraction
+// are run through the detectors (see ExtractIncremental); a nil cache
+// extracts cold.
+func (m *Monitor) RetrainCached(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector, cache *FeatureCache) error {
 	if len(labels) != history.Len() {
 		return fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
 	}
@@ -221,7 +238,7 @@ func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, 
 		return fmt.Errorf("core: history must contain labeled anomalies and normal data")
 	}
 	// Extract with a fresh detector set so the live ones keep streaming.
-	feats, err := Extract(history, dets, ExtractConfig{})
+	feats, _, err := ExtractIncremental(cache, history, dets, ExtractConfig{})
 	if err != nil {
 		return err
 	}
@@ -234,7 +251,7 @@ func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, 
 			m.onPanic(name, nil)
 		}
 	}
-	cols := feats.Imputed(0, feats.NumPoints())
+	cols := feats.ImputedFull()
 	m.model = forest.Train(cols, labels, m.fcfg)
 
 	// Best cThld of the most recent week, observed into the predictor.
@@ -268,17 +285,28 @@ func (m *Monitor) Retrain(history *timeseries.Series, labels timeseries.Labels, 
 // Step never writes — but concurrent Retrain/RetrainSnapshot calls on the
 // same monitor must be serialized by the caller.
 func (m *Monitor) RetrainSnapshot(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector) (*Monitor, error) {
+	return m.RetrainSnapshotCached(history, labels, dets, nil)
+}
+
+// RetrainSnapshotCached is RetrainSnapshot with incremental feature
+// extraction: with a non-nil cache only the points appended since the cache's
+// last extraction are stepped, and the returned monitor's live detector set
+// is built from the cache's advanced checkpoints instead of replaying the
+// whole history (a nil cache extracts cold, exactly like RetrainSnapshot).
+// Rounds against the same cache must be serialized by the caller — the
+// engine's per-series train mutex already does.
+func (m *Monitor) RetrainSnapshotCached(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector, cache *FeatureCache) (*Monitor, error) {
 	if len(labels) != history.Len() {
 		return nil, fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
 	}
 	if !bothClasses(labels) {
 		return nil, fmt.Errorf("core: history must contain labeled anomalies and normal data")
 	}
-	feats, err := Extract(history, dets, ExtractConfig{})
+	feats, liveDets, err := ExtractIncremental(cache, history, dets, ExtractConfig{})
 	if err != nil {
 		return nil, err
 	}
-	cols := feats.Imputed(0, feats.NumPoints())
+	cols := feats.ImputedFull()
 	model := forest.Train(cols, labels, m.fcfg)
 
 	// Best cThld of the most recent week, observed into a cloned predictor so
@@ -294,15 +322,15 @@ func (m *Monitor) RetrainSnapshot(history *timeseries.Series, labels timeseries.
 		pred.Observe(best.Threshold)
 	}
 	n := &Monitor{
-		dets:    dets,
+		dets:    liveDets,
 		model:   model,
 		cthld:   pred.Predict(),
 		pred:    pred,
 		fcfg:    m.fcfg,
 		pref:    m.pref,
-		row:     make([]float64, len(dets)),
+		row:     make([]float64, len(liveDets)),
 		points:  history.Len(),
-		dead:    make([]bool, len(dets)),
+		dead:    make([]bool, len(liveDets)),
 		onPanic: m.onPanic,
 	}
 	if m.filter != nil {

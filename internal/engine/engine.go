@@ -121,6 +121,13 @@ type Config struct {
 	// RetrainQueue bounds the pending automatic-retrain queue (default 64).
 	// When it is full a trigger is dropped and re-armed by the next append.
 	RetrainQueue int
+	// ExtractCacheMB caps the engine-wide incremental feature-extraction
+	// cache, in MiB, shared by all series (default 256). A series' cache
+	// makes its weekly retrain extraction O(new points) instead of O(full
+	// history); when the shared cap is exceeded the overflowing cache is
+	// invalidated wholesale and that series retrains cold. Negative disables
+	// caching entirely.
+	ExtractCacheMB int
 }
 
 // Engine owns all monitored series and the ingest/train/label/status
@@ -135,6 +142,10 @@ type Engine struct {
 	maxAlarms int
 	registry  func(time.Duration) ([]detectors.Detector, error)
 	notifyCfg alerting.PipelineConfig
+
+	// cacheBudget is the shared accounting for all series' feature caches;
+	// nil when caching is disabled.
+	cacheBudget *core.CacheBudget
 
 	counters counters
 
@@ -170,6 +181,12 @@ type managed struct {
 
 	trainMu  sync.Mutex  // serializes snapshot→fit→swap rounds
 	training atomic.Bool // an automatic retrain is queued or in flight
+
+	// featCache checkpoints extraction state across training rounds so
+	// retrains extract only newly appended points (nil when caching is
+	// disabled). Only touched inside training rounds, serialized by trainMu;
+	// the cache carries its own mutex besides.
+	featCache *core.FeatureCache
 }
 
 // New returns an engine with no series and its retrain workers running.
@@ -199,16 +216,24 @@ func New(cfg Config) *Engine {
 	if cfg.RetrainQueue <= 0 {
 		cfg.RetrainQueue = 64
 	}
+	if cfg.ExtractCacheMB == 0 {
+		cfg.ExtractCacheMB = 256
+	}
+	var budget *core.CacheBudget
+	if cfg.ExtractCacheMB > 0 {
+		budget = core.NewCacheBudget(int64(cfg.ExtractCacheMB) << 20)
+	}
 	e := &Engine{
-		shards:    make([]shard, n),
-		shardMask: uint32(n - 1),
-		log:       cfg.Log,
-		store:     cfg.Store,
-		maxAlarms: cfg.MaxAlarms,
-		registry:  cfg.Registry,
-		notifyCfg: cfg.Notify,
-		trainQ:    make(chan *managed, cfg.RetrainQueue),
-		stop:      make(chan struct{}),
+		shards:      make([]shard, n),
+		shardMask:   uint32(n - 1),
+		log:         cfg.Log,
+		store:       cfg.Store,
+		maxAlarms:   cfg.MaxAlarms,
+		registry:    cfg.Registry,
+		notifyCfg:   cfg.Notify,
+		cacheBudget: budget,
+		trainQ:      make(chan *managed, cfg.RetrainQueue),
+		stop:        make(chan struct{}),
 	}
 	for i := range e.shards {
 		e.shards[i].series = make(map[string]*managed)
@@ -304,6 +329,9 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 		trees:        trees,
 		retrainEvery: cfg.RetrainEvery,
 		alarms:       alarmRing{max: e.maxAlarms},
+	}
+	if e.cacheBudget != nil {
+		m.featCache = core.NewFeatureCache(e.cacheBudget)
 	}
 	if cfg.WebhookURL != "" {
 		e.attachIncident(m, cfg.WebhookURL)
@@ -501,6 +529,9 @@ func (e *Engine) Restore() (int, error) {
 			trees:        meta.Trees,
 			retrainEvery: meta.RetrainEvery,
 			alarms:       alarmRing{max: e.maxAlarms},
+		}
+		if e.cacheBudget != nil {
+			m.featCache = core.NewFeatureCache(e.cacheBudget)
 		}
 		m.series.Values = loaded.Values
 		m.labels = timeseries.Labels(loaded.Labels)

@@ -36,11 +36,21 @@ type Counters struct {
 	DetectorPanics  int64
 	WALQuarantined  int64
 	WALAppendErrors int64
+
+	// Incremental feature-extraction cache accounting (all zero when the
+	// cache is disabled). ExtractPointsCold/Incremental count
+	// (point × configuration) severity computations by extraction mode —
+	// the ratio is the retrain amortization actually achieved.
+	ExtractPointsCold        int64
+	ExtractPointsIncremental int64
+	ExtractCacheBytes        int64
+	ExtractCacheCapBytes     int64
+	ExtractCacheInvalidated  int64
 }
 
 // Counters returns the current engine-wide counters.
 func (e *Engine) Counters() Counters {
-	return Counters{
+	c := Counters{
 		PointsIngested:  e.counters.pointsIngested.Load(),
 		AlarmsRaised:    e.counters.alarmsRaised.Load(),
 		TrainingsRun:    e.counters.trainingsRun.Load(),
@@ -49,6 +59,15 @@ func (e *Engine) Counters() Counters {
 		WALQuarantined:  e.counters.walQuarantined.Load(),
 		WALAppendErrors: e.counters.walAppendErrors.Load(),
 	}
+	if e.cacheBudget != nil {
+		cs := e.cacheBudget.Stats()
+		c.ExtractPointsCold = cs.ColdPoints
+		c.ExtractPointsIncremental = cs.IncrementalPoints
+		c.ExtractCacheBytes = cs.Bytes
+		c.ExtractCacheCapBytes = cs.CapBytes
+		c.ExtractCacheInvalidated = cs.Invalidations
+	}
+	return c
 }
 
 // SeriesMetrics is one series' gauge snapshot for metric exposition.

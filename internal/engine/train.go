@@ -65,16 +65,21 @@ func (e *Engine) train(m *managed) (TrainResult, error) {
 	if err != nil {
 		return TrainResult{}, rejected(err)
 	}
+	// m.featCache (nil when caching is disabled) makes this extraction
+	// incremental: only the points appended since the previous round are run
+	// through the detectors, and the cache's checkpoints advance to the
+	// snapshot head. It is only ever touched here, under m.trainMu.
 	var next *core.Monitor
 	if cur == nil {
 		cfg := core.MonitorConfig{
 			Preference:      m.pref,
 			Forest:          forest.Config{Trees: m.trees, Seed: 1},
 			OnDetectorPanic: e.panicHook(m.name),
+			Cache:           m.featCache,
 		}
 		next, err = core.NewMonitor(snap, labels, dets, cfg)
 	} else {
-		next, err = cur.RetrainSnapshot(snap, labels, dets)
+		next, err = cur.RetrainSnapshotCached(snap, labels, dets, m.featCache)
 	}
 	if err != nil {
 		return TrainResult{}, rejected(err)

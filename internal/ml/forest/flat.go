@@ -1,0 +1,105 @@
+package forest
+
+// Flattened ensemble inference. Training grows each tree as its own node
+// array (already root-at-0 and contiguous per tree); buildFlat then packs
+// ALL trees of the ensemble into one contiguous node slice with absolute
+// child indices. Inference walks that single array iteratively — no
+// per-tree pointer chase, no closure indirection, no per-call allocation —
+// so classifying the week's worth of points each retrain replays (§4.5)
+// is branch-predictable and cache-friendly.
+
+// flatNode is one packed node of the cross-tree flat array (16 bytes).
+type flatNode struct {
+	left, right int32   // absolute indices into Forest.flat (internal nodes)
+	prob        float32 // leaf anomaly probability
+	feature     uint16  // split feature (internal nodes)
+	bin         uint8   // go left when code ≤ bin
+	leaf        bool
+}
+
+// buildFlat packs every tree's nodes into f.flat and records each tree's
+// root index in f.roots. Called once after Train and Load; inference then
+// never touches f.trees.
+func (f *Forest) buildFlat() {
+	total := 0
+	for _, t := range f.trees {
+		total += t.NumNodes()
+	}
+	f.flat = make([]flatNode, 0, total)
+	f.roots = make([]int32, len(f.trees))
+	for ti, t := range f.trees {
+		base := int32(len(f.flat))
+		f.roots[ti] = base
+		for i := 0; i < t.NumNodes(); i++ {
+			nd := t.Node(i)
+			f.flat = append(f.flat, flatNode{
+				left:    base + nd.Left,
+				right:   base + nd.Right,
+				prob:    nd.Prob,
+				feature: uint16(nd.Feature),
+				bin:     nd.Bin,
+				leaf:    nd.Leaf,
+			})
+		}
+	}
+}
+
+// probCodes runs the whole ensemble over one binned sample and combines
+// the leaves (mean leaf probability, or vote fraction under MajorityVote).
+// Zero allocations; codes[j] is the sample's bin code for feature j.
+func (f *Forest) probCodes(codes []uint8) float64 {
+	flat := f.flat
+	sum := 0.0
+	for _, i := range f.roots {
+		for {
+			nd := &flat[i]
+			if nd.leaf {
+				if f.majorityVote {
+					if nd.prob >= 0.5 {
+						sum++
+					}
+				} else {
+					sum += float64(nd.prob)
+				}
+				break
+			}
+			if codes[nd.feature] <= nd.bin {
+				i = nd.left
+			} else {
+				i = nd.right
+			}
+		}
+	}
+	return sum / float64(len(f.roots))
+}
+
+// probColsRange classifies samples [lo, hi) of the column-major binned
+// matrix into out, walking the flat array. Zero allocations.
+func (f *Forest) probColsRange(binned [][]uint8, out []float64, lo, hi int) {
+	flat := f.flat
+	div := float64(len(f.roots))
+	for s := lo; s < hi; s++ {
+		sum := 0.0
+		for _, i := range f.roots {
+			for {
+				nd := &flat[i]
+				if nd.leaf {
+					if f.majorityVote {
+						if nd.prob >= 0.5 {
+							sum++
+						}
+					} else {
+						sum += float64(nd.prob)
+					}
+					break
+				}
+				if binned[nd.feature][s] <= nd.bin {
+					i = nd.left
+				} else {
+					i = nd.right
+				}
+			}
+		}
+		out[s] = sum / div
+	}
+}

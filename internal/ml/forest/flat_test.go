@@ -1,0 +1,117 @@
+package forest
+
+// Tests for the flattened inference path: walking the one contiguous
+// cross-tree node array must agree exactly with traversing each tree's own
+// node array, and the per-point hot path must not allocate.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refProb combines the ensemble the slow way — one tree at a time through
+// the tree package's own traversal — as the ground truth for the flat walk.
+func refProb(f *Forest, row []float64) float64 {
+	codes := make([]uint8, len(row))
+	for j, v := range row {
+		codes[j] = f.binner.Code(j, v)
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		p := t.Prob(func(j int) uint8 { return codes[j] })
+		if f.majorityVote {
+			if p >= 0.5 {
+				sum++
+			}
+		} else {
+			sum += p
+		}
+	}
+	return sum / float64(len(f.trees))
+}
+
+func TestFlatMatchesTreeTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cols, labels := makeBlobs(800, 6, rng)
+	for _, mv := range []bool{false, true} {
+		f := Train(cols, labels, Config{Trees: 15, Seed: 3, MajorityVote: mv})
+		if len(f.flat) == 0 || len(f.roots) != f.NumTrees() {
+			t.Fatalf("majorityVote=%v: flat array not built (%d nodes, %d roots)", mv, len(f.flat), len(f.roots))
+		}
+		row := make([]float64, len(cols))
+		for i := 0; i < 200; i++ {
+			for j := range row {
+				row[j] = 6 * rng.NormFloat64()
+			}
+			got, want := f.Prob(row), refProb(f, row)
+			if got != want {
+				t.Fatalf("majorityVote=%v row %d: flat %v, reference %v", mv, i, got, want)
+			}
+		}
+	}
+}
+
+// TestProbAllSerialAndParallelAgree exercises both ProbAll paths — the
+// serial small-window path and the row-chunked parallel one — against the
+// per-row Prob result.
+func TestProbAllSerialAndParallelAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Large enough to cross probAllSerialThreshold.
+	n := 2 * probAllSerialThreshold
+	cols, labels := makeBlobs(n, 4, rng)
+	f := Train(cols, labels, Config{Trees: 11, Seed: 4})
+
+	check := func(sub [][]float64) {
+		t.Helper()
+		out := f.ProbAll(sub)
+		row := make([]float64, len(sub))
+		for i := range out {
+			for j := range sub {
+				row[j] = sub[j][i]
+			}
+			if want := f.Prob(row); out[i] != want {
+				t.Fatalf("sample %d: ProbAll %v, Prob %v", i, out[i], want)
+			}
+		}
+	}
+	check(cols) // parallel path
+	small := make([][]float64, len(cols))
+	for j := range cols {
+		small[j] = cols[j][:probAllSerialThreshold/4]
+	}
+	check(small) // serial path
+}
+
+// TestProbZeroAllocs is the acceptance criterion for the flattened hot
+// path: classifying one dense row of the paper-scale 133-configuration
+// feature vector allocates nothing.
+func TestProbZeroAllocs(t *testing.T) {
+	const d = 133
+	rng := rand.New(rand.NewSource(7))
+	cols := make([][]float64, d)
+	labels := make([]bool, 600)
+	for j := range cols {
+		cols[j] = make([]float64, len(labels))
+		for i := range cols[j] {
+			cols[j][i] = rng.NormFloat64()
+		}
+	}
+	for i := range labels {
+		labels[i] = cols[0][i] > 1.2
+	}
+	f := Train(cols, labels, Config{Trees: 20, Seed: 8})
+
+	row := make([]float64, d)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() { sink = f.Prob(row) })
+	if allocs != 0 {
+		t.Fatalf("Prob allocates %.1f objects per call, want 0", allocs)
+	}
+	if math.IsNaN(sink) {
+		t.Fatal("Prob returned NaN")
+	}
+}

@@ -65,6 +65,13 @@ type Forest struct {
 	trees        []*tree.Tree
 	binner       *tree.Binner
 	majorityVote bool
+
+	// flat packs every tree's nodes into one contiguous array (roots[t] is
+	// tree t's root index), built once after training or loading. All
+	// inference walks this array iteratively; trees is kept only for
+	// importances, serialization, and introspection.
+	flat  []flatNode
+	roots []int32
 }
 
 // Train fits a forest on column-major features (cols[j][i] is feature j of
@@ -115,6 +122,7 @@ func Train(cols [][]float64, labels []bool, cfg Config) *Forest {
 		}(t)
 	}
 	wg.Wait()
+	f.buildFlat()
 	return f
 }
 
@@ -150,31 +158,37 @@ func (f *Forest) Importances() []float64 {
 // Prob returns the anomaly probability of a single sample given as a dense
 // feature row: by default the mean of the trees' leaf probabilities, or the
 // fraction of anomaly-voting trees under Config.MajorityVote (§4.4.2).
+// It allocates nothing for rows up to 256 features (the per-point hot path
+// of online classification).
 func (f *Forest) Prob(row []float64) float64 {
 	if len(row) != f.binner.NumFeatures() {
 		panic(fmt.Sprintf("forest: row has %d features, want %d", len(row), f.binner.NumFeatures()))
 	}
-	codes := make([]uint8, len(row))
+	// Stack-allocated codes buffer: probCodes does not retain its argument,
+	// so buf never escapes for the common d ≤ 256 case.
+	var buf [256]uint8
+	var codes []uint8
+	if len(row) <= len(buf) {
+		codes = buf[:len(row)]
+	} else {
+		codes = make([]uint8, len(row))
+	}
 	for j, v := range row {
 		codes[j] = f.binner.Code(j, v)
 	}
-	sum := 0.0
-	for _, t := range f.trees {
-		p := t.Prob(func(j int) uint8 { return codes[j] })
-		if f.majorityVote {
-			if p >= 0.5 {
-				sum++
-			}
-		} else {
-			sum += p
-		}
-	}
-	return sum / float64(len(f.trees))
+	return f.probCodes(codes)
 }
 
+// probAllSerialThreshold is the sample count below which ProbAll stays on
+// the calling goroutine: a sample costs roughly trees × depth node visits
+// (~10⁴ ns), so spawning workers for a small replay window (the common
+// weekly-retrain case) would cost more in scheduling than it saves.
+const probAllSerialThreshold = 512
+
 // ProbAll classifies every sample of a column-major feature matrix,
-// returning one vote fraction per sample. Classification parallelizes
-// across samples.
+// returning one vote fraction per sample. Large batches chunk rows across
+// GOMAXPROCS workers; small windows run serially to avoid goroutine
+// overhead.
 func (f *Forest) ProbAll(cols [][]float64) []float64 {
 	binned := f.binner.Bin(cols)
 	n := 0
@@ -182,6 +196,10 @@ func (f *Forest) ProbAll(cols [][]float64) []float64 {
 		n = len(cols[0])
 	}
 	out := make([]float64, n)
+	if n <= probAllSerialThreshold {
+		f.probColsRange(binned, out, 0, n)
+		return out
+	}
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -196,20 +214,7 @@ func (f *Forest) ProbAll(cols [][]float64) []float64 {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sum := 0.0
-				for _, t := range f.trees {
-					p := t.ProbCols(binned, i)
-					if f.majorityVote {
-						if p >= 0.5 {
-							sum++
-						}
-					} else {
-						sum += p
-					}
-				}
-				out[i] = sum / float64(len(f.trees))
-			}
+			f.probColsRange(binned, out, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -61,5 +61,7 @@ func Load(r io.Reader) (*Forest, error) {
 	if err := f.binner.UnmarshalBinary(dto.Binner); err != nil {
 		return nil, err
 	}
+	// The flat inference array is derived state: rebuild rather than ship it.
+	f.buildFlat()
 	return f, nil
 }

@@ -215,6 +215,31 @@ func (t *Tree) ProbCols(binned [][]uint8, i int) float64 {
 // NumNodes returns the node count (for size assertions and ablations).
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
+// NodeView is the exported description of one tree node, used by ensemble
+// code (ml/forest) to flatten many trees into one contiguous node array for
+// branch-predictable iterative inference.
+type NodeView struct {
+	Feature     int
+	Bin         uint8 // go left when code ≤ Bin
+	Left, Right int32 // child indices within this tree's own node array
+	Prob        float32
+	Leaf        bool
+}
+
+// Node returns the i-th node of the tree's internal (already flattened,
+// root-at-0) node array.
+func (t *Tree) Node(i int) NodeView {
+	nd := &t.nodes[i]
+	return NodeView{
+		Feature: nd.feature,
+		Bin:     nd.bin,
+		Left:    nd.left,
+		Right:   nd.right,
+		Prob:    nd.prob,
+		Leaf:    nd.leaf,
+	}
+}
+
 // Depth returns the maximum depth of the tree (root = 0).
 func (t *Tree) Depth() int {
 	var walk func(i int32, d int) int

@@ -35,6 +35,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP opprenticed_training_seconds_total Cumulative training wall time.\n# TYPE opprenticed_training_seconds_total counter\nopprenticed_training_seconds_total %.3f\n",
 		c.TrainingSeconds)
 
+	// Incremental feature-extraction cache: work done per mode, current
+	// footprint, and whole-cache invalidations.
+	fmt.Fprintf(w, "# HELP opprenticed_extract_points_total Point-by-configuration severity computations during training extraction, by mode.\n# TYPE opprenticed_extract_points_total counter\n")
+	fmt.Fprintf(w, "opprenticed_extract_points_total{mode=\"cold\"} %d\n", c.ExtractPointsCold)
+	fmt.Fprintf(w, "opprenticed_extract_points_total{mode=\"incremental\"} %d\n", c.ExtractPointsIncremental)
+	fmt.Fprintf(w, "# HELP opprenticed_extract_cache_bytes Current feature-extraction cache footprint across all series.\n# TYPE opprenticed_extract_cache_bytes gauge\nopprenticed_extract_cache_bytes %d\n", c.ExtractCacheBytes)
+	writeCounter("opprenticed_extract_cache_invalidations_total", "Whole-cache invalidations (prefix mismatch, configuration change, cap overflow).", c.ExtractCacheInvalidated)
+
 	// Per-series gauges + notification pipeline counters.
 	snaps := s.eng.MetricsSnapshot()
 	var notify alerting.Stats

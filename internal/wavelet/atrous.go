@@ -78,6 +78,23 @@ func (m *MRA) Push(x float64) (details []float64, approx float64, ready bool) {
 	return details, a, m.n > m.WarmUp()
 }
 
+// Clone returns an independent analysis at the same stream position:
+// pushing the same future points into the clone and the original yields
+// bit-identical coefficients.
+func (m *MRA) Clone() *MRA {
+	c := &MRA{
+		levels: m.levels,
+		rings:  make([][]float64, len(m.rings)),
+		pos:    append([]int(nil), m.pos...),
+		filled: append([]int(nil), m.filled...),
+		n:      m.n,
+	}
+	for j, r := range m.rings {
+		c.rings[j] = append([]float64(nil), r...)
+	}
+	return c
+}
+
 // Reset returns the analysis to its initial state.
 func (m *MRA) Reset() {
 	for j := range m.rings {
