@@ -32,18 +32,25 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Run the retrain + flattened-forest benchmarks and record them as JSON
-# (BENCH_retrain.json). The fixed -benchtime keeps the run short while giving
-# a stable cold/incremental ratio.
+# (BENCH_retrain.json), then the warm-vs-cold restart benchmark
+# (BENCH_restore.json). The fixed -benchtime keeps the runs short while
+# giving stable ratios.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRetrainColdVsIncremental|BenchmarkForestProbFlat$$' \
 		-benchmem -benchtime 20x ./internal/core/ ./internal/ml/forest/ | tee bench_retrain.txt
 	$(GO) run ./cmd/benchjson -in bench_retrain.txt -out BENCH_retrain.json
+	$(GO) test -run '^$$' -bench 'BenchmarkRestoreWarmVsCold$$' \
+		-benchtime 2x ./internal/engine/ | tee bench_restore.txt
+	$(GO) run ./cmd/benchjson -in bench_restore.txt -out BENCH_restore.json
 
-# Regression gate: the cold/incremental retrain speedup RATIO (machine-
-# independent) must stay within 10% of the committed baseline and above the
-# absolute 5x floor, and forest.Prob must stay allocation-free.
+# Regression gates (machine-independent RATIOS, not absolute ns/op): the
+# cold/incremental retrain speedup must stay within 10% of the committed
+# baseline and above the absolute 5x floor, forest.Prob must stay
+# allocation-free, and the model registry's warm restart must stay >= 3x
+# faster than a cold restart.
 bench-check: bench-json
 	$(GO) run ./cmd/benchjson -in bench_retrain.txt -check BENCH_baseline.json
+	$(GO) run ./cmd/benchjson -in bench_restore.txt -check BENCH_baseline.json
 
 # Regenerate every paper table/figure (writes results_medium.txt + HTML).
 eval:
@@ -52,7 +59,8 @@ eval:
 fuzz:
 	$(GO) test -fuzz=FuzzPRCurve -fuzztime=30s ./internal/stats/
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/timeseries/
+	$(GO) test -fuzz=FuzzParseManifest -fuzztime=30s ./internal/registry/
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench_retrain.txt
+	rm -f test_output.txt bench_output.txt bench_retrain.txt bench_restore.txt

@@ -1,18 +1,28 @@
 // Command benchjson converts `go test -bench` output into a small JSON
-// artifact and enforces the retrain-speedup regression gate.
+// artifact and enforces the speedup regression gates.
 //
 // Two modes, usually chained by the Makefile:
 //
 //	go test -bench 'RetrainColdVsIncremental|ForestProbFlat' ... | tee bench_retrain.txt
 //	benchjson -in bench_retrain.txt -out BENCH_retrain.json
 //	benchjson -in bench_retrain.txt -check BENCH_baseline.json
+//	go test -bench 'RestoreWarmVsCold' ... | tee bench_restore.txt
+//	benchjson -in bench_restore.txt -out BENCH_restore.json
+//	benchjson -in bench_restore.txt -check BENCH_baseline.json
 //
-// The regression gate compares the COLD/INCREMENTAL SPEEDUP RATIO of
-// BenchmarkRetrainColdVsIncremental against the committed baseline — the
-// ratio, not absolute ns/op, so the check is stable across machines — and
-// fails (exit 1) when the ratio regressed by more than -tolerance, when it
-// falls below the absolute -min-speedup floor, or when the flattened
-// forest.Prob hot path allocates again.
+// The regression gates compare SPEEDUP RATIOS against the committed baseline
+// — ratios, not absolute ns/op, so the checks are stable across machines:
+//
+//   - BenchmarkRetrainColdVsIncremental cold ÷ incremental must stay within
+//     -tolerance of the baseline and above the -min-speedup floor, and the
+//     flattened forest.Prob hot path must stay allocation-free.
+//   - BenchmarkRestoreWarmVsCold cold ÷ warm (the restart speedup the model
+//     registry buys) must stay within -tolerance of the baseline and above
+//     the -min-restore-speedup floor.
+//
+// Each gate applies only when its benchmark pair is present in the input, so
+// the retrain and restore runs can be checked separately; input containing
+// neither pair fails.
 package main
 
 import (
@@ -45,6 +55,10 @@ type Report struct {
 	// BenchmarkRetrainColdVsIncremental — the machine-independent number the
 	// regression gate compares.
 	RetrainSpeedup float64 `json:"retrain_speedup,omitempty"`
+	// RestoreSpeedup is cold ns/op ÷ warm ns/op of
+	// BenchmarkRestoreWarmVsCold — the restart speedup the model registry's
+	// warm path buys over cold retraining.
+	RestoreSpeedup float64 `json:"restore_speedup,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
@@ -53,9 +67,11 @@ type Report struct {
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 const (
-	coldName = "RetrainColdVsIncremental/cold"
-	incName  = "RetrainColdVsIncremental/incremental"
-	probName = "ForestProbFlat"
+	coldName        = "RetrainColdVsIncremental/cold"
+	incName         = "RetrainColdVsIncremental/incremental"
+	probName        = "ForestProbFlat"
+	restoreColdName = "RestoreWarmVsCold/cold"
+	restoreWarmName = "RestoreWarmVsCold/warm"
 )
 
 func parse(data []byte) (*Report, error) {
@@ -82,6 +98,11 @@ func parse(data []byte) (*Report, error) {
 	if okC && okI && inc.NsPerOp > 0 {
 		rep.RetrainSpeedup = cold.NsPerOp / inc.NsPerOp
 	}
+	rcold, okRC := rep.Benchmarks[restoreColdName]
+	rwarm, okRW := rep.Benchmarks[restoreWarmName]
+	if okRC && okRW && rwarm.NsPerOp > 0 {
+		rep.RestoreSpeedup = rcold.NsPerOp / rwarm.NsPerOp
+	}
 	return rep, nil
 }
 
@@ -91,7 +112,8 @@ func main() {
 		out        = flag.String("out", "", "write parsed results as JSON to this file")
 		check      = flag.String("check", "", "baseline JSON to compare the retrain speedup against")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional speedup regression vs the baseline")
-		minSpeedup = flag.Float64("min-speedup", 5.0, "absolute cold/incremental speedup floor (0 disables)")
+		minSpeedup = flag.Float64("min-speedup", 5.0, "absolute cold/incremental retrain speedup floor (0 disables)")
+		minRestore = flag.Float64("min-restore-speedup", 3.0, "absolute cold/warm restore speedup floor (0 disables)")
 	)
 	flag.Parse()
 
@@ -121,7 +143,8 @@ func main() {
 		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 			fatal("write %s: %v", *out, err)
 		}
-		fmt.Printf("benchjson: wrote %s (retrain speedup %.2fx)\n", *out, rep.RetrainSpeedup)
+		fmt.Printf("benchjson: wrote %s (retrain speedup %.2fx, restore speedup %.2fx)\n",
+			*out, rep.RetrainSpeedup, rep.RestoreSpeedup)
 	}
 
 	if *check == "" {
@@ -137,10 +160,11 @@ func main() {
 	}
 
 	failed := false
-	if rep.RetrainSpeedup == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has no RetrainColdVsIncremental cold+incremental pair")
+	if rep.RetrainSpeedup == 0 && rep.RestoreSpeedup == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has neither a RetrainColdVsIncremental nor a RestoreWarmVsCold pair")
 		failed = true
-	} else {
+	}
+	if rep.RetrainSpeedup > 0 {
 		floor := base.RetrainSpeedup * (1 - *tolerance)
 		if base.RetrainSpeedup > 0 && rep.RetrainSpeedup < floor {
 			fmt.Fprintf(os.Stderr, "benchjson: FAIL: retrain speedup %.2fx regressed >%.0f%% vs baseline %.2fx (floor %.2fx)\n",
@@ -153,6 +177,19 @@ func main() {
 			failed = true
 		}
 	}
+	if rep.RestoreSpeedup > 0 {
+		floor := base.RestoreSpeedup * (1 - *tolerance)
+		if base.RestoreSpeedup > 0 && rep.RestoreSpeedup < floor {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: restore speedup %.2fx regressed >%.0f%% vs baseline %.2fx (floor %.2fx)\n",
+				rep.RestoreSpeedup, *tolerance*100, base.RestoreSpeedup, floor)
+			failed = true
+		}
+		if *minRestore > 0 && rep.RestoreSpeedup < *minRestore {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: warm-restore speedup %.2fx below the absolute %.1fx floor\n",
+				rep.RestoreSpeedup, *minRestore)
+			failed = true
+		}
+	}
 	if prob, ok := rep.Benchmarks[probName]; ok && prob.AllocsPerOp != 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: forest.Prob allocates %d objects/op, want 0\n", prob.AllocsPerOp)
 		failed = true
@@ -160,8 +197,17 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: OK: retrain speedup %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
-		rep.RetrainSpeedup, base.RetrainSpeedup, *tolerance*100)
+	switch {
+	case rep.RetrainSpeedup > 0 && rep.RestoreSpeedup > 0:
+		fmt.Printf("benchjson: OK: retrain speedup %.2fx, restore speedup %.2fx (baselines %.2fx/%.2fx, tolerance %.0f%%)\n",
+			rep.RetrainSpeedup, rep.RestoreSpeedup, base.RetrainSpeedup, base.RestoreSpeedup, *tolerance*100)
+	case rep.RestoreSpeedup > 0:
+		fmt.Printf("benchjson: OK: restore speedup %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
+			rep.RestoreSpeedup, base.RestoreSpeedup, *tolerance*100)
+	default:
+		fmt.Printf("benchjson: OK: retrain speedup %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
+			rep.RetrainSpeedup, base.RetrainSpeedup, *tolerance*100)
+	}
 }
 
 // fatal prints an error and exits 2 (distinct from the regression gate's 1).

@@ -11,6 +11,9 @@
 //	opprenticectl train pv
 //	opprenticectl status pv
 //	opprenticectl alarms pv -since 2015-03-01T00:00:00Z
+//	opprenticectl models list                      # series with published models
+//	opprenticectl models inspect pv                # generation index + current
+//	opprenticectl models rollback pv               # serve the previous generation
 package main
 
 import (
@@ -52,6 +55,8 @@ func main() {
 		err = runStatus(ctx, client, args[1:])
 	case "alarms":
 		err = runAlarms(ctx, client, args[1:])
+	case "models":
+		err = runModels(ctx, client, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -63,7 +68,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|alarms> [args]")
+	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|alarms|models> [args]")
+	fmt.Fprintln(os.Stderr, "       opprenticectl models <list|inspect|rollback> [series]")
 }
 
 func needName(args []string) (string, []string, error) {
@@ -234,6 +240,60 @@ func runStatus(ctx context.Context, c *service.Client, args []string) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+func runModels(ctx context.Context, c *service.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("models: subcommand required (list|inspect|rollback)")
+	}
+	switch args[0] {
+	case "list":
+		names, err := c.Models(ctx)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "inspect":
+		name, _, err := needName(args[1:])
+		if err != nil {
+			return err
+		}
+		man, err := c.ModelManifest(ctx, name)
+		if err != nil {
+			return err
+		}
+		printManifest(man)
+		return nil
+	case "rollback":
+		name, _, err := needName(args[1:])
+		if err != nil {
+			return err
+		}
+		man, err := c.RollbackModel(ctx, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rolled %s back to generation %d\n", man.Series, man.Current)
+		printManifest(man)
+		return nil
+	default:
+		return fmt.Errorf("models: unknown subcommand %q (want list|inspect|rollback)", args[0])
+	}
+}
+
+func printManifest(man service.ModelManifest) {
+	fmt.Printf("%s: %d generations, current=%d\n", man.Series, len(man.Generations), man.Current)
+	for _, g := range man.Generations {
+		marker := " "
+		if g.Gen == man.Current {
+			marker = "*"
+		}
+		fmt.Printf("%s gen %d  trained %s  points=%d  cthld=%.3f  %d bytes  crc=%08x  fingerprint=%016x\n",
+			marker, g.Gen, g.TrainedAt.Format(time.RFC3339), g.Points, g.CThld, g.Size, g.CRC, g.Fingerprint)
+	}
 }
 
 func runAlarms(ctx context.Context, c *service.Client, args []string) error {

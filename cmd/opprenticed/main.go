@@ -26,30 +26,44 @@ import (
 	"time"
 
 	"opprentice/internal/engine"
+	modelreg "opprentice/internal/registry"
 	"opprentice/internal/service"
 	"opprentice/internal/tsdb"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataDir = flag.String("data-dir", "", "directory for durable series logs (empty = memory only)")
-		shards  = flag.Int("shards", 0, "series registry shards (0 = default; rounded up to a power of two)")
-		workers = flag.Int("retrain-workers", 0, "background retrain workers (0 = default)")
-		cacheMB = flag.Int("extract-cache-mb", 0, "incremental feature-extraction cache cap in MiB, shared by all series (0 = default 256, negative = disabled)")
-		timeout = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataDir   = flag.String("data-dir", "", "directory for durable series logs (empty = memory only)")
+		modelDir  = flag.String("model-dir", "", "directory for the versioned model registry (empty = no checkpointing; restarts retrain cold)")
+		modelKeep = flag.Int("model-keep", 0, "model generations to retain per series (0 = default 3)")
+		shards    = flag.Int("shards", 0, "series registry shards (0 = default; rounded up to a power of two)")
+		workers   = flag.Int("retrain-workers", 0, "background retrain workers (0 = default)")
+		restoreW  = flag.Int("restore-workers", 0, "parallel series restores at startup (0 = default min(8, GOMAXPROCS))")
+		cacheMB   = flag.Int("extract-cache-mb", 0, "incremental feature-extraction cache cap in MiB, shared by all series (0 = default 256, negative = disabled)")
+		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	// The engine owns all series state and background training; the server is
 	// a thin HTTP/JSON adapter over it.
-	eng := engine.New(engine.Config{
+	cfg := engine.Config{
 		Log:            logger,
 		Shards:         *shards,
 		RetrainWorkers: *workers,
+		RestoreWorkers: *restoreW,
 		ExtractCacheMB: *cacheMB,
-	})
+	}
+	if *modelDir != "" {
+		models, err := modelreg.Open(modelreg.Config{Dir: *modelDir, Keep: *modelKeep})
+		if err != nil {
+			logger.Error("open model dir", "err", err)
+			os.Exit(1)
+		}
+		cfg.Models = models
+	}
+	eng := engine.New(cfg)
 	srv := service.NewServerWithEngine(eng, logger)
 	if *dataDir != "" {
 		store, err := tsdb.Open(*dataDir)
@@ -59,12 +73,15 @@ func main() {
 		}
 		defer store.Close()
 		srv.SetStore(store)
+		start := time.Now()
 		restored, err := srv.Restore()
 		if err != nil {
 			logger.Error("restore", "err", err)
 			os.Exit(1)
 		}
-		logger.Info("restored series from data dir", "count", restored, "dir", *dataDir)
+		c := eng.Counters()
+		logger.Info("restored series from data dir", "count", restored, "dir", *dataDir,
+			"warm", c.ModelRestoreWarm, "cold", c.ModelRestoreCold, "took", time.Since(start))
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -2,11 +2,14 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"testing"
 	"time"
 
 	"opprentice/internal/kpigen"
 	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
 )
 
 func TestMonitorSaveLoadRoundTrip(t *testing.T) {
@@ -27,12 +30,15 @@ func TestMonitorSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	restored, err := LoadMonitor(&snap, d.Series, smallRegistry(t))
+	restored, err := LoadMonitor(&snap, d.Series, smallRegistry(t), LoadConfig{Trees: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if restored.CThld() != mon.CThld() {
 		t.Errorf("cThld = %v, want %v", restored.CThld(), mon.CThld())
+	}
+	if restored.Fingerprint() != mon.Fingerprint() {
+		t.Errorf("fingerprint = %016x, want %016x", restored.Fingerprint(), mon.Fingerprint())
 	}
 	// Both monitors stream the same future points and must agree exactly:
 	// same model, same detector state (original kept streaming in Extract;
@@ -52,8 +58,96 @@ func TestLoadMonitorRejectsGarbage(t *testing.T) {
 	p.Interval = time.Hour
 	p.Weeks = 9
 	d := kpigen.Generate(p, 43)
-	if _, err := LoadMonitor(bytes.NewReader([]byte("nonsense")), d.Series, smallRegistry(t)); err == nil {
-		t.Error("want error for garbage snapshot")
+	_, err := LoadMonitor(bytes.NewReader([]byte("nonsense")), d.Series, smallRegistry(t), LoadConfig{})
+	if err == nil {
+		t.Fatal("want error for garbage snapshot")
+	}
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("garbage snapshot error = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+// trainedSnapshot builds a small trained monitor and returns its serialized
+// snapshot plus the generating data.
+func trainedSnapshot(t *testing.T, trees int) ([]byte, *kpigen.Dataset) {
+	t.Helper()
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = 9
+	d := kpigen.Generate(p, 47)
+	mon, err := NewMonitor(d.Series, d.Labels, smallRegistry(t), MonitorConfig{
+		Forest:        forest.Config{Trees: trees, Seed: 1},
+		SkipInitialCV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := mon.SaveModel(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Bytes(), d
+}
+
+// TestLoadMonitorVersionSkew is the satellite regression test for the
+// version half of the latent snapshot bug: a snapshot from a different
+// SaveModel format version must fail with the typed ErrSnapshotVersion, not
+// load into a silently wrong monitor.
+func TestLoadMonitorVersionSkew(t *testing.T) {
+	snap, d := trainedSnapshot(t, 12)
+
+	// Re-encode the DTO with a bumped version, as a future format would.
+	var dto snapshotDTO
+	if err := gob.NewDecoder(bytes.NewReader(snap)).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	dto.Version = snapshotVersion + 1
+	var skewed bytes.Buffer
+	if err := gob.NewEncoder(&skewed).Encode(dto); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadMonitor(&skewed, d.Series, smallRegistry(t), LoadConfig{Trees: 12})
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("version-skewed snapshot: err = %v, want ErrSnapshotVersion", err)
+	}
+	if errors.Is(err, ErrSnapshotFingerprint) {
+		t.Fatalf("version skew misreported as fingerprint mismatch: %v", err)
+	}
+}
+
+// TestLoadMonitorFingerprintMismatch is the satellite regression test for
+// the registry half of the latent snapshot bug: before the fingerprint,
+// LoadMonitor accepted a snapshot trained under a different detector
+// registry or tree count with no detection, silently misclassifying because
+// the forest's feature indices no longer matched the detector columns.
+func TestLoadMonitorFingerprintMismatch(t *testing.T) {
+	snap, d := trainedSnapshot(t, 12)
+
+	// Different tree count.
+	_, err := LoadMonitor(bytes.NewReader(snap), d.Series, smallRegistry(t), LoadConfig{Trees: 13})
+	if !errors.Is(err, ErrSnapshotFingerprint) {
+		t.Fatalf("tree-count skew: err = %v, want ErrSnapshotFingerprint", err)
+	}
+
+	// Different detector registry (one configuration dropped).
+	dets := smallRegistry(t)
+	_, err = LoadMonitor(bytes.NewReader(snap), d.Series, dets[:len(dets)-1], LoadConfig{Trees: 12})
+	if !errors.Is(err, ErrSnapshotFingerprint) {
+		t.Fatalf("detector-registry skew: err = %v, want ErrSnapshotFingerprint", err)
+	}
+
+	// Different accuracy preference.
+	_, err = LoadMonitor(bytes.NewReader(snap), d.Series, smallRegistry(t), LoadConfig{
+		Trees:      12,
+		Preference: stats.Preference{Recall: 0.9, Precision: 0.5},
+	})
+	if !errors.Is(err, ErrSnapshotFingerprint) {
+		t.Fatalf("preference skew: err = %v, want ErrSnapshotFingerprint", err)
+	}
+
+	// The matching deployment still loads.
+	if _, err := LoadMonitor(bytes.NewReader(snap), d.Series, smallRegistry(t), LoadConfig{Trees: 12}); err != nil {
+		t.Fatalf("matching deployment failed to load: %v", err)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,7 @@ import (
 	"opprentice/internal/alerting"
 	"opprentice/internal/core"
 	"opprentice/internal/detectors"
+	modelreg "opprentice/internal/registry"
 	"opprentice/internal/stats"
 	"opprentice/internal/timeseries"
 	"opprentice/internal/tsdb"
@@ -128,6 +130,13 @@ type Config struct {
 	// invalidated wholesale and that series retrains cold. Negative disables
 	// caching entirely.
 	ExtractCacheMB int
+	// Models, when non-nil, is the model-artifact registry (see SetModels):
+	// trained models are published to it asynchronously and Restore prefers
+	// warm starts from its artifacts over cold retraining.
+	Models *modelreg.Registry
+	// RestoreWorkers bounds the parallelism of Restore's per-series pass
+	// (default min(8, GOMAXPROCS)).
+	RestoreWorkers int
 }
 
 // Engine owns all monitored series and the ingest/train/label/status
@@ -143,6 +152,11 @@ type Engine struct {
 	registry  func(time.Duration) ([]detectors.Detector, error)
 	notifyCfg alerting.PipelineConfig
 
+	// models is the model-artifact registry; nil when checkpointing is
+	// disabled. restoreWorkers bounds Restore's parallel per-series pass.
+	models         *modelreg.Registry
+	restoreWorkers int
+
 	// cacheBudget is the shared accounting for all series' feature caches;
 	// nil when caching is disabled.
 	cacheBudget *core.CacheBudget
@@ -150,6 +164,7 @@ type Engine struct {
 	counters counters
 
 	trainQ    chan *managed
+	pubQ      chan *managed
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -181,6 +196,13 @@ type managed struct {
 
 	trainMu  sync.Mutex  // serializes snapshot→fit→swap rounds
 	training atomic.Bool // an automatic retrain is queued or in flight
+
+	// publishedAt is the trained-at time of the last model published to the
+	// registry (guarded by mu); pubMu serializes publish rounds and
+	// publishArmed coalesces queued publish triggers like training does.
+	publishedAt  time.Time
+	pubMu        sync.Mutex
+	publishArmed atomic.Bool
 
 	// featCache checkpoints extraction state across training rounds so
 	// retrains extract only newly appended points (nil when caching is
@@ -219,21 +241,30 @@ func New(cfg Config) *Engine {
 	if cfg.ExtractCacheMB == 0 {
 		cfg.ExtractCacheMB = 256
 	}
+	if cfg.RestoreWorkers <= 0 {
+		cfg.RestoreWorkers = runtime.GOMAXPROCS(0)
+		if cfg.RestoreWorkers > 8 {
+			cfg.RestoreWorkers = 8
+		}
+	}
 	var budget *core.CacheBudget
 	if cfg.ExtractCacheMB > 0 {
 		budget = core.NewCacheBudget(int64(cfg.ExtractCacheMB) << 20)
 	}
 	e := &Engine{
-		shards:      make([]shard, n),
-		shardMask:   uint32(n - 1),
-		log:         cfg.Log,
-		store:       cfg.Store,
-		maxAlarms:   cfg.MaxAlarms,
-		registry:    cfg.Registry,
-		notifyCfg:   cfg.Notify,
-		cacheBudget: budget,
-		trainQ:      make(chan *managed, cfg.RetrainQueue),
-		stop:        make(chan struct{}),
+		shards:         make([]shard, n),
+		shardMask:      uint32(n - 1),
+		log:            cfg.Log,
+		store:          cfg.Store,
+		maxAlarms:      cfg.MaxAlarms,
+		registry:       cfg.Registry,
+		notifyCfg:      cfg.Notify,
+		models:         cfg.Models,
+		restoreWorkers: cfg.RestoreWorkers,
+		cacheBudget:    budget,
+		trainQ:         make(chan *managed, cfg.RetrainQueue),
+		pubQ:           make(chan *managed, cfg.RetrainQueue),
+		stop:           make(chan struct{}),
 	}
 	for i := range e.shards {
 		e.shards[i].series = make(map[string]*managed)
@@ -242,6 +273,8 @@ func New(cfg Config) *Engine {
 	for i := 0; i < cfg.RetrainWorkers; i++ {
 		go e.retrainWorker()
 	}
+	e.wg.Add(1)
+	go e.publishWorker()
 	return e
 }
 
@@ -490,75 +523,135 @@ func (e *Engine) Label(name string, windows []Window) (LabelResult, error) {
 	}, nil
 }
 
-// Restore replays every series in the store and, when a series has labeled
-// anomalies and enough data, retrains its classifier (synchronously — this
-// is startup, not the ingest path) so detection resumes immediately. It
-// returns the number of series restored.
+// Restore reloads every series in the store with a bounded pool of parallel
+// workers and returns the number of series restored. Per series the fallback
+// ladder is warm → cold → data-only: if a model registry is attached and
+// holds a valid artifact (CRC and deployment fingerprint both verified), the
+// published monitor is loaded and its detectors re-warmed from trailing
+// history with no training at all; if the warm rung fails for any reason —
+// no artifact, corrupt frame, snapshot version or fingerprint skew — only
+// that series falls back to the pre-registry behavior of a synchronous cold
+// retrain; a series that is not trainable either restores its data and waits
+// for the operator.
 //
 // A series whose log is damaged is quarantined — renamed to
 // "<name>.wal.corrupt", logged, and counted — and restore continues with the
-// remaining series: one corrupt log must not take down the daemon.
+// remaining series: one corrupt log must not take down the daemon. An
+// artifact that decodes to garbage is likewise quarantined (*.corrupt inside
+// the registry) before the cold fallback.
 func (e *Engine) Restore() (int, error) {
 	if e.store == nil {
 		return 0, nil
 	}
+	started := time.Now()
 	names, err := e.store.List()
 	if err != nil {
 		return 0, err
 	}
-	restored := 0
-	for _, name := range names {
-		loaded, err := e.store.Load(name)
-		if err != nil {
-			quarantined, qErr := e.store.Quarantine(name)
-			if qErr != nil {
-				e.log.Error("series unrestorable and quarantine failed",
-					"series", name, "load_err", err, "quarantine_err", qErr)
-				continue
+	workers := e.restoreWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var restored atomic.Int64
+	work := make(chan string)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for name := range work {
+				if e.restoreOne(name) {
+					restored.Add(1)
+				}
 			}
-			e.counters.walQuarantined.Add(1)
-			e.log.Warn("corrupt series log quarantined",
-				"series", name, "err", err, "quarantined_to", quarantined)
-			continue
+		}()
+	}
+	for _, name := range names {
+		work <- name
+	}
+	close(work)
+	wg.Wait()
+	e.observeRestore(time.Since(started))
+	return int(restored.Load()), nil
+}
+
+// restoreOne rebuilds one series from its log, walks the warm→cold→data-only
+// ladder, and registers the series in its shard. It reports whether the
+// series was restored (false only when the log itself is unreadable).
+func (e *Engine) restoreOne(name string) bool {
+	loaded, err := e.store.Load(name)
+	if err != nil {
+		quarantined, qErr := e.store.Quarantine(name)
+		if qErr != nil {
+			e.log.Error("series unrestorable and quarantine failed",
+				"series", name, "load_err", err, "quarantine_err", qErr)
+			return false
 		}
-		meta := loaded.Meta
-		m := &managed{
-			name:         meta.Name,
-			series:       timeseries.New(meta.Name, meta.Start.UTC(), time.Duration(meta.IntervalSeconds)*time.Second),
-			pref:         stats.Preference{Recall: meta.Recall, Precision: meta.Precision},
-			trees:        meta.Trees,
-			retrainEvery: meta.RetrainEvery,
-			alarms:       alarmRing{max: e.maxAlarms},
+		e.counters.walQuarantined.Add(1)
+		e.log.Warn("corrupt series log quarantined",
+			"series", name, "err", err, "quarantined_to", quarantined)
+		return false
+	}
+	meta := loaded.Meta
+	m := &managed{
+		name:         meta.Name,
+		series:       timeseries.New(meta.Name, meta.Start.UTC(), time.Duration(meta.IntervalSeconds)*time.Second),
+		pref:         stats.Preference{Recall: meta.Recall, Precision: meta.Precision},
+		trees:        meta.Trees,
+		retrainEvery: meta.RetrainEvery,
+		alarms:       alarmRing{max: e.maxAlarms},
+	}
+	if e.cacheBudget != nil {
+		m.featCache = core.NewFeatureCache(e.cacheBudget)
+	}
+	m.series.Values = loaded.Values
+	m.labels = timeseries.Labels(loaded.Labels)
+	if meta.WebhookURL != "" {
+		e.attachIncident(m, meta.WebhookURL)
+	}
+
+	warm := false
+	if e.models != nil {
+		if err := e.warmRestore(m); err == nil {
+			warm = true
+			e.counters.modelRestoreWarm.Add(1)
+			e.log.Info("series restored warm", "series", meta.Name,
+				"trained_at", m.trained, "points", m.series.Len())
+		} else if !errors.Is(err, modelreg.ErrUnknownSeries) && !errors.Is(err, modelreg.ErrNoArtifact) {
+			e.log.Warn("warm restore failed, falling back to cold retrain",
+				"series", meta.Name, "err", err)
 		}
-		if e.cacheBudget != nil {
-			m.featCache = core.NewFeatureCache(e.cacheBudget)
-		}
-		m.series.Values = loaded.Values
-		m.labels = timeseries.Labels(loaded.Labels)
-		if meta.WebhookURL != "" {
-			e.attachIncident(m, meta.WebhookURL)
-		}
+	}
+	if !warm {
 		if _, err := e.train(m); err != nil {
 			// Not trainable yet (no labels or too little data): restore the
 			// data anyway and let the operator train later.
 			e.log.Info("restored without classifier", "series", meta.Name, "reason", err)
+		} else {
+			e.counters.modelRestoreCold.Add(1)
 		}
-		sh := e.shardFor(meta.Name)
-		sh.mu.Lock()
-		sh.series[meta.Name] = m
-		sh.mu.Unlock()
-		restored++
 	}
-	return restored, nil
+
+	sh := e.shardFor(meta.Name)
+	sh.mu.Lock()
+	sh.series[meta.Name] = m
+	sh.mu.Unlock()
+	return true
 }
 
-// Close stops the retrain workers (waiting out a training round already in
-// flight) and shuts down the per-series notification pipelines, giving
-// pending webhook deliveries a short drain window. Call it after the serving
-// transport has stopped so no new work can arrive.
+// Close stops the retrain and publish workers (waiting out a round already
+// in flight), publishes any trained model newer than its last artifact so a
+// retrain finished moments before shutdown is not lost, and shuts down the
+// per-series notification pipelines, giving pending webhook deliveries a
+// short drain window. Call it after the serving transport has stopped so no
+// new work can arrive.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() { close(e.stop) })
 	e.wg.Wait()
+	e.PublishModels()
 	var pipelines []*alerting.Pipeline
 	for i := range e.shards {
 		sh := &e.shards[i]

@@ -18,6 +18,13 @@ type counters struct {
 	detectorPanics  atomic.Int64 // sandboxed detector panics (training + online)
 	walQuarantined  atomic.Int64 // corrupt series logs set aside during Restore
 	walAppendErrors atomic.Int64 // failed durable appends (points + labels)
+
+	modelPublishes     atomic.Int64 // artifacts published to the model registry
+	modelPublishErrors atomic.Int64 // failed publish attempts
+	modelRestoreWarm   atomic.Int64 // series restored from a published artifact
+	modelRestoreCold   atomic.Int64 // series cold-retrained during Restore
+	modelRollbacks     atomic.Int64 // explicit model rollbacks
+	restoreMillis      atomic.Int64 // wall time of the last Restore pass
 }
 
 // observeTraining records one training round's wall time (failed rounds
@@ -36,6 +43,17 @@ type Counters struct {
 	DetectorPanics  int64
 	WALQuarantined  int64
 	WALAppendErrors int64
+
+	// Model-registry accounting (all zero without a registry).
+	// ModelRestoreWarm/Cold split the last Restore pass by mode;
+	// RestoreSeconds is that pass's wall time.
+	ModelPublishes        int64
+	ModelPublishErrors    int64
+	ModelRestoreWarm      int64
+	ModelRestoreCold      int64
+	ModelRollbacks        int64
+	ModelChecksumFailures int64
+	RestoreSeconds        float64
 
 	// Incremental feature-extraction cache accounting (all zero when the
 	// cache is disabled). ExtractPointsCold/Incremental count
@@ -58,6 +76,16 @@ func (e *Engine) Counters() Counters {
 		DetectorPanics:  e.counters.detectorPanics.Load(),
 		WALQuarantined:  e.counters.walQuarantined.Load(),
 		WALAppendErrors: e.counters.walAppendErrors.Load(),
+
+		ModelPublishes:     e.counters.modelPublishes.Load(),
+		ModelPublishErrors: e.counters.modelPublishErrors.Load(),
+		ModelRestoreWarm:   e.counters.modelRestoreWarm.Load(),
+		ModelRestoreCold:   e.counters.modelRestoreCold.Load(),
+		ModelRollbacks:     e.counters.modelRollbacks.Load(),
+		RestoreSeconds:     float64(e.counters.restoreMillis.Load()) / 1000,
+	}
+	if e.models != nil {
+		c.ModelChecksumFailures = e.models.Stats().ChecksumFailures
 	}
 	if e.cacheBudget != nil {
 		cs := e.cacheBudget.Stats()

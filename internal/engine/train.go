@@ -98,6 +98,9 @@ func (e *Engine) train(m *managed) (TrainResult, error) {
 
 	e.log.Info("series trained", "name", m.name, "points", res.Points,
 		"cthld", res.CThld, "replayed", res.Points-snap.Len(), "took", time.Since(started))
+	// Checkpoint the new model off the training path (no-op without a model
+	// registry); Close runs a final synchronous sweep for anything unflushed.
+	e.schedulePublish(m)
 	return res, nil
 }
 

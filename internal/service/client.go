@@ -209,6 +209,31 @@ func (c *Client) Train(ctx context.Context, name string) (float64, error) {
 	return out.CThld, err
 }
 
+// Models lists the series with published model artifacts.
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	var out map[string][]string
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["series"], nil
+}
+
+// ModelManifest fetches one series' model generation index.
+func (c *Client) ModelManifest(ctx context.Context, name string) (ModelManifest, error) {
+	var man ModelManifest
+	err := c.do(ctx, http.MethodGet, "/v1/models/"+url.PathEscape(name), nil, &man)
+	return man, err
+}
+
+// RollbackModel rolls the series' served model back one generation and
+// returns the updated manifest. Not retried: a retried rollback would walk
+// back two generations.
+func (c *Client) RollbackModel(ctx context.Context, name string) (ModelManifest, error) {
+	var man ModelManifest
+	err := c.do(ctx, http.MethodPost, "/v1/models/"+url.PathEscape(name)+"/rollback", nil, &man)
+	return man, err
+}
+
 // Alarms fetches the alarms raised after since (zero time = all retained).
 func (c *Client) Alarms(ctx context.Context, name string, since time.Time) ([]Alarm, error) {
 	path := "/v1/series/" + url.PathEscape(name) + "/alarms"

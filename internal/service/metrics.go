@@ -35,6 +35,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP opprenticed_training_seconds_total Cumulative training wall time.\n# TYPE opprenticed_training_seconds_total counter\nopprenticed_training_seconds_total %.3f\n",
 		c.TrainingSeconds)
 
+	// Model registry: publish/restore/rollback outcomes and restart cost.
+	writeCounter("opprenticed_model_publish_total", "Model artifacts published to the registry.", c.ModelPublishes)
+	writeCounter("opprenticed_model_publish_errors_total", "Model artifact publications that failed.", c.ModelPublishErrors)
+	fmt.Fprintf(w, "# HELP opprenticed_model_restore_total Series restored at startup, by mode (warm = published artifact, cold = synchronous retrain).\n# TYPE opprenticed_model_restore_total counter\n")
+	fmt.Fprintf(w, "opprenticed_model_restore_total{mode=\"warm\"} %d\n", c.ModelRestoreWarm)
+	fmt.Fprintf(w, "opprenticed_model_restore_total{mode=\"cold\"} %d\n", c.ModelRestoreCold)
+	writeCounter("opprenticed_model_checksum_failures_total", "Model artifacts or manifests that failed validation and were quarantined.", c.ModelChecksumFailures)
+	writeCounter("opprenticed_model_rollbacks_total", "Explicit model rollbacks.", c.ModelRollbacks)
+	fmt.Fprintf(w, "# HELP opprenticed_restore_seconds Wall time of the last restore pass.\n# TYPE opprenticed_restore_seconds gauge\nopprenticed_restore_seconds %.3f\n",
+		c.RestoreSeconds)
+
 	// Incremental feature-extraction cache: work done per mode, current
 	// footprint, and whole-cache invalidations.
 	fmt.Fprintf(w, "# HELP opprenticed_extract_points_total Point-by-configuration severity computations during training extraction, by mode.\n# TYPE opprenticed_extract_points_total counter\n")

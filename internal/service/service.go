@@ -21,7 +21,13 @@
 //	POST /v1/series/{name}/labels       label/unlabel windows
 //	POST /v1/series/{name}/train        (re)train the classifier
 //	GET  /v1/series/{name}/alarms       recent alarms
+//	GET  /v1/models                     series with published model artifacts
+//	GET  /v1/models/{name}              a series' model manifest (generations)
+//	POST /v1/models/{name}/rollback     roll the served model back one generation
 //	GET  /v1/metrics                    Prometheus text exposition
+//
+// The /v1/models routes require a model registry (opprenticed -model-dir);
+// without one they answer 400.
 //
 // # Operational metrics
 //
@@ -62,6 +68,7 @@ import (
 	"opprentice/internal/alerting"
 	"opprentice/internal/detectors"
 	"opprentice/internal/engine"
+	modelreg "opprentice/internal/registry"
 	"opprentice/internal/tsdb"
 )
 
@@ -130,6 +137,11 @@ func (s *Server) SetNotifyConfig(cfg alerting.PipelineConfig) {
 	s.eng.SetNotifyConfig(cfg)
 }
 
+// SetModels attaches a model-artifact registry: trained models are published
+// to it and Restore prefers warm starts from its artifacts. Call it before
+// Restore and before traffic; see engine.SetModels.
+func (s *Server) SetModels(r *modelreg.Registry) { s.eng.SetModels(r) }
+
 // Restore replays every series in the engine's store; see engine.Restore.
 func (s *Server) Restore() (int, error) { return s.eng.Restore() }
 
@@ -149,6 +161,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/series/{name}/labels", s.handleLabels)
 	mux.HandleFunc("POST /v1/series/{name}/train", s.handleTrain)
 	mux.HandleFunc("GET /v1/series/{name}/alarms", s.handleAlarms)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleModelManifest)
+	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleModelRollback)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	return mux
@@ -214,6 +229,13 @@ type LabelsRequest struct {
 
 // Status describes one monitored series.
 type Status = engine.Status
+
+// ModelManifest is a series' model-registry generation index; the registry
+// package's JSON tags are the wire format of GET /v1/models/{name}.
+type ModelManifest = modelreg.Manifest
+
+// ModelGeneration is one published artifact's manifest entry.
+type ModelGeneration = modelreg.Generation
 
 // Alarm is one anomalous verdict the service raised.
 type Alarm = engine.Alarm
@@ -336,6 +358,33 @@ func (s *Server) handleAlarms(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string][]Alarm{"alarms": alarms})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names, err := s.eng.ModelSeries()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"series": names})
+}
+
+func (s *Server) handleModelManifest(w http.ResponseWriter, r *http.Request) {
+	man, err := s.eng.ModelManifest(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, man)
+}
+
+func (s *Server) handleModelRollback(w http.ResponseWriter, r *http.Request) {
+	man, err := s.eng.RollbackModel(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, man)
 }
 
 // fail maps an engine error kind to its HTTP status and writes the uniform
