@@ -1,9 +1,9 @@
 # Opprentice reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build test vet race engine-race faults bench bench-json bench-check eval eval-html fuzz clean
+.PHONY: all build test vet race engine-race faults sim sim-race sim-long cover bench bench-json bench-check eval eval-html fuzz clean
 
-all: build vet test engine-race bench-check
+all: build vet test engine-race sim cover bench-check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,37 @@ engine-race:
 # retry/shutdown behaviour) — every such test is named TestFault*.
 faults:
 	$(GO) test -run TestFault -v ./...
+
+# Deterministic end-to-end simulation: the full engine (WAL + model registry +
+# alert pipeline + async retrain/publish) driven through seeded scenarios of
+# traffic, noisy labels, weekly retrains, crashes, torn artifacts, WAL
+# corruption and rollbacks, with invariants checked after every step. The
+# matrix covers 8 fixed seeds; a failure prints a single-seed repro command.
+sim:
+	$(GO) test -count=1 -run 'TestSim' ./internal/simtest/
+
+sim-race:
+	$(GO) test -race -count=1 -run 'TestSim' ./internal/simtest/
+
+# Longer scenarios (more weeks, more faults) on the same seed matrix.
+sim-long:
+	$(GO) test -count=1 -run 'TestSim' -sim.long ./internal/simtest/
+
+# Per-package coverage floor for the layers the simulation is meant to keep
+# honest. The floor is deliberately below current numbers (core ~85%,
+# engine ~75%, registry ~85%) — it catches coverage collapses, not drift.
+COVER_FLOOR ?= 70.0
+COVER_PKGS  ?= internal/core internal/engine internal/registry
+
+cover:
+	@set -e; for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -count=1 -cover ./$$pkg/ | tail -n 1); \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage figure for $$pkg: $$out"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p+0 >= f+0) }' || \
+			{ echo "cover: FAIL — $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; }; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -71,6 +71,15 @@ type PipelineConfig struct {
 	BreakerCooldown  time.Duration
 	// Log receives drop and breaker transitions (default slog.Default).
 	Log *slog.Logger
+	// OnResult, when set, is invoked after each accepted event resolves:
+	// err is nil on delivery, otherwise the reason the event was abandoned
+	// (max attempts exhausted, or ErrPipelineClosed when Close drained it).
+	// It runs on the worker goroutine, so it must be cheap and must not call
+	// back into the pipeline. Events rejected by Notify itself (queue full,
+	// already closing) never reach OnResult — the caller saw that error.
+	// Intended for tests and simulation harnesses that need delivery
+	// completion without polling.
+	OnResult func(e Event, err error)
 }
 
 func (cfg *PipelineConfig) applyDefaults() {
@@ -217,8 +226,9 @@ func (p *Pipeline) run() {
 			// Count everything still queued as dropped and exit.
 			for {
 				select {
-				case <-p.ch:
+				case e := <-p.ch:
 					p.dropped.Add(1)
+					p.result(e, ErrPipelineClosed)
 				default:
 					return
 				}
@@ -239,6 +249,7 @@ func (p *Pipeline) deliver(e Event) {
 		if wait := p.breakerWait(); wait > 0 {
 			if !p.sleep(wait) {
 				p.dropped.Add(1)
+				p.result(e, ErrPipelineClosed)
 				return
 			}
 		}
@@ -246,6 +257,7 @@ func (p *Pipeline) deliver(e Event) {
 		if err == nil {
 			p.breakerSuccess()
 			p.delivered.Add(1)
+			p.result(e, nil)
 			return
 		}
 		p.breakerFailure()
@@ -254,17 +266,26 @@ func (p *Pipeline) deliver(e Event) {
 			p.cfg.Log.Warn("alerting: event dropped after max attempts",
 				"series", e.Series, "state", e.State,
 				"attempts", attempt, "err", err)
+			p.result(e, fmt.Errorf("alerting: dropped after %d attempts: %w", attempt, err))
 			return
 		}
 		p.retried.Add(1)
 		jittered := delay + time.Duration(p.cfg.Jitter*rand.Float64()*float64(delay))
 		if !p.sleep(jittered) {
 			p.dropped.Add(1)
+			p.result(e, ErrPipelineClosed)
 			return
 		}
 		if delay *= 2; delay > p.cfg.MaxDelay {
 			delay = p.cfg.MaxDelay
 		}
+	}
+}
+
+// result fires the OnResult hook, if configured.
+func (p *Pipeline) result(e Event, err error) {
+	if p.cfg.OnResult != nil {
+		p.cfg.OnResult(e, err)
 	}
 }
 

@@ -3,6 +3,11 @@ package alerting_test
 // Fault-injection tests for the asynchronous notification pipeline. The
 // tests live in an external test package so they can use the shared
 // internal/faultinject harness (which itself imports alerting).
+//
+// Synchronization policy: no fixed sleeps and no poll loops. Every test
+// waits on a channel — the pipeline's OnResult hook (fired once per
+// accepted event when it resolves) or BlockingNotifier.Started — so the
+// suite is deterministic under -race and -count=2.
 
 import (
 	"context"
@@ -25,25 +30,36 @@ func quietCfg() alerting.PipelineConfig {
 	}
 }
 
+// hookResults installs an OnResult hook on cfg that forwards every resolved
+// event's error to the returned channel.
+func hookResults(cfg *alerting.PipelineConfig) <-chan error {
+	ch := make(chan error, 64)
+	cfg.OnResult = func(_ alerting.Event, err error) { ch <- err }
+	return ch
+}
+
+// awaitResult blocks until one accepted event resolves, returning its
+// delivery error (nil = delivered).
+func awaitResult(t *testing.T, ch <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a delivery result")
+		return nil
+	}
+}
+
 func event(series string) alerting.Event {
 	return alerting.Event{Series: series, State: "open", Start: time.Now(), Points: 1}
 }
 
-// waitFor polls cond until true or the deadline.
-func waitFor(t *testing.T, what string, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
 func TestFaultPipelineRetriesFlakyNotifier(t *testing.T) {
 	n := &faultinject.FlakyNotifier{FailFirst: 3}
-	p := alerting.NewPipeline(n, quietCfg())
+	cfg := quietCfg()
+	results := hookResults(&cfg)
+	p := alerting.NewPipeline(n, cfg)
 	defer p.Close()
 
 	start := time.Now()
@@ -53,7 +69,9 @@ func TestFaultPipelineRetriesFlakyNotifier(t *testing.T) {
 	if d := time.Since(start); d > 100*time.Millisecond {
 		t.Errorf("Notify blocked for %v; must be non-blocking", d)
 	}
-	waitFor(t, "delivery", func() bool { return len(n.Delivered()) == 1 })
+	if err := awaitResult(t, results); err != nil {
+		t.Fatalf("delivery result = %v, want nil", err)
+	}
 	if got := n.Attempts(); got != 4 {
 		t.Errorf("attempts = %d, want 4 (3 failures + 1 success)", got)
 	}
@@ -61,10 +79,15 @@ func TestFaultPipelineRetriesFlakyNotifier(t *testing.T) {
 	if st.Delivered != 1 || st.Retried != 3 || st.Dropped != 0 {
 		t.Errorf("stats = %+v, want delivered=1 retried=3 dropped=0", st)
 	}
-	// Exactly once: no duplicate delivery after success.
-	time.Sleep(20 * time.Millisecond)
+	// Exactly once: the event resolved, so no further delivery may happen and
+	// no second result may be pending.
 	if got := len(n.Delivered()); got != 1 {
 		t.Errorf("delivered %d times, want exactly 1", got)
+	}
+	select {
+	case err := <-results:
+		t.Errorf("unexpected second result %v for a single event", err)
+	default:
 	}
 }
 
@@ -72,14 +95,17 @@ func TestFaultPipelineDropsAfterMaxAttempts(t *testing.T) {
 	n := &faultinject.FailingNotifier{Err: errors.New("permanently down")}
 	cfg := quietCfg()
 	cfg.MaxAttempts = 3
+	results := hookResults(&cfg)
 	p := alerting.NewPipeline(n, cfg)
 	defer p.Close()
 
 	p.Notify(context.Background(), event("pv"))
-	waitFor(t, "drop", func() bool { return p.Stats().Dropped == 1 })
+	if err := awaitResult(t, results); err == nil {
+		t.Fatal("delivery result = nil, want a max-attempts error")
+	}
 	st := p.Stats()
-	if st.Delivered != 0 || st.Retried != 2 {
-		t.Errorf("stats = %+v, want delivered=0 retried=2", st)
+	if st.Delivered != 0 || st.Retried != 2 || st.Dropped != 1 {
+		t.Errorf("stats = %+v, want delivered=0 retried=2 dropped=1", st)
 	}
 	if n.Attempts() != 3 {
 		t.Errorf("attempts = %d, want 3", n.Attempts())
@@ -98,7 +124,11 @@ func TestFaultPipelineQueueFullDropsNewest(t *testing.T) {
 	ctx := context.Background()
 	// First event is picked up by the worker and blocks inside Notify.
 	p.Notify(ctx, event("a"))
-	waitFor(t, "worker blocked", func() bool { return n.Blocked() == 1 })
+	select {
+	case <-n.Started():
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the worker to block in Notify")
+	}
 	// Second fills the queue; third must be rejected without blocking.
 	if err := p.Notify(ctx, event("b")); err != nil {
 		t.Fatalf("queued Notify: %v", err)
@@ -122,11 +152,19 @@ func TestFaultPipelineCircuitBreakerTrips(t *testing.T) {
 	cfg.MaxAttempts = 4
 	cfg.BreakerThreshold = 4
 	cfg.BreakerCooldown = time.Hour // long enough to observe open state
+	results := hookResults(&cfg)
 	p := alerting.NewPipeline(n, cfg)
 	defer p.Close()
 
 	p.Notify(context.Background(), event("pv"))
-	waitFor(t, "breaker trip", func() bool { return p.Stats().BreakerTrips >= 1 })
+	// The 4th consecutive failure trips the breaker and exhausts the attempt
+	// budget, so the event resolves (dropped) with the breaker open.
+	if err := awaitResult(t, results); err == nil {
+		t.Fatal("delivery result = nil, want a max-attempts error")
+	}
+	if got := p.Stats().BreakerTrips; got < 1 {
+		t.Errorf("breaker trips = %d, want >= 1", got)
+	}
 	if !p.BreakerOpen() {
 		t.Error("breaker should be open after threshold consecutive failures")
 	}
@@ -135,13 +173,16 @@ func TestFaultPipelineCircuitBreakerTrips(t *testing.T) {
 func TestFaultPipelineSandboxesPanickingNotifier(t *testing.T) {
 	cfg := quietCfg()
 	cfg.MaxAttempts = 2
+	results := hookResults(&cfg)
 	p := alerting.NewPipeline(faultinject.PanickingNotifier{}, cfg)
 	defer p.Close()
 
 	p.Notify(context.Background(), event("pv"))
-	waitFor(t, "drop after panics", func() bool { return p.Stats().Dropped == 1 })
-	if st := p.Stats(); st.Retried != 1 {
-		t.Errorf("retried = %d, want 1 (panic treated as failure)", st.Retried)
+	if err := awaitResult(t, results); err == nil {
+		t.Fatal("delivery result = nil, want panic-as-failure drop")
+	}
+	if st := p.Stats(); st.Dropped != 1 || st.Retried != 1 {
+		t.Errorf("stats = %+v, want dropped=1 retried=1 (panic treated as failure)", st)
 	}
 }
 
@@ -151,6 +192,7 @@ func TestFaultPipelineCloseDropsQueued(t *testing.T) {
 	cfg := quietCfg()
 	cfg.QueueSize = 8
 	cfg.AttemptTimeout = 10 * time.Millisecond
+	results := hookResults(&cfg)
 	p := alerting.NewPipeline(n, cfg)
 
 	ctx := context.Background()
@@ -161,6 +203,17 @@ func TestFaultPipelineCloseDropsQueued(t *testing.T) {
 	st := p.Stats()
 	if st.Delivered+st.Dropped != st.Enqueued {
 		t.Errorf("accounting leak: %+v", st)
+	}
+	// Every accepted event resolved exactly once, all as closed-drops.
+	for i := int64(0); i < st.Enqueued; i++ {
+		if err := awaitResult(t, results); err == nil {
+			t.Error("result = nil after Close, want ErrPipelineClosed")
+		}
+	}
+	select {
+	case err := <-results:
+		t.Errorf("more results than enqueued events: %v", err)
+	default:
 	}
 	if err := p.Notify(ctx, event("pv")); !errors.Is(err, alerting.ErrPipelineClosed) {
 		t.Errorf("Notify after Close = %v, want ErrPipelineClosed", err)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opprentice/internal/stats"
+)
+
+// TestCThldPredictorGoldenEWMA pins the §4.5.2 EWMA prediction to
+// hand-computed values of the paper's formula
+//
+//	pred_i = α·best_{i-1} + (1−α)·pred_{i-1},  α = 0.8,
+//
+// seeded by cross-validation for the first week. Bitwise comparison: the
+// formula is three multiply-adds, and any representable deviation means the
+// implementation drifted from the paper.
+func TestCThldPredictorGoldenEWMA(t *testing.T) {
+	p := NewCThldPredictor(0) // 0 selects the paper's α = 0.8
+
+	// Before any seed the predictor must fall back to the random-forest
+	// default of 0.5 (§4.5.1).
+	if got := p.Predict(); got != 0.5 {
+		t.Fatalf("unseeded prediction = %v, want the 0.5 default", got)
+	}
+
+	// Week 0: seeded with the cross-validated cThld.
+	p.Seed(0.5)
+	if got := p.Predict(); got != 0.5 {
+		t.Fatalf("seeded prediction = %v, want exactly the seed 0.5", got)
+	}
+
+	// The hand computation mirrors the formula over runtime float64 values
+	// (Go constant expressions evaluate exactly and would round differently
+	// than the implementation's float64 multiply-adds).
+	var alpha float64 = 0.8
+
+	// Week 1: best cThld of the completed week was 0.7.
+	// pred = 0.8·0.7 + 0.2·0.5 = 0.66
+	p.Observe(0.7)
+	want := alpha*0.7 + (1-alpha)*0.5
+	if got := p.Predict(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("after Observe(0.7): prediction = %v, hand-computed %v", got, want)
+	}
+
+	// Week 2: best cThld was 0.3.
+	// pred = 0.8·0.3 + 0.2·0.66 = 0.372
+	p.Observe(0.3)
+	want = alpha*0.3 + (1-alpha)*want
+	if got := p.Predict(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("after Observe(0.3): prediction = %v, hand-computed %v", got, want)
+	}
+
+	// A clone must carry the state forward without aliasing the original
+	// (the async-retrain contract: a failed round never disturbs the live
+	// predictor).
+	c := p.Clone()
+	c.Observe(0.9)
+	if got := p.Predict(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("observing on a clone changed the original: %v, want %v", got, want)
+	}
+	cloneWant := 0.8*0.9 + 0.2*want
+	if got := c.Predict(); math.Float64bits(got) != math.Float64bits(cloneWant) {
+		t.Fatalf("clone prediction = %v, hand-computed %v", got, cloneWant)
+	}
+}
+
+// TestPCScoreGolden pins the preference-centric score (§4.5.1) to
+// hand-computed values: PC-Score = F-Score(r, p), plus an incentive constant
+// of 1 iff the point satisfies the operator's preference box.
+func TestPCScoreGolden(t *testing.T) {
+	pref := stats.Preference{Recall: 0.66, Precision: 0.66}
+	// f1 is the paper's F-Score formula over runtime float64 values (Go
+	// constant expressions evaluate in exact arithmetic and would round
+	// differently than the implementation's float64 operations).
+	f1 := func(r, p float64) float64 { return 2 * r * p / (r + p) }
+	cases := []struct {
+		name string
+		r, p float64
+		want float64
+	}{
+		// Inside the box: 2·0.8·0.7/(0.8+0.7) + 1 ≈ 1.7466666666666666.
+		{"inside box", 0.8, 0.7, f1(0.8, 0.7) + 1},
+		// Recall below the bound: F-Score only, 2·0.5·0.9/(0.5+0.9).
+		{"recall misses", 0.5, 0.9, f1(0.5, 0.9)},
+		// Precision below the bound: 2·0.9·0.5/(0.9+0.5).
+		{"precision misses", 0.9, 0.5, f1(0.9, 0.5)},
+		// Exactly on the corner: the bound is inclusive (≥), so the
+		// incentive applies: 0.66 + 1.
+		{"on the corner", 0.66, 0.66, f1(0.66, 0.66) + 1},
+		// Degenerate: nothing found, nothing flagged wrongly.
+		{"zero point", 0, 0, 0},
+		// Perfect detector: 1 + 1.
+		{"perfect", 1, 1, 2},
+	}
+	for _, tc := range cases {
+		got := stats.PCScore(tc.r, tc.p, pref)
+		if math.Float64bits(got) != math.Float64bits(tc.want) {
+			t.Errorf("%s: PCScore(%v, %v) = %v, hand-computed %v", tc.name, tc.r, tc.p, got, tc.want)
+		}
+	}
+	// The incentive property the metric exists for: any point inside the
+	// box outranks every point outside it, whatever their F-Scores.
+	inside := stats.PCScore(0.66, 0.66, pref)
+	outside := stats.PCScore(1, 0.65, pref)
+	if inside <= outside {
+		t.Fatalf("point inside the preference box scored %v, below %v outside — the incentive constant is broken", inside, outside)
+	}
+}

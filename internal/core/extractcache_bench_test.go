@@ -25,13 +25,20 @@ import (
 	"opprentice/internal/timeseries"
 )
 
-// benchSeries generates `weeks` of hourly PV data.
+// benchDataSeed pins the kpigen RNG for every series this benchmark
+// generates. Seed policy (see DESIGN.md "Seeds and reproducibility"): bench
+// fixtures feeding BENCH_baseline.json must use a fixed, named seed so the
+// cold/incremental ratio is comparable across runs and machines; changing
+// the seed is a baseline change and requires regenerating the baseline.
+const benchDataSeed int64 = 17
+
+// benchSeries generates `weeks` of hourly PV data from the pinned seed.
 func benchSeries(b *testing.B, weeks int) *timeseries.Series {
 	b.Helper()
 	p := kpigen.PV(kpigen.Small)
 	p.Interval = time.Hour
 	p.Weeks = weeks
-	return kpigen.Generate(p, 17).Series
+	return kpigen.Generate(p, benchDataSeed).Series
 }
 
 // benchRegistry returns a fresh full paper registry for hourly data.

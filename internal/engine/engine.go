@@ -137,6 +137,30 @@ type Config struct {
 	// RestoreWorkers bounds the parallelism of Restore's per-series pass
 	// (default min(8, GOMAXPROCS)).
 	RestoreWorkers int
+	// Notifier, when non-nil, builds the per-series incident notifier from the
+	// series' webhook URL; the default is an HTTP alerting.WebhookNotifier.
+	// Tests and the simulation harness substitute in-process recorders here so
+	// the whole alert path runs without a network.
+	Notifier func(series, webhookURL string) alerting.Notifier
+	// Hooks receive lifecycle completion callbacks (see Hooks). All fields are
+	// optional.
+	Hooks Hooks
+}
+
+// Hooks are optional lifecycle callbacks for observers that need completion
+// edges rather than polling: tests, the simulation harness, and metrics
+// exporters. Callbacks run on engine worker goroutines (or the caller's for
+// synchronous entry points) and must be cheap and non-blocking; they must not
+// call back into the engine.
+type Hooks struct {
+	// TrainDone fires after every training round — synchronous Train calls,
+	// automatic retrains, and cold restores alike — with the round's result
+	// (zero on failure) and error.
+	TrainDone func(series string, res TrainResult, err error)
+	// PublishDone fires after every model-publication attempt that wrote an
+	// artifact (err == nil, gen is its generation) or failed (err != nil).
+	// No-op publish checks (nothing new to publish) do not fire.
+	PublishDone func(series string, gen uint64, err error)
 }
 
 // Engine owns all monitored series and the ingest/train/label/status
@@ -151,6 +175,8 @@ type Engine struct {
 	maxAlarms int
 	registry  func(time.Duration) ([]detectors.Detector, error)
 	notifyCfg alerting.PipelineConfig
+	notifier  func(series, webhookURL string) alerting.Notifier
+	hooks     Hooks
 
 	// models is the model-artifact registry; nil when checkpointing is
 	// disabled. restoreWorkers bounds Restore's parallel per-series pass.
@@ -251,6 +277,11 @@ func New(cfg Config) *Engine {
 	if cfg.ExtractCacheMB > 0 {
 		budget = core.NewCacheBudget(int64(cfg.ExtractCacheMB) << 20)
 	}
+	if cfg.Notifier == nil {
+		cfg.Notifier = func(_, webhookURL string) alerting.Notifier {
+			return alerting.WebhookNotifier{URL: webhookURL}
+		}
+	}
 	e := &Engine{
 		shards:         make([]shard, n),
 		shardMask:      uint32(n - 1),
@@ -259,6 +290,8 @@ func New(cfg Config) *Engine {
 		maxAlarms:      cfg.MaxAlarms,
 		registry:       cfg.Registry,
 		notifyCfg:      cfg.Notify,
+		notifier:       cfg.Notifier,
+		hooks:          cfg.Hooks,
 		models:         cfg.Models,
 		restoreWorkers: cfg.RestoreWorkers,
 		cacheBudget:    budget,
@@ -319,6 +352,10 @@ func (e *Engine) SetNotifyConfig(cfg alerting.PipelineConfig) {
 	}
 	e.notifyCfg = cfg
 }
+
+// SetHooks installs lifecycle callbacks (see Hooks). Call it before traffic;
+// it is not safe to change hooks while workers are running.
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
 // SeriesConfig describes a series to create.
 type SeriesConfig struct {
@@ -404,7 +441,7 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 // is an asynchronous retrying pipeline, so webhook trouble never blocks
 // ingest.
 func (e *Engine) attachIncident(m *managed, webhookURL string) {
-	m.pipeline = alerting.NewPipeline(alerting.WebhookNotifier{URL: webhookURL}, e.notifyCfg)
+	m.pipeline = alerting.NewPipeline(e.notifier(m.name, webhookURL), e.notifyCfg)
 	m.incident = &alerting.Manager{Series: m.name, Notifier: m.pipeline}
 }
 

@@ -385,6 +385,19 @@ func TestAutoRetrainAsync(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The retrain completion edge comes from the TrainDone hook, not from
+	// polling: installed after the synchronous boot training (whose hook
+	// firing we don't want), before the append that arms the retrain.
+	retrained := make(chan TrainResult, 1)
+	e.SetHooks(Hooks{TrainDone: func(name string, res TrainResult, err error) {
+		if err != nil {
+			t.Errorf("background retrain failed: %v", err)
+		}
+		select {
+		case retrained <- res:
+		default:
+		}
+	}})
 	week := make([]Point, ppw)
 	for i := range week {
 		week[i] = Point{Value: d.Series.Values[boot+i]}
@@ -392,22 +405,23 @@ func TestAutoRetrainAsync(t *testing.T) {
 	if _, err := e.Append("pv", week, nil); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		st, err := e.Status("pv")
-		if err != nil {
-			t.Fatal(err)
+	select {
+	case res := <-retrained:
+		if !res.TrainedAt.After(first.TrainedAt) {
+			t.Fatalf("retrain stamped %v, not after the boot training %v", res.TrainedAt, first.TrainedAt)
 		}
-		if st.TrainedAt.After(first.TrainedAt) {
-			if got := e.Counters().TrainingsRun; got < 2 {
-				t.Fatalf("TrainingsRun = %d, want >= 2", got)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("background retrain never swapped the monitor")
-		}
-		time.Sleep(10 * time.Millisecond)
+	case <-time.After(15 * time.Second):
+		t.Fatal("background retrain never completed")
+	}
+	st, err := e.Status("pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrainedAt.Equal(first.TrainedAt) {
+		t.Fatal("background retrain never swapped the monitor")
+	}
+	if got := e.Counters().TrainingsRun; got < 2 {
+		t.Fatalf("TrainingsRun = %d, want >= 2", got)
 	}
 }
 

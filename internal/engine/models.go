@@ -97,6 +97,7 @@ func (e *Engine) publishNow(m *managed) (bool, error) {
 	var buf bytes.Buffer
 	if err := mon.SaveModel(&buf); err != nil {
 		e.counters.modelPublishErrors.Add(1)
+		e.publishDone(m.name, 0, err)
 		return false, err
 	}
 	g, err := e.models.Publish(m.name, modelreg.Info{
@@ -107,6 +108,7 @@ func (e *Engine) publishNow(m *managed) (bool, error) {
 	}, buf.Bytes())
 	if err != nil {
 		e.counters.modelPublishErrors.Add(1)
+		e.publishDone(m.name, 0, err)
 		return false, err
 	}
 	e.counters.modelPublishes.Add(1)
@@ -118,7 +120,15 @@ func (e *Engine) publishNow(m *managed) (bool, error) {
 	m.mu.Unlock()
 	e.log.Info("model published", "series", m.name, "gen", g.Gen,
 		"points", g.Points, "bytes", g.Size)
+	e.publishDone(m.name, g.Gen, nil)
 	return true, nil
+}
+
+// publishDone fires the PublishDone hook, if configured.
+func (e *Engine) publishDone(series string, gen uint64, err error) {
+	if e.hooks.PublishDone != nil {
+		e.hooks.PublishDone(series, gen, err)
+	}
 }
 
 // PublishModels synchronously publishes every series whose trained model is

@@ -46,12 +46,15 @@ func (e *Engine) Train(name string) (TrainResult, error) {
 //
 // m.trainMu serializes rounds so two trains cannot interleave their swaps.
 // On any error the live monitor is left untouched.
-func (e *Engine) train(m *managed) (TrainResult, error) {
+func (e *Engine) train(m *managed) (res TrainResult, err error) {
 	m.trainMu.Lock()
 	defer m.trainMu.Unlock()
 
 	started := time.Now()
 	defer func() { e.counters.observeTraining(time.Since(started)) }()
+	if e.hooks.TrainDone != nil {
+		defer func() { e.hooks.TrainDone(m.name, res, err) }()
+	}
 
 	// 1. Snapshot.
 	m.mu.Lock()
@@ -93,7 +96,7 @@ func (e *Engine) train(m *managed) (TrainResult, error) {
 	m.monitor = next
 	m.trained = time.Now().UTC()
 	m.pointsAtTrain = m.series.Len()
-	res := TrainResult{TrainedAt: m.trained, CThld: next.CThld(), Points: m.series.Len()}
+	res = TrainResult{TrainedAt: m.trained, CThld: next.CThld(), Points: m.series.Len()}
 	m.mu.Unlock()
 
 	e.log.Info("series trained", "name", m.name, "points", res.Points,
@@ -102,6 +105,33 @@ func (e *Engine) train(m *managed) (TrainResult, error) {
 	// registry); Close runs a final synchronous sweep for anything unflushed.
 	e.schedulePublish(m)
 	return res, nil
+}
+
+// VerifyFeatureCache cross-checks the named series' incremental
+// feature-extraction cache against a from-scratch cold extraction (see
+// core.FeatureCache.VerifyAgainstCold): the caches must be bit-identical or
+// the incremental retrain path is producing different training data than a
+// cold one would. It returns nil when caching is disabled or the cache is
+// empty. It holds the series' trainMu for the (expensive) cold extraction, so
+// it competes with training rounds but never with ingest.
+func (e *Engine) VerifyFeatureCache(name string) error {
+	m, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	if m.featCache == nil {
+		return nil
+	}
+	m.trainMu.Lock()
+	defer m.trainMu.Unlock()
+	m.mu.Lock()
+	snap := m.series.Clone()
+	m.mu.Unlock()
+	dets, err := e.registry(snap.Interval)
+	if err != nil {
+		return err
+	}
+	return m.featCache.VerifyAgainstCold(snap, dets, core.ExtractConfig{})
 }
 
 // panicHook builds the per-series detector-panic callback: count and log,

@@ -106,6 +106,8 @@ type BlockingNotifier struct {
 	// Release unblocks all in-flight and future calls when closed.
 	Release chan struct{}
 
+	started chan struct{}
+
 	mu      sync.Mutex
 	blocked int
 }
@@ -113,7 +115,10 @@ type BlockingNotifier struct {
 // NewBlockingNotifier returns a notifier whose deliveries hang until
 // Unblock.
 func NewBlockingNotifier() *BlockingNotifier {
-	return &BlockingNotifier{Release: make(chan struct{})}
+	return &BlockingNotifier{
+		Release: make(chan struct{}),
+		started: make(chan struct{}, 64),
+	}
 }
 
 // Notify implements alerting.Notifier.
@@ -122,12 +127,20 @@ func (n *BlockingNotifier) Notify(ctx context.Context, _ alerting.Event) error {
 	n.blocked++
 	n.mu.Unlock()
 	select {
+	case n.started <- struct{}{}:
+	default:
+	}
+	select {
 	case <-n.Release:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
+
+// Started yields one receive per Notify call as it begins blocking, so tests
+// can wait for "the worker is stuck inside delivery" without polling.
+func (n *BlockingNotifier) Started() <-chan struct{} { return n.started }
 
 // Blocked returns how many Notify calls have started (including finished
 // ones).

@@ -9,9 +9,18 @@ import (
 	"testing"
 )
 
+// Pinned RNG seeds — seed policy (DESIGN.md "Seeds and reproducibility"):
+// bench fixtures feeding BENCH_baseline.json use fixed, named seeds so the
+// measured forest shape (and therefore ns/op and the alloc count) is stable
+// across runs; changing either seed requires regenerating the baseline.
+const (
+	benchDataSeed   int64 = 11 // feature matrix + probe row
+	benchForestSeed int64 = 12 // bootstrap/split sampling inside Train
+)
+
 func benchForest(b *testing.B, d, n, trees int) (*Forest, []float64, [][]float64) {
 	b.Helper()
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(benchDataSeed))
 	cols := make([][]float64, d)
 	labels := make([]bool, n)
 	for j := range cols {
@@ -23,7 +32,7 @@ func benchForest(b *testing.B, d, n, trees int) (*Forest, []float64, [][]float64
 	for i := range labels {
 		labels[i] = cols[0][i]+cols[1][i] > 2
 	}
-	f := Train(cols, labels, Config{Trees: trees, Seed: 12})
+	f := Train(cols, labels, Config{Trees: trees, Seed: benchForestSeed})
 	row := make([]float64, d)
 	for j := range row {
 		row[j] = rng.NormFloat64()

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"opprentice/internal/engine"
 	"opprentice/internal/kpigen"
 	"opprentice/internal/tsdb"
 )
@@ -337,6 +338,7 @@ func TestWebhookIncidentNotifications(t *testing.T) {
 	// A receiver that records incident events.
 	var mu sync.Mutex
 	var events []map[string]any
+	arrived := make(chan struct{}, 64)
 	receiver := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, _ := io.ReadAll(r.Body)
 		var e map[string]any
@@ -344,6 +346,10 @@ func TestWebhookIncidentNotifications(t *testing.T) {
 			mu.Lock()
 			events = append(events, e)
 			mu.Unlock()
+			select {
+			case arrived <- struct{}{}:
+			default:
+			}
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}))
@@ -391,9 +397,10 @@ func TestWebhookIncidentNotifications(t *testing.T) {
 	}
 	doJSON(t, http.MethodPost, ts.URL+"/v1/series/pv/points", PointsRequest{Points: recovery})
 
-	// Delivery is asynchronous (alerting.Pipeline), so wait for the events
-	// to arrive instead of asserting immediately.
-	deadline := time.Now().Add(5 * time.Second)
+	// Delivery is asynchronous (alerting.Pipeline): the receiver signals
+	// each arrival on a channel, so the wait is event-driven, not a sleep
+	// poll.
+	timeout := time.After(5 * time.Second)
 	for {
 		mu.Lock()
 		var open, resolved int
@@ -410,15 +417,18 @@ func TestWebhookIncidentNotifications(t *testing.T) {
 		if open > 0 && resolved > 0 {
 			return
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-arrived:
+		case <-timeout:
 			t.Fatalf("open=%d resolved=%d webhooks delivered (events: %s)", open, resolved, snapshot)
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 
 func TestAutoRetrain(t *testing.T) {
-	ts := newTestServer(t)
+	s := NewServer(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
 	p := kpigen.PV(kpigen.Small)
 	p.Interval = time.Hour
 	p.Weeks = 10
@@ -455,6 +465,20 @@ func TestAutoRetrain(t *testing.T) {
 	var before Status
 	json.Unmarshal(body, &before)
 
+	// Retraining is asynchronous (ingest never blocks on a training round):
+	// take the completion edge from the engine's TrainDone hook instead of
+	// polling the status endpoint.
+	retrained := make(chan struct{}, 1)
+	s.Engine().SetHooks(engine.Hooks{TrainDone: func(name string, res engine.TrainResult, err error) {
+		if err != nil {
+			t.Errorf("auto-retrain failed: %v", err)
+		}
+		select {
+		case retrained <- struct{}{}:
+		default:
+		}
+	}})
+
 	// Stream one more week: the auto-retrain should fire.
 	week := make([]Point, ppw)
 	for i := 0; i < ppw; i++ {
@@ -463,20 +487,16 @@ func TestAutoRetrain(t *testing.T) {
 	if resp, b := doJSON(t, http.MethodPost, ts.URL+"/v1/series/pv/points", PointsRequest{Points: week}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream: %d %s", resp.StatusCode, b)
 	}
-	// Retraining is asynchronous (ingest never blocks on a training round),
-	// so poll for the swap instead of asserting immediately.
-	deadline := time.Now().Add(15 * time.Second)
+	select {
+	case <-retrained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("auto-retrain did not fire")
+	}
 	var after Status
-	for {
-		resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/series/pv", nil)
-		json.Unmarshal(body, &after)
-		if after.TrainedAt.After(before.TrainedAt) {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("auto-retrain did not fire: before %v, after %v", before.TrainedAt, after.TrainedAt)
-		}
-		time.Sleep(20 * time.Millisecond)
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/series/pv", nil)
+	json.Unmarshal(body, &after)
+	if !after.TrainedAt.After(before.TrainedAt) {
+		t.Fatalf("auto-retrain did not swap the monitor: before %v, after %v", before.TrainedAt, after.TrainedAt)
 	}
 }
 

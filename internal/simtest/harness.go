@@ -1,0 +1,676 @@
+package simtest
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"opprentice/internal/alerting"
+	"opprentice/internal/detectors"
+	"opprentice/internal/engine"
+	"opprentice/internal/faultinject"
+	"opprentice/internal/kpigen"
+	modelreg "opprentice/internal/registry"
+	"opprentice/internal/tsdb"
+)
+
+// trainEvent / pubEvent carry engine lifecycle hooks into the harness.
+type trainEvent struct {
+	series string
+	res    engine.TrainResult
+	err    error
+}
+
+type pubEvent struct {
+	series string
+	gen    uint64
+	err    error
+}
+
+// pubRecord is the mirror's memory of one published generation.
+type pubRecord struct {
+	gen       uint64
+	trainedAt time.Time
+	points    int
+	cthld     float64
+}
+
+// seriesState is the mirror model of one simulated series: everything the
+// engine should believe, derived independently from the scenario.
+type seriesState struct {
+	spec SeriesSpec
+	data *kpigen.Dataset
+	ppw  int
+
+	total            int    // points appended so far
+	labeledTo        int    // labeling high-water mark (index)
+	labels           []bool // mirror of the engine's label state
+	trained          bool
+	pointsAtTrain    int // mirror of the engine's retrain watermark
+	pubs             []pubRecord
+	anomSinceRestore int  // anomalous verdicts since the last (re)start
+	corrupted        bool // WAL damaged; dies at the next restore
+	dead             bool // quarantined by a restore
+}
+
+// twinState is a second engine restored from a byte-identical copy of the
+// disk state, used for the restore-determinism invariant.
+type twinState struct {
+	eng   *engine.Engine
+	store *tsdb.Store
+	dir   string
+}
+
+// Harness drives one scenario against a real engine (WAL + model registry +
+// alerting pipelines + async retrain/publish workers) in a temp directory and
+// checks the package-level invariants after every step. The driver itself is
+// single-threaded — concurrency comes from the engine's own workers, and the
+// harness quiesces (awaits the TrainDone/PublishDone hooks) at every point
+// where asynchrony would make the mirror ambiguous.
+type Harness struct {
+	scen Scenario
+	long bool
+
+	dataDir, modelDir, scratch string
+	log                        *slog.Logger
+
+	eng    *engine.Engine
+	store  *tsdb.Store
+	models *modelreg.Registry
+	rec    *recorder
+
+	trainCh    chan trainEvent
+	pubCh      chan pubEvent
+	trainStash map[string][]trainEvent
+	pubStash   map[string][]pubEvent
+
+	names  []string
+	mirror map[string]*seriesState
+
+	step               int
+	crashes            int
+	rollbacks          int
+	trains             int
+	ingestSinceRestore int
+
+	twin       *twinState
+	tornSeries string
+	tornPubLen int
+
+	trace []string
+
+	// MutateDropVerdict, when set, is invoked on every append result before
+	// invariant checking. Harness self-tests use it to emulate an engine bug
+	// (losing a verdict) and assert the oracle catches it.
+	MutateDropVerdict func(series string, step int, res *engine.AppendResult)
+}
+
+// Result summarizes a passing run.
+type Result struct {
+	Steps, Trains, Crashes, Rollbacks int
+	DeliveredEvents                   int
+	DeliveryAttempts, DeliveryRetries int
+}
+
+// NewHarness prepares (but does not run) a scenario inside baseDir, which
+// must be an empty directory the caller owns (tests pass t.TempDir()).
+func NewHarness(scen Scenario, baseDir string, long bool) (*Harness, error) {
+	h := &Harness{
+		scen:       scen,
+		long:       long,
+		dataDir:    filepath.Join(baseDir, "data"),
+		modelDir:   filepath.Join(baseDir, "models"),
+		scratch:    filepath.Join(baseDir, "scratch"),
+		log:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		rec:        newRecorder(scen.Seed*7919+13, 0.25),
+		trainCh:    make(chan trainEvent, 1024),
+		pubCh:      make(chan pubEvent, 1024),
+		trainStash: make(map[string][]trainEvent),
+		pubStash:   make(map[string][]pubEvent),
+		mirror:     make(map[string]*seriesState),
+	}
+	for _, dir := range []string{h.dataDir, h.modelDir, h.scratch} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range scen.Series {
+		data := kpigen.Generate(spec.Profile, spec.GenSeed)
+		ppw, err := data.Series.PointsPerWeek()
+		if err != nil {
+			return nil, err
+		}
+		h.names = append(h.names, spec.Name)
+		h.mirror[spec.Name] = &seriesState{spec: spec, data: data, ppw: ppw}
+	}
+	return h, nil
+}
+
+// registryFn returns the detector-set factory for the scenario: the default
+// registry, plus one deterministically panicking configuration when the
+// scenario says so.
+func (h *Harness) registryFn() func(time.Duration) ([]detectors.Detector, error) {
+	if !h.scen.DetectorPanics {
+		return nil // engine default
+	}
+	return func(interval time.Duration) ([]detectors.Detector, error) {
+		ds, err := detectors.Registry(interval)
+		if err != nil {
+			return nil, err
+		}
+		return append(ds, &faultinject.PanickingDetector{ConfigName: "sim(panic)", PanicAfter: 3}), nil
+	}
+}
+
+// engineConfig assembles the engine configuration. hooked engines feed the
+// harness' lifecycle channels; the twin runs unhooked with a throwaway
+// recorder so it cannot pollute the live accounting.
+func (h *Harness) engineConfig(store *tsdb.Store, models *modelreg.Registry, rec *recorder, hooked bool) engine.Config {
+	cfg := engine.Config{
+		Log:            h.log,
+		Shards:         4,
+		MaxAlarms:      1 << 14,
+		Store:          store,
+		Models:         models,
+		Registry:       h.registryFn(),
+		RetrainWorkers: 2,
+		RestoreWorkers: 2,
+		ExtractCacheMB: 64,
+		Notify: alerting.PipelineConfig{
+			QueueSize:        1024,
+			MaxAttempts:      10,
+			BaseDelay:        time.Millisecond,
+			MaxDelay:         2 * time.Millisecond,
+			Jitter:           0.1,
+			AttemptTimeout:   time.Second,
+			BreakerThreshold: 1 << 20, // keep the breaker out of the soak's way
+			BreakerCooldown:  time.Millisecond,
+			Log:              h.log,
+		},
+		Notifier: func(_, _ string) alerting.Notifier { return rec },
+	}
+	if hooked {
+		cfg.Hooks = engine.Hooks{
+			TrainDone: func(series string, res engine.TrainResult, err error) {
+				h.trainCh <- trainEvent{series: series, res: res, err: err}
+			},
+			PublishDone: func(series string, gen uint64, err error) {
+				h.pubCh <- pubEvent{series: series, gen: gen, err: err}
+			},
+		}
+	}
+	return cfg
+}
+
+// buildEngine (re)opens the store and registry and starts a hooked engine.
+func (h *Harness) buildEngine() error {
+	store, err := tsdb.Open(h.dataDir)
+	if err != nil {
+		return err
+	}
+	models, err := modelreg.Open(modelreg.Config{Dir: h.modelDir, Keep: 4})
+	if err != nil {
+		return err
+	}
+	h.store, h.models = store, models
+	h.eng = engine.New(h.engineConfig(store, models, h.rec, true))
+	return nil
+}
+
+// Run executes the scenario and returns a summary, or the first invariant
+// violation as a *Violation error carrying the seed and a step trace.
+func (h *Harness) Run() (Result, error) {
+	if err := h.buildEngine(); err != nil {
+		return Result{}, err
+	}
+	if err := h.boot(); err != nil {
+		return Result{}, err
+	}
+	steps := h.scen.Steps()
+	for s := 0; s < steps; s++ {
+		h.step = s
+		for _, name := range h.names {
+			st := h.mirror[name]
+			if st.dead {
+				continue
+			}
+			if err := h.stepSeries(st); err != nil {
+				return Result{}, err
+			}
+		}
+		// The twin (restored at the previous step's crash) has now seen one
+		// full step of identical traffic; its job is done.
+		if h.twin != nil {
+			h.discardTwin()
+		}
+		for _, f := range h.scen.Faults {
+			if f.Step != s {
+				continue
+			}
+			if err := h.applyFault(f); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return h.finalize()
+}
+
+// boot creates every series, loads BootWeeks of history, labels it through
+// the simulated operator, trains the first model and awaits its publication.
+func (h *Harness) boot() error {
+	h.step = -1
+	for _, name := range h.names {
+		st := h.mirror[name]
+		if err := h.eng.Create(name, engine.SeriesConfig{
+			IntervalSeconds: int(st.spec.Profile.Interval / time.Second),
+			Start:           st.data.Series.Start,
+			Trees:           10,
+			WebhookURL:      "sim://" + name,
+			RetrainEvery:    st.ppw,
+		}); err != nil {
+			return fmt.Errorf("simtest: create %s: %w", name, err)
+		}
+		bootN := h.scen.BootWeeks * st.ppw
+		for lo := 0; lo < bootN; lo += st.ppw {
+			if err := h.appendChecked(st, st.ppw); err != nil {
+				return err
+			}
+			_ = lo
+		}
+		if err := h.labelRange(st, 0, bootN); err != nil {
+			return err
+		}
+		res, err := h.eng.Train(name)
+		if err != nil {
+			return h.fail("boot_train", "series %s: boot training failed: %v", name, err)
+		}
+		// The synchronous Train also fired the TrainDone hook; fold it in and
+		// wait for the asynchronous publication.
+		ev, err := h.awaitTrain(name)
+		if err != nil {
+			return err
+		}
+		if ev.err != nil {
+			return h.fail("boot_train", "series %s: TrainDone reported %v", name, ev.err)
+		}
+		st.trained = true
+		st.pointsAtTrain = res.Points
+		h.trains++
+		if err := h.awaitPublishInto(st, res); err != nil {
+			return err
+		}
+		if err := h.checkManifest(st, res.CThld, true); err != nil {
+			return err
+		}
+		if err := h.eng.VerifyFeatureCache(name); err != nil {
+			return h.fail("extract_cache", "series %s: incremental extraction diverges from cold after boot: %v", name, err)
+		}
+		h.tracef("boot %s: %d points, cthld=%.4f", name, res.Points, res.CThld)
+	}
+	return nil
+}
+
+// appendChecked appends the next n points of st's generated data and checks
+// the per-append invariants (whole batch accepted, persisted, exactly one
+// verdict per point with contiguous indices — or none before training).
+func (h *Harness) appendChecked(st *seriesState, n int) error {
+	name := st.spec.Name
+	base := st.total
+	if base+n > st.data.Series.Len() {
+		return fmt.Errorf("simtest: scenario ran out of generated data for %s", name)
+	}
+	pts := make([]engine.Point, n)
+	for i := range pts {
+		pts[i] = engine.Point{
+			Timestamp: st.data.Series.TimeAt(base + i),
+			Value:     st.data.Series.Values[base+i],
+		}
+	}
+	expectTrain := st.trained && base+n-st.pointsAtTrain >= st.ppw
+
+	res, err := h.eng.Append(name, pts, nil)
+	if err != nil {
+		return h.fail("append", "series %s: append of %d points at %d rejected: %v", name, n, base, err)
+	}
+	if h.MutateDropVerdict != nil {
+		h.MutateDropVerdict(name, h.step, &res)
+	}
+	if res.Appended != n || res.Total != base+n {
+		return h.fail("append", "series %s: appended %d/%d, total %d want %d", name, res.Appended, n, res.Total, base+n)
+	}
+	if !res.Persisted {
+		return h.fail("wal", "series %s: append at %d not persisted", name, base)
+	}
+	if st.trained {
+		if len(res.Verdicts) != n {
+			return h.fail("verdicts", "series %s: %d verdicts for %d appended points at base %d — every appended point must receive exactly one verdict across retrain/restore/rollback swaps",
+				name, len(res.Verdicts), n, base)
+		}
+		for i, v := range res.Verdicts {
+			if v.Index != base+i {
+				return h.fail("verdicts", "series %s: verdict %d has index %d, want %d (contiguous from %d)", name, i, v.Index, base+i, base)
+			}
+			if math.IsNaN(v.Probability) || v.Probability < 0 || v.Probability > 1 {
+				return h.fail("verdicts", "series %s: verdict at %d has probability %v outside [0,1]", name, v.Index, v.Probability)
+			}
+			if v.Anomalous {
+				st.anomSinceRestore++
+			}
+		}
+	} else if len(res.Verdicts) != 0 {
+		return h.fail("verdicts", "series %s: %d verdicts before first training", name, len(res.Verdicts))
+	}
+
+	// Restore-determinism probe: the twin must produce bitwise-identical
+	// verdicts on identical traffic.
+	if h.twin != nil {
+		tres, terr := h.twin.eng.Append(name, pts, nil)
+		if terr != nil {
+			return h.fail("restore_determinism", "series %s: twin rejected the probe batch: %v", name, terr)
+		}
+		if len(tres.Verdicts) != len(res.Verdicts) {
+			return h.fail("restore_determinism", "series %s: twin issued %d verdicts, live %d, for identical traffic after identical restore",
+				name, len(tres.Verdicts), len(res.Verdicts))
+		}
+		for i := range res.Verdicts {
+			a, b := res.Verdicts[i], tres.Verdicts[i]
+			if a.Index != b.Index || a.Anomalous != b.Anomalous ||
+				math.Float64bits(a.Probability) != math.Float64bits(b.Probability) {
+				return h.fail("restore_determinism", "series %s: verdict %d diverges between identically restored engines: live %+v vs twin %+v",
+					name, i, a, b)
+			}
+		}
+	}
+
+	st.total += n
+	h.ingestSinceRestore += n
+	for i := 0; i < n; i++ {
+		st.labels = append(st.labels, false)
+	}
+
+	if expectTrain {
+		if err := h.afterWeeklyTrain(st); err != nil {
+			return err
+		}
+	}
+	// Weekly labeling of the just-completed week (labels always trail the
+	// retrain that the week's final append triggered, like a real operator).
+	if st.total%st.ppw == 0 && st.total > st.labeledTo && h.step >= 0 {
+		if err := h.labelRange(st, st.labeledTo, st.total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepSeries drives one step of one series.
+func (h *Harness) stepSeries(st *seriesState) error {
+	return h.appendChecked(st, h.scen.BatchPoints)
+}
+
+// afterWeeklyTrain quiesces an automatic retrain that the last append must
+// have scheduled, then checks the training-path invariants.
+func (h *Harness) afterWeeklyTrain(st *seriesState) error {
+	name := st.spec.Name
+	ev, err := h.awaitTrain(name)
+	if err != nil {
+		return err
+	}
+	if ev.err != nil {
+		return h.fail("retrain", "series %s: automatic retrain failed: %v", name, ev.err)
+	}
+	if ev.res.Points != st.total {
+		return h.fail("retrain", "series %s: retrain saw %d points, stream head is %d (snapshot raced the single-threaded driver)",
+			name, ev.res.Points, st.total)
+	}
+	st.pointsAtTrain = ev.res.Points
+	h.trains++
+	if err := h.awaitPublishInto(st, ev.res); err != nil {
+		return err
+	}
+	if err := h.checkManifest(st, ev.res.CThld, true); err != nil {
+		return err
+	}
+	if err := h.eng.VerifyFeatureCache(name); err != nil {
+		return h.fail("extract_cache", "series %s: incremental extraction diverges from cold after retrain: %v", name, err)
+	}
+	h.tracef("step %d: %s retrained at %d points, cthld=%.4f", h.step, name, ev.res.Points, ev.res.CThld)
+	return nil
+}
+
+// awaitPublishInto waits for the asynchronous publication of the training
+// round res and records it in the mirror.
+func (h *Harness) awaitPublishInto(st *seriesState, res engine.TrainResult) error {
+	name := st.spec.Name
+	pub, err := h.awaitPub(name)
+	if err != nil {
+		return err
+	}
+	if pub.err != nil {
+		return h.fail("publish", "series %s: model publication failed: %v", name, pub.err)
+	}
+	st.pubs = append(st.pubs, pubRecord{gen: pub.gen, trainedAt: res.TrainedAt, points: res.Points, cthld: res.CThld})
+	return nil
+}
+
+// labelRange pushes the simulated operator's (noisy) labels for truth range
+// [lo, hi) and cross-checks the engine's anomalous-point count against the
+// mirror.
+func (h *Harness) labelRange(st *seriesState, lo, hi int) error {
+	name := st.spec.Name
+	noisy := st.spec.Operator.Label(st.data.Labels[lo:hi])
+	var windows []engine.Window
+	for _, w := range noisy.Windows() {
+		start, end := w.Start+lo, w.End+lo
+		if start < 0 {
+			start = 0
+		}
+		if end > st.total {
+			end = st.total
+		}
+		if start >= end {
+			continue
+		}
+		windows = append(windows, engine.Window{Start: start, End: end, Anomalous: true})
+	}
+	st.labeledTo = hi
+	if len(windows) == 0 {
+		return nil
+	}
+	res, err := h.eng.Label(name, windows)
+	if err != nil {
+		return h.fail("label", "series %s: labeling [%d,%d) rejected: %v", name, lo, hi, err)
+	}
+	for _, w := range windows {
+		for i := w.Start; i < w.End; i++ {
+			st.labels[i] = true
+		}
+	}
+	if want := countTrue(st.labels); res.AnomalousPoints != want {
+		return h.fail("label", "series %s: engine reports %d anomalous points, mirror %d", name, res.AnomalousPoints, want)
+	}
+	return nil
+}
+
+// applyFault dispatches one scheduled fault.
+func (h *Harness) applyFault(f FaultEvent) error {
+	switch f.Kind {
+	case FaultWALCorrupt:
+		return h.faultWALCorrupt(f.Series)
+	case FaultTornArtifact:
+		return h.faultTornArtifact()
+	case FaultRollback:
+		return h.faultRollback()
+	case FaultCrashRestore:
+		return h.crashRestore()
+	default:
+		return fmt.Errorf("simtest: unknown fault %v", f.Kind)
+	}
+}
+
+// faultWALCorrupt flips a byte inside the target's WAL. The live engine must
+// keep serving; the next restore must quarantine exactly this series.
+func (h *Harness) faultWALCorrupt(idx int) error {
+	st := h.mirror[h.names[idx%len(h.names)]]
+	if st.dead || st.corrupted {
+		h.tracef("step %d: wal_corrupt skipped (%s already %s)", h.step, st.spec.Name, deadOrCorrupt(st))
+		return nil
+	}
+	path := filepath.Join(h.dataDir, st.spec.Name+".wal")
+	if err := faultinject.CorruptLine(path, 2); err != nil {
+		return fmt.Errorf("simtest: corrupt %s: %w", path, err)
+	}
+	st.corrupted = true
+	h.tracef("step %d: wal_corrupt %s (line 2)", h.step, st.spec.Name)
+	// The damage must be detectable right now by an independent reader.
+	probe, err := tsdb.Open(h.dataDir)
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	if _, lerr := probe.Load(st.spec.Name); lerr == nil {
+		return h.fail("wal", "series %s: WAL loads cleanly after in-place corruption — checksums must catch a flipped byte", st.spec.Name)
+	}
+	return nil
+}
+
+// faultTornArtifact flips a byte in the current model artifact of the first
+// healthy series, simulating torn storage under the registry.
+func (h *Harness) faultTornArtifact() error {
+	for _, name := range h.names {
+		st := h.mirror[name]
+		if st.dead || st.corrupted || len(st.pubs) == 0 {
+			continue
+		}
+		man, err := h.eng.ModelManifest(name)
+		if err != nil {
+			return h.fail("manifest", "series %s: manifest unreadable before torn-artifact fault: %v", name, err)
+		}
+		var file string
+		for _, g := range man.Generations {
+			if g.Gen == man.Current {
+				file = g.File
+			}
+		}
+		if file == "" {
+			return h.fail("manifest", "series %s: current generation %d missing from manifest", name, man.Current)
+		}
+		path := filepath.Join(h.modelDir, name, file)
+		if err := faultinject.FlipByte(path, -3); err != nil {
+			return fmt.Errorf("simtest: tear %s: %w", path, err)
+		}
+		h.tornSeries, h.tornPubLen = name, len(st.pubs)
+		h.tracef("step %d: torn_artifact %s gen %d", h.step, name, man.Current)
+		return nil
+	}
+	h.tracef("step %d: torn_artifact skipped (no healthy published series)", h.step)
+	return nil
+}
+
+// faultRollback rolls the first eligible series back one generation and
+// checks the live hot-swap took effect (manifest and live cThld agree).
+func (h *Harness) faultRollback() error {
+	for _, name := range h.names {
+		st := h.mirror[name]
+		if st.dead || len(st.pubs) < 2 {
+			continue
+		}
+		man, err := h.eng.RollbackModel(name)
+		if err != nil {
+			return h.fail("rollback", "series %s: rollback rejected with %d published generations: %v", name, len(st.pubs), err)
+		}
+		h.rollbacks++
+		cur := manifestCurrent(man)
+		if cur == nil {
+			return h.fail("manifest", "series %s: post-rollback manifest current gen %d has no entry", name, man.Current)
+		}
+		status, err := h.eng.Status(name)
+		if err != nil {
+			return err
+		}
+		if math.Float64bits(status.CThld) != math.Float64bits(cur.CThld) {
+			return h.fail("rollback", "series %s: live cthld %v but rolled-back generation %d published %v — hot-swap did not take effect",
+				name, status.CThld, cur.Gen, cur.CThld)
+		}
+		if !status.TrainedAt.Equal(cur.TrainedAt) {
+			return h.fail("rollback", "series %s: live model trained at %v, rolled-back generation at %v", name, status.TrainedAt, cur.TrainedAt)
+		}
+		// The engine pins the retrain watermark to the stream head so the
+		// rollback is not immediately republished over.
+		st.pointsAtTrain = st.total
+		if err := h.checkManifest(st, cur.CThld, false); err != nil {
+			return err
+		}
+		h.tracef("step %d: rollback %s to gen %d", h.step, name, cur.Gen)
+		return nil
+	}
+	h.tracef("step %d: rollback skipped (no series with 2 generations)", h.step)
+	return nil
+}
+
+// finalize runs the end-of-scenario checks and shuts everything down.
+func (h *Harness) finalize() (Result, error) {
+	if h.twin != nil {
+		h.discardTwin()
+	}
+	if err := h.preCloseChecks(); err != nil {
+		return Result{}, err
+	}
+	h.eng.Close()
+	h.store.Close()
+	if err := h.assertQuiescent(); err != nil {
+		return Result{}, err
+	}
+	if err := h.checkWALs(); err != nil {
+		return Result{}, err
+	}
+	if dups := h.rec.duplicates(); len(dups) != 0 {
+		return Result{}, h.fail("alerts", "duplicate deliveries beyond the retry contract: %v", dups)
+	}
+	attempts, failures := h.rec.stats()
+	return Result{
+		Steps:            h.scen.Steps(),
+		Trains:           h.trains,
+		Crashes:          h.crashes,
+		Rollbacks:        h.rollbacks,
+		DeliveredEvents:  h.rec.delivered(),
+		DeliveryAttempts: attempts,
+		DeliveryRetries:  failures,
+	}, nil
+}
+
+func deadOrCorrupt(st *seriesState) string {
+	if st.dead {
+		return "dead"
+	}
+	return "corrupted"
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// manifestCurrent returns the manifest entry Current points at, or nil.
+func manifestCurrent(man modelreg.Manifest) *modelreg.Generation {
+	for i := range man.Generations {
+		if man.Generations[i].Gen == man.Current {
+			return &man.Generations[i]
+		}
+	}
+	return nil
+}
+
+// tracef appends one line to the step trace.
+func (h *Harness) tracef(format string, args ...any) {
+	h.trace = append(h.trace, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,83 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"opprentice/internal/alerting"
+)
+
+// eventKey identifies one incident event for duplicate detection: a series
+// can legitimately emit an open and a resolved event for the same incident
+// start, but never two of the same state.
+type eventKey struct {
+	series string
+	state  string
+	start  time.Time
+}
+
+// recorder is the simulation's in-process webhook endpoint: it fails each
+// delivery attempt with a seeded probability (exercising the pipeline's
+// retry contract) and records every successful delivery. One recorder is
+// shared by all series pipelines of the live engine across restarts, so the
+// no-duplicates invariant spans crash+restore boundaries. Safe for
+// concurrent use.
+type recorder struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failProb float64
+	counts   map[eventKey]int
+	attempts int
+	failures int
+}
+
+func newRecorder(seed int64, failProb float64) *recorder {
+	return &recorder{
+		rng:      rand.New(rand.NewSource(seed)),
+		failProb: failProb,
+		counts:   make(map[eventKey]int),
+	}
+}
+
+// Notify implements alerting.Notifier.
+func (r *recorder) Notify(_ context.Context, e alerting.Event) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attempts++
+	if r.rng.Float64() < r.failProb {
+		r.failures++
+		return fmt.Errorf("simtest: simulated delivery failure")
+	}
+	r.counts[eventKey{series: e.Series, state: e.State, start: e.Start}]++
+	return nil
+}
+
+// duplicates returns every event key delivered more than once.
+func (r *recorder) duplicates() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var dups []string
+	for k, n := range r.counts {
+		if n > 1 {
+			dups = append(dups, fmt.Sprintf("%s/%s@%s delivered %d times", k.series, k.state, k.start.Format(time.RFC3339), n))
+		}
+	}
+	return dups
+}
+
+// delivered returns how many distinct events were delivered.
+func (r *recorder) delivered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.counts)
+}
+
+// stats returns (attempts, failed attempts).
+func (r *recorder) stats() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts, r.failures
+}
