@@ -1,9 +1,9 @@
 # Opprentice reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build test vet race engine-race faults sim sim-race sim-long cover bench bench-json bench-check eval eval-html fuzz clean
+.PHONY: all build test vet race engine-race faults sim sim-race sim-long cover bench bench-json bench-check eval eval-html fuzz staticcheck govulncheck clean
 
-all: build vet test engine-race sim cover bench-check
+all: build vet staticcheck test engine-race sim cover bench-check
 
 build:
 	$(GO) build ./...
@@ -87,10 +87,32 @@ bench-check: bench-json
 eval:
 	$(GO) run ./cmd/evalbench -run all -scale medium -o results_medium.txt -html results_medium.html
 
+# Per-target fuzzing budget; CI shortens it (FUZZTIME=10s) to keep the job
+# inside its time box while still exercising the fuzz harnesses.
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz=FuzzPRCurve -fuzztime=30s ./internal/stats/
-	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/timeseries/
-	$(GO) test -fuzz=FuzzParseManifest -fuzztime=30s ./internal/registry/
+	$(GO) test -fuzz=FuzzPRCurve -fuzztime=$(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/timeseries/
+	$(GO) test -fuzz=FuzzParseManifest -fuzztime=$(FUZZTIME) ./internal/registry/
+	$(GO) test -fuzz=FuzzHandlePoints -fuzztime=$(FUZZTIME) ./internal/service/
+
+# Static analysis beyond vet. Both tools are optional: the targets no-op with
+# a notice when the binary is not installed, so `make all` works in minimal
+# containers while CI (which installs them) gets the full check.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck: not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 clean:
 	$(GO) clean ./...

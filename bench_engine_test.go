@@ -7,6 +7,7 @@ package opprentice
 //
 //	go test -bench=BenchmarkEngineAppend -benchmem
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -53,13 +54,13 @@ func benchEngine(b *testing.B, nSeries int) (*engine.Engine, []float64) {
 		if err := e.Create(name, engine.SeriesConfig{IntervalSeconds: 3600, Start: benchStart, Trees: 10}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := e.Append(name, pts, nil); err != nil {
+		if _, err := e.Append(context.Background(), name, pts, nil); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := e.Label(name, windows); err != nil {
+		if _, err := e.Label(context.Background(), name, windows); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := e.Train(name); err != nil {
+		if _, err := e.Train(context.Background(), name); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +89,7 @@ func BenchmarkEngineAppend(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Append("pv", pts, nil); err != nil {
+			if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -104,7 +105,7 @@ func BenchmarkEngineAppend(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res, err := e.Append("pv-000", pts, vbuf)
+			res, err := e.Append(context.Background(), "pv-000", pts, vbuf)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -130,7 +131,7 @@ func BenchmarkEngineAppend(b *testing.B) {
 			}
 			var vbuf []engine.Verdict
 			for pb.Next() {
-				res, err := e.Append(name, pts, vbuf)
+				res, err := e.Append(context.Background(), name, pts, vbuf)
 				if err != nil {
 					b.Fatal(err)
 				}

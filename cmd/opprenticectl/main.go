@@ -10,6 +10,7 @@
 //	opprenticectl label pv -window 120:135
 //	opprenticectl train pv
 //	opprenticectl status pv
+//	opprenticectl ready                            # readiness probe; non-zero exit when degraded
 //	opprenticectl alarms pv -since 2015-03-01T00:00:00Z
 //	opprenticectl models list                      # series with published models
 //	opprenticectl models inspect pv                # generation index + current
@@ -18,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +55,8 @@ func main() {
 		err = runTrain(ctx, client, args[1:])
 	case "status":
 		err = runStatus(ctx, client, args[1:])
+	case "ready":
+		err = runReady(ctx, client)
 	case "alarms":
 		err = runAlarms(ctx, client, args[1:])
 	case "models":
@@ -68,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|alarms|models> [args]")
+	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|ready|alarms|models> [args]")
 	fmt.Fprintln(os.Stderr, "       opprenticectl models <list|inspect|rollback> [series]")
 }
 
@@ -239,6 +243,30 @@ func runStatus(ctx context.Context, c *service.Client, args []string) error {
 		fmt.Printf(" cThld=%.3f", st.CThld)
 	}
 	fmt.Println()
+	return nil
+}
+
+// runReady prints the readiness probe. A not-ready service answers 503 but
+// still serves the readiness body, so the degraded/quarantined names are
+// printed before the non-zero exit.
+func runReady(ctx context.Context, c *service.Client) error {
+	r, err := c.Ready(ctx)
+	if err != nil {
+		var apiErr *service.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 {
+			return err
+		}
+	}
+	fmt.Printf("ready: %v\n", r.Ready)
+	for _, n := range r.Degraded {
+		fmt.Printf("degraded: %s\n", n)
+	}
+	for _, n := range r.Quarantined {
+		fmt.Printf("quarantined: %s\n", n)
+	}
+	if !r.Ready {
+		return fmt.Errorf("service is not ready")
+	}
 	return nil
 }
 

@@ -41,6 +41,10 @@ func main() {
 		workers   = flag.Int("retrain-workers", 0, "background retrain workers (0 = default)")
 		restoreW  = flag.Int("restore-workers", 0, "parallel series restores at startup (0 = default min(8, GOMAXPROCS))")
 		cacheMB   = flag.Int("extract-cache-mb", 0, "incremental feature-extraction cache cap in MiB, shared by all series (0 = default 256, negative = disabled)")
+		inflight  = flag.Int("ingest-inflight", 0, "per-shard in-flight ingest budget in points; batches over it are shed with 429 (0 = default 65536, negative = unlimited)")
+		walDL     = flag.Duration("wal-deadline", 0, "how long an append waits for its durable WAL write before the series degrades to threshold-only serving (0 = default 2s, negative = disabled)")
+		trainDL   = flag.Duration("train-deadline", 0, "training watchdog deadline per round; stalled rounds are abandoned and retried (0 = default 5m, negative = disabled)")
+		degradedR = flag.Duration("degraded-recovery", 0, "quiet period before a degraded series recovers full serving (0 = default 30s, negative = sticky until restart)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -49,11 +53,15 @@ func main() {
 	// The engine owns all series state and background training; the server is
 	// a thin HTTP/JSON adapter over it.
 	cfg := engine.Config{
-		Log:            logger,
-		Shards:         *shards,
-		RetrainWorkers: *workers,
-		RestoreWorkers: *restoreW,
-		ExtractCacheMB: *cacheMB,
+		Log:              logger,
+		Shards:           *shards,
+		RetrainWorkers:   *workers,
+		RestoreWorkers:   *restoreW,
+		ExtractCacheMB:   *cacheMB,
+		IngestInflight:   *inflight,
+		WALDeadline:      *walDL,
+		TrainDeadline:    *trainDL,
+		DegradedRecovery: *degradedR,
 	}
 	if *modelDir != "" {
 		models, err := modelreg.Open(modelreg.Config{Dir: *modelDir, Keep: *modelKeep})

@@ -14,11 +14,13 @@ type Point struct {
 }
 
 // Verdict is one classified point. Field tags double as the service's wire
-// format.
+// format. Degraded marks a threshold-only verdict issued while the series
+// was in degraded mode: the full model did not judge the point.
 type Verdict struct {
 	Index       int     `json:"index"`
 	Probability float64 `json:"probability"`
 	Anomalous   bool    `json:"anomalous"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 // Alarm is one anomalous verdict the engine raised. Field tags double as
@@ -40,10 +42,17 @@ type AppendResult struct {
 	// trained. It aliases the buffer passed to Append (or a fresh slice when
 	// none was given): it is valid until the caller reuses that buffer.
 	Verdicts []Verdict
-	// Persisted is false only when a durable store is attached and its
-	// append failed: the points are live in memory but a restart would lose
-	// them. The failure is also counted in Counters().WALAppendErrors.
+	// Persisted is false when a durable store is attached and the batch's
+	// append either failed (counted in Counters().WALAppendErrors) or has
+	// not yet reached disk — the series is degraded and the write is
+	// buffered in the background WAL writer. The points are live in memory
+	// either way; a crash before the writer drains would lose them.
 	Persisted bool
+	// Degraded reports the series was in degraded mode when the call
+	// returned: the batch's verdicts are threshold-only (or, when the
+	// degradation happened on this very batch's WAL write, the write is
+	// still buffered).
+	Degraded bool
 }
 
 // Append is the ingest hot path: it validates the whole batch's timestamps
@@ -54,19 +63,41 @@ type AppendResult struct {
 // observations (delivery is asynchronous), and issues one WAL append for the
 // batch. Metrics are updated once per batch, not per point.
 //
+// Resilience semantics: the batch is first admitted against the shard's
+// in-flight budget — over budget it is shed whole with an
+// ErrOverloaded-wrapped error before any mutation. The WAL append goes
+// through the series' background writer; the healthy path waits for it up
+// to the WAL deadline, and a miss flips the series into degraded mode
+// (threshold-only verdicts, buffered writes, Persisted=false) until the
+// recovery hysteresis clears. Degraded verdicts are advisory: they are
+// returned to the caller but never enter the alarm ring or the incident
+// pipeline, so a half-blind scorer cannot page an operator.
+//
 // vbuf, when non-nil, is reused for the verdicts (grown as needed) so a
 // serving layer can pool allocations; pass nil for a fresh slice.
-func (e *Engine) Append(name string, pts []Point, vbuf []Verdict) (AppendResult, error) {
+func (e *Engine) Append(ctx context.Context, name string, pts []Point, vbuf []Verdict) (AppendResult, error) {
 	if len(pts) == 0 {
 		return AppendResult{}, invalidf("no points")
 	}
-	m, err := e.lookup(name)
+	if err := ctx.Err(); err != nil {
+		return AppendResult{}, err
+	}
+	sh := e.shardFor(name)
+	sh.mu.RLock()
+	m := sh.series[name]
+	sh.mu.RUnlock()
+	if m == nil {
+		return AppendResult{}, notFound(name)
+	}
+	release, err := e.admit(sh, len(pts))
 	if err != nil {
 		return AppendResult{}, err
 	}
+	defer release()
 	vbuf = vbuf[:0]
 
 	m.mu.Lock()
+	e.maybeRecover(m)
 	// Whole-batch timestamp validation before any mutation: a rejected batch
 	// must leave the series exactly as it was (the pre-engine service
 	// appended the points preceding the bad one — see the regression test).
@@ -88,6 +119,20 @@ func (e *Engine) Append(name string, pts []Point, vbuf []Verdict) (AppendResult,
 		m.series.Append(p.Value)
 		m.labels = append(m.labels, false)
 		if m.monitor == nil {
+			continue
+		}
+		if m.degraded {
+			// Threshold-only verdict: the monitor is not stepped — the value
+			// is parked in pending and replayed through it at recovery, so
+			// the model converges with a run that never degraded.
+			prob := m.scorer.score(p.Value)
+			vbuf = append(vbuf, Verdict{
+				Index:       idx,
+				Probability: prob,
+				Anomalous:   prob >= m.degradedCThld,
+				Degraded:    true,
+			})
+			m.pending = append(m.pending, p.Value)
 			continue
 		}
 		v := m.monitor.Step(p.Value)
@@ -116,15 +161,8 @@ func (e *Engine) Append(name string, pts []Point, vbuf []Verdict) (AppendResult,
 		Verdicts:  vbuf,
 		Persisted: true,
 	}
-	if e.store != nil {
-		// Issued under the series mutex so WAL order matches append order
-		// (single-writer discipline).
-		values := m.series.Values[res.Total-res.Appended:]
-		if err := e.store.AppendPoints(m.name, values); err != nil {
-			res.Persisted = false
-			e.counters.walAppendErrors.Add(1)
-			e.log.Error("wal append failed", "series", m.name, "err", err)
-		}
+	if m.walw != nil {
+		e.walAppend(ctx, m, &res)
 	}
 	// Weekly-style automatic incremental retraining (§3.2), scheduled on the
 	// background workers: ingest never blocks on a training round.
@@ -132,6 +170,7 @@ func (e *Engine) Append(name string, pts []Point, vbuf []Verdict) (AppendResult,
 		m.series.Len()-m.pointsAtTrain >= m.retrainEvery {
 		e.scheduleRetrain(m)
 	}
+	res.Degraded = m.degraded
 	m.mu.Unlock()
 
 	// Per-batch metric updates keep hot-path atomics off the per-point loop.
@@ -140,6 +179,50 @@ func (e *Engine) Append(name string, pts []Point, vbuf []Verdict) (AppendResult,
 		e.counters.alarmsRaised.Add(int64(alarmsRaised))
 	}
 	return res, nil
+}
+
+// walAppend routes the batch's durable write through the background
+// writer (caller holds m.mu). The values are copied so the op is
+// self-contained regardless of later appends. Healthy path: wait up to
+// the WAL deadline, flipping the series degraded on a miss. Degraded
+// path: enqueue without waiting; a full buffer drops the batch from the
+// log (never from memory) with loss accounting.
+func (e *Engine) walAppend(ctx context.Context, m *managed, res *AppendResult) {
+	values := append([]float64(nil), m.series.Values[res.Total-res.Appended:]...)
+	if m.degraded {
+		res.Persisted = false
+		if !m.walw.enqueue(walOp{kind: opPoints, values: values}) {
+			e.counters.walLostPoints.Add(int64(len(values)))
+			e.log.Error("wal batch dropped: degraded buffer full",
+				"series", m.name, "points", len(values))
+			return
+		}
+		e.counters.walBufferedPoints.Add(int64(len(values)))
+		return
+	}
+	done := make(chan error, 1)
+	if !m.walw.enqueue(walOp{kind: opPoints, values: values, done: done}) {
+		res.Persisted = false
+		e.counters.walLostPoints.Add(int64(len(values)))
+		e.enterDegraded(m, "wal writer saturated")
+		return
+	}
+	err, completed := m.walw.await(ctx, done, time.Duration(e.walDeadline.Load()))
+	switch {
+	case completed && err == nil:
+		// Durable before the call returns: the healthy contract.
+	case completed:
+		// The store failed fast; the writer already counted and logged it.
+		res.Persisted = false
+	default:
+		res.Persisted = false
+		if ctx.Err() == nil {
+			// A real deadline miss, not the client hanging up: the series
+			// flips degraded and the write keeps draining in the background.
+			m.lastViolation.Store(time.Now().UnixNano())
+			e.enterDegraded(m, "wal append blew its deadline")
+		}
+	}
 }
 
 // alarmRing is a bounded buffer of the most recent alarms: O(1) push with no

@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -75,6 +76,15 @@ var (
 	// series' current state (HTTP 422 class): out-of-order timestamps,
 	// out-of-range label windows, untrainable history.
 	ErrRejected = errors.New("request rejected")
+	// ErrOverloaded: admission control shed the request because the
+	// per-shard in-flight ingest budget is exhausted (HTTP 429 class). The
+	// shed is atomic — nothing was appended, no verdict was issued — so the
+	// client can simply retry after backing off.
+	ErrOverloaded = errors.New("engine overloaded")
+	// ErrStalled: a supervised worker (training, publish) blew its deadline
+	// and was abandoned by the watchdog (HTTP 503 class). The previous model
+	// keeps serving; the operation is retried in the background.
+	ErrStalled = errors.New("operation stalled past its deadline")
 )
 
 // kindError tags an error with a sentinel kind while keeping the original
@@ -99,6 +109,14 @@ func rejected(err error) error { return &kindError{kind: ErrRejected, cause: err
 
 func notFound(name string) error {
 	return &kindError{kind: ErrNotFound, cause: fmt.Errorf("no series %q", name)}
+}
+
+func overloadedf(format string, args ...any) error {
+	return &kindError{kind: ErrOverloaded, cause: fmt.Errorf(format, args...)}
+}
+
+func stalledf(format string, args ...any) error {
+	return &kindError{kind: ErrStalled, cause: fmt.Errorf(format, args...)}
 }
 
 // Config configures New. Zero values pick production defaults.
@@ -145,6 +163,42 @@ type Config struct {
 	// Hooks receive lifecycle completion callbacks (see Hooks). All fields are
 	// optional.
 	Hooks Hooks
+
+	// IngestInflight bounds the points concurrently inside Append per shard
+	// (default 65536). A batch that would exceed the budget is shed whole
+	// with an ErrOverloaded-wrapped error before any mutation. Negative
+	// disables admission control.
+	IngestInflight int
+	// WALDeadline bounds how long an Append or Label waits for its durable
+	// write (default 2s). A write that blows the budget flips the series
+	// into degraded mode: verdicts become threshold-only, WAL ops are
+	// buffered in the background writer, and the append reports
+	// Persisted=false. Negative disables the deadline (waits forever).
+	WALDeadline time.Duration
+	// TrainDeadline bounds one training/publish round (default 5m). A round
+	// that blows it is abandoned by the watchdog with an ErrStalled-wrapped
+	// error; the live monitor is untouched and automatic retrains back off
+	// and retry. Negative disables the watchdog.
+	TrainDeadline time.Duration
+	// DegradedRecovery is the hysteresis window for leaving degraded mode
+	// (default 30s): a series recovers only after its WAL writer has been
+	// quiet — no slow or failed write — for this long and its queue has
+	// drained. Negative makes degraded mode sticky until restart.
+	DegradedRecovery time.Duration
+	// WALBufferPoints bounds the points buffered per series in the
+	// background WAL writer while degraded (default 65536). Beyond it,
+	// batches are dropped from the log (never from memory) and counted in
+	// Counters().WALLostPoints.
+	WALBufferPoints int
+	// TrainRetries is how many times an automatic retrain that stalled or
+	// failed is retried with exponential backoff before giving up for that
+	// trigger (default 3).
+	TrainRetries int
+	// TrainFailLimit quarantines a series' training after this many
+	// consecutive failed automatic rounds (default 5): the old model keeps
+	// serving, automatic retrains stop, and a successful manual Train
+	// lifts the quarantine.
+	TrainFailLimit int
 }
 
 // Hooks are optional lifecycle callbacks for observers that need completion
@@ -187,6 +241,17 @@ type Engine struct {
 	// nil when caching is disabled.
 	cacheBudget *core.CacheBudget
 
+	// Resilience knobs. The deadlines are atomic nanosecond values so tests
+	// and operators can retune them at runtime (Set* methods); zero means
+	// disabled after New's resolution.
+	ingestInflight   int64 // per-shard admission budget in points; 0 = unlimited
+	walDeadline      atomic.Int64
+	trainDeadline    atomic.Int64
+	degradedRecovery atomic.Int64
+	walBufferPoints  int
+	trainRetries     int
+	trainFailLimit   int
+
 	counters counters
 
 	trainQ    chan *managed
@@ -199,6 +264,11 @@ type Engine struct {
 type shard struct {
 	mu     sync.RWMutex
 	series map[string]*managed
+
+	// inflight is the admission-control gauge: points currently inside
+	// Append for this shard's series. Reserved before any mutation,
+	// released when the call returns.
+	inflight atomic.Int64
 }
 
 // managed is one KPI under management. All fields after mu are guarded by
@@ -235,6 +305,35 @@ type managed struct {
 	// disabled). Only touched inside training rounds, serialized by trainMu;
 	// the cache carries its own mutex besides.
 	featCache *core.FeatureCache
+
+	// walw is the background WAL writer (nil without a store). Ops are
+	// enqueued under mu so log order matches append order; the healthy path
+	// waits for completion up to the WAL deadline and a blown deadline
+	// flips the series degraded.
+	walw *walWriter
+
+	// Degraded-mode state (guarded by mu). While degraded the monitor is
+	// not stepped: verdicts come from the threshold-only scorer, appended
+	// values accumulate in pending, and recovery replays pending through
+	// the real monitor (verdicts discarded, exactly like the retrain
+	// replay) so the monitor state converges bit-identically with a
+	// never-degraded run.
+	degraded      bool
+	degradedSince time.Time
+	degradedCThld float64
+	scorer        degradeScorer
+	pending       []float64
+
+	// lastViolation is the unix-nano time of the last slow or failed WAL
+	// write, stamped by the writer goroutine; recovery hysteresis keys off
+	// it.
+	lastViolation atomic.Int64
+
+	// Training supervision: consecutive failed automatic rounds, and the
+	// quarantine latch that stops automatic retrains after too many (the
+	// old model keeps serving; a successful manual Train clears it).
+	trainFails  atomic.Int32
+	quarantined atomic.Bool
 }
 
 // New returns an engine with no series and its retrain workers running.
@@ -277,28 +376,69 @@ func New(cfg Config) *Engine {
 	if cfg.ExtractCacheMB > 0 {
 		budget = core.NewCacheBudget(int64(cfg.ExtractCacheMB) << 20)
 	}
+	// Resilience knobs: zero picks the default, negative disables.
+	resolve := func(v, def time.Duration) time.Duration {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	if cfg.IngestInflight == 0 {
+		cfg.IngestInflight = 1 << 16
+	}
+	if cfg.IngestInflight < 0 {
+		cfg.IngestInflight = 0
+	}
+	if cfg.WALBufferPoints == 0 {
+		cfg.WALBufferPoints = 1 << 16
+	}
+	if cfg.WALBufferPoints < 0 {
+		cfg.WALBufferPoints = 0
+	}
+	if cfg.TrainRetries == 0 {
+		cfg.TrainRetries = 3
+	}
+	if cfg.TrainRetries < 0 {
+		cfg.TrainRetries = 0
+	}
+	if cfg.TrainFailLimit == 0 {
+		cfg.TrainFailLimit = 5
+	}
+	if cfg.TrainFailLimit < 0 {
+		cfg.TrainFailLimit = 0
+	}
 	if cfg.Notifier == nil {
 		cfg.Notifier = func(_, webhookURL string) alerting.Notifier {
 			return alerting.WebhookNotifier{URL: webhookURL}
 		}
 	}
 	e := &Engine{
-		shards:         make([]shard, n),
-		shardMask:      uint32(n - 1),
-		log:            cfg.Log,
-		store:          cfg.Store,
-		maxAlarms:      cfg.MaxAlarms,
-		registry:       cfg.Registry,
-		notifyCfg:      cfg.Notify,
-		notifier:       cfg.Notifier,
-		hooks:          cfg.Hooks,
-		models:         cfg.Models,
-		restoreWorkers: cfg.RestoreWorkers,
-		cacheBudget:    budget,
-		trainQ:         make(chan *managed, cfg.RetrainQueue),
-		pubQ:           make(chan *managed, cfg.RetrainQueue),
-		stop:           make(chan struct{}),
+		shards:          make([]shard, n),
+		shardMask:       uint32(n - 1),
+		log:             cfg.Log,
+		store:           cfg.Store,
+		maxAlarms:       cfg.MaxAlarms,
+		registry:        cfg.Registry,
+		notifyCfg:       cfg.Notify,
+		notifier:        cfg.Notifier,
+		hooks:           cfg.Hooks,
+		models:          cfg.Models,
+		restoreWorkers:  cfg.RestoreWorkers,
+		cacheBudget:     budget,
+		ingestInflight:  int64(cfg.IngestInflight),
+		walBufferPoints: cfg.WALBufferPoints,
+		trainRetries:    cfg.TrainRetries,
+		trainFailLimit:  cfg.TrainFailLimit,
+		trainQ:          make(chan *managed, cfg.RetrainQueue),
+		pubQ:            make(chan *managed, cfg.RetrainQueue),
+		stop:            make(chan struct{}),
 	}
+	e.walDeadline.Store(int64(resolve(cfg.WALDeadline, 2*time.Second)))
+	e.trainDeadline.Store(int64(resolve(cfg.TrainDeadline, 5*time.Minute)))
+	e.degradedRecovery.Store(int64(resolve(cfg.DegradedRecovery, 30*time.Second)))
 	for i := range e.shards {
 		e.shards[i].series = make(map[string]*managed)
 	}
@@ -406,6 +546,9 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 	if cfg.WebhookURL != "" {
 		e.attachIncident(m, cfg.WebhookURL)
 	}
+	if e.store != nil {
+		e.attachWAL(m)
+	}
 	sh := e.shardFor(name)
 	sh.mu.Lock()
 	_, exists := sh.series[name]
@@ -417,10 +560,17 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 		if m.pipeline != nil {
 			m.pipeline.Close() // don't leak the losing candidate's worker
 		}
+		if m.walw != nil {
+			m.walw.shutdown(time.Second)
+		}
 		return &kindError{kind: ErrExists, cause: fmt.Errorf("series %q already exists", name)}
 	}
-	if e.store != nil {
-		if err := e.store.CreateSeries(tsdb.Meta{
+	if m.walw != nil {
+		// The meta record goes through the series' WAL writer like every
+		// other record, so it is ordered strictly before any points a racing
+		// Append could enqueue. Create still waits for it: a creation that
+		// cannot reach disk fails synchronously.
+		if err := m.walw.createSeries(tsdb.Meta{
 			Name:            name,
 			Start:           cfg.Start.UTC(),
 			IntervalSeconds: cfg.IntervalSeconds,
@@ -476,10 +626,19 @@ type Status struct {
 	Recall          float64   `json:"recall"`
 	Precision       float64   `json:"precision"`
 	IntervalSeconds int       `json:"interval_seconds"`
+	// Degraded reports the series is serving threshold-only verdicts while
+	// its WAL writer catches up (see the degraded-mode state machine).
+	Degraded bool `json:"degraded,omitempty"`
+	// Quarantined reports automatic retraining is suspended after repeated
+	// failures; the last good model keeps serving.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Status reports one series' state.
-func (e *Engine) Status(name string) (Status, error) {
+func (e *Engine) Status(ctx context.Context, name string) (Status, error) {
+	if err := ctx.Err(); err != nil {
+		return Status{}, err
+	}
 	m, err := e.lookup(name)
 	if err != nil {
 		return Status{}, err
@@ -495,6 +654,8 @@ func (e *Engine) Status(name string) (Status, error) {
 		Recall:          m.pref.Recall,
 		Precision:       m.pref.Precision,
 		IntervalSeconds: int(m.series.Interval / time.Second),
+		Degraded:        m.degraded,
+		Quarantined:     m.quarantined.Load(),
 	}
 	if m.monitor != nil {
 		st.CThld = m.monitor.CThld()
@@ -531,7 +692,10 @@ type LabelResult struct {
 // Label applies label actions to a series. The whole batch is validated
 // before anything is applied: an out-of-range window rejects the entire
 // request with an ErrRejected-wrapped error and no labels changed.
-func (e *Engine) Label(name string, windows []Window) (LabelResult, error) {
+func (e *Engine) Label(ctx context.Context, name string, windows []Window) (LabelResult, error) {
+	if err := ctx.Err(); err != nil {
+		return LabelResult{}, err
+	}
 	m, err := e.lookup(name)
 	if err != nil {
 		return LabelResult{}, err
@@ -547,11 +711,10 @@ func (e *Engine) Label(name string, windows []Window) (LabelResult, error) {
 		for i := lw.Start; i < lw.End; i++ {
 			m.labels[i] = lw.Anomalous
 		}
-		if e.store != nil {
-			if err := e.store.AppendLabel(m.name, lw.Start, lw.End, lw.Anomalous); err != nil {
-				e.counters.walAppendErrors.Add(1)
-				e.log.Error("wal label failed", "series", m.name, "err", err)
-			}
+		if m.walw != nil {
+			// The writer owns failure accounting and logging; a write that
+			// blows its deadline flips the series degraded inside.
+			m.walw.appendLabel(ctx, lw.Start, lw.End, lw.Anomalous)
 		}
 	}
 	return LabelResult{
@@ -576,7 +739,7 @@ func (e *Engine) Label(name string, windows []Window) (LabelResult, error) {
 // remaining series: one corrupt log must not take down the daemon. An
 // artifact that decodes to garbage is likewise quarantined (*.corrupt inside
 // the registry) before the cold fallback.
-func (e *Engine) Restore() (int, error) {
+func (e *Engine) Restore(ctx context.Context) (int, error) {
 	if e.store == nil {
 		return 0, nil
 	}
@@ -600,25 +763,32 @@ func (e *Engine) Restore() (int, error) {
 		go func() {
 			defer wg.Done()
 			for name := range work {
-				if e.restoreOne(name) {
+				if e.restoreOne(ctx, name) {
 					restored.Add(1)
 				}
 			}
 		}()
 	}
+	var aborted error
 	for _, name := range names {
+		// Deadline checks sit between series, the natural cancellation
+		// points: a series mid-restore finishes, the rest are skipped.
+		if err := ctx.Err(); err != nil {
+			aborted = err
+			break
+		}
 		work <- name
 	}
 	close(work)
 	wg.Wait()
 	e.observeRestore(time.Since(started))
-	return int(restored.Load()), nil
+	return int(restored.Load()), aborted
 }
 
 // restoreOne rebuilds one series from its log, walks the warm→cold→data-only
 // ladder, and registers the series in its shard. It reports whether the
 // series was restored (false only when the log itself is unreadable).
-func (e *Engine) restoreOne(name string) bool {
+func (e *Engine) restoreOne(ctx context.Context, name string) bool {
 	loaded, err := e.store.Load(name)
 	if err != nil {
 		quarantined, qErr := e.store.Quarantine(name)
@@ -649,6 +819,7 @@ func (e *Engine) restoreOne(name string) bool {
 	if meta.WebhookURL != "" {
 		e.attachIncident(m, meta.WebhookURL)
 	}
+	e.attachWAL(m)
 
 	warm := false
 	if e.models != nil {
@@ -663,7 +834,7 @@ func (e *Engine) restoreOne(name string) bool {
 		}
 	}
 	if !warm {
-		if _, err := e.train(m); err != nil {
+		if _, err := e.train(ctx, m); err != nil {
 			// Not trainable yet (no labels or too little data): restore the
 			// data anyway and let the operator train later.
 			e.log.Info("restored without classifier", "series", meta.Name, "reason", err)
@@ -690,12 +861,16 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 	e.PublishModels()
 	var pipelines []*alerting.Pipeline
+	var writers []*walWriter
 	for i := range e.shards {
 		sh := &e.shards[i]
 		sh.mu.RLock()
 		for _, m := range sh.series {
 			if m.pipeline != nil {
 				pipelines = append(pipelines, m.pipeline)
+			}
+			if m.walw != nil {
+				writers = append(writers, m.walw)
 			}
 		}
 		sh.mu.RUnlock()
@@ -705,5 +880,13 @@ func (e *Engine) Close() {
 	for _, p := range pipelines {
 		_ = p.Drain(ctx)
 		p.Close()
+	}
+	// Drain the WAL writers last so everything buffered during a degraded
+	// window reaches disk before the store is closed; a writer wedged on a
+	// stuck store is abandoned after its timeout (logged, not waited out).
+	for _, w := range writers {
+		if !w.shutdown(5 * time.Second) {
+			e.log.Error("wal writer did not drain before close", "series", w.series)
+		}
 	}
 }

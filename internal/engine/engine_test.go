@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,10 +39,10 @@ func TestCreateAndLookupErrors(t *testing.T) {
 	if err := e.Create("pv", SeriesConfig{IntervalSeconds: 60, Start: testStart}); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: got %v, want ErrExists", err)
 	}
-	if _, err := e.Status("nope"); !errors.Is(err, ErrNotFound) {
+	if _, err := e.Status(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing series: got %v, want ErrNotFound", err)
 	}
-	if _, err := e.Append("nope", []Point{{Value: 1}}, nil); !errors.Is(err, ErrNotFound) {
+	if _, err := e.Append(context.Background(), "nope", []Point{{Value: 1}}, nil); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("append to missing series: got %v, want ErrNotFound", err)
 	}
 }
@@ -55,7 +56,7 @@ func TestPartialBatchRejectedAtomically(t *testing.T) {
 	if err := e.Create("pv", SeriesConfig{IntervalSeconds: 60, Start: testStart}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Append("pv", []Point{{Value: 1}, {Value: 2}}, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", []Point{{Value: 1}, {Value: 2}}, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -66,11 +67,11 @@ func TestPartialBatchRejectedAtomically(t *testing.T) {
 		{Timestamp: testStart, Value: 4}, // out of order
 		{Value: 5},
 	}
-	_, err := e.Append("pv", batch, nil)
+	_, err := e.Append(context.Background(), "pv", batch, nil)
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("mid-batch out-of-order: got %v, want ErrRejected", err)
 	}
-	st, err := e.Status("pv")
+	st, err := e.Status(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestPartialBatchRejectedAtomically(t *testing.T) {
 
 	// The same batch with the bad point fixed goes through whole.
 	batch[1].Timestamp = testStart.Add(3 * time.Minute)
-	if res, err := e.Append("pv", batch, nil); err != nil || res.Appended != 3 || res.Total != 5 {
+	if res, err := e.Append(context.Background(), "pv", batch, nil); err != nil || res.Appended != 3 || res.Total != 5 {
 		t.Fatalf("repaired batch: res=%+v err=%v, want 3 appended / 5 total", res, err)
 	}
 }
@@ -91,19 +92,19 @@ func TestLabelWindowValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	pts := make([]Point, 10)
-	if _, err := e.Append("pv", pts, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 		t.Fatal(err)
 	}
 	// One good window, one out of range: nothing applied.
-	_, err := e.Label("pv", []Window{{Start: 0, End: 4, Anomalous: true}, {Start: 8, End: 20, Anomalous: true}})
+	_, err := e.Label(context.Background(), "pv", []Window{{Start: 0, End: 4, Anomalous: true}, {Start: 8, End: 20, Anomalous: true}})
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("out-of-range window: got %v, want ErrRejected", err)
 	}
-	st, _ := e.Status("pv")
+	st, _ := e.Status(context.Background(), "pv")
 	if st.AnomalousPoints != 0 {
 		t.Fatalf("rejected label batch mutated labels: %d anomalous points", st.AnomalousPoints)
 	}
-	res, err := e.Label("pv", []Window{{Start: 0, End: 4, Anomalous: true}})
+	res, err := e.Label(context.Background(), "pv", []Window{{Start: 0, End: 4, Anomalous: true}})
 	if err != nil || res.AnomalousPoints != 4 || res.LabeledWindows != 1 {
 		t.Fatalf("label: res=%+v err=%v", res, err)
 	}
@@ -189,13 +190,13 @@ func TestWALAppendFailureSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := e.Append("pv", []Point{{Value: 1}}, nil)
+	res, err := e.Append(context.Background(), "pv", []Point{{Value: 1}}, nil)
 	if err != nil || !res.Persisted {
 		t.Fatalf("healthy store: res=%+v err=%v, want Persisted=true", res, err)
 	}
 
 	store.setFail(true)
-	res, err = e.Append("pv", []Point{{Value: 2}, {Value: 3}}, nil)
+	res, err = e.Append(context.Background(), "pv", []Point{{Value: 2}, {Value: 3}}, nil)
 	if err != nil {
 		t.Fatalf("append with failing store must still succeed in memory: %v", err)
 	}
@@ -208,7 +209,7 @@ func TestWALAppendFailureSurfaced(t *testing.T) {
 	if got := e.Counters().WALAppendErrors; got != 1 {
 		t.Fatalf("WALAppendErrors = %d, want 1", got)
 	}
-	if _, err := e.Label("pv", []Window{{Start: 0, End: 1, Anomalous: true}}); err != nil {
+	if _, err := e.Label(context.Background(), "pv", []Window{{Start: 0, End: 1, Anomalous: true}}); err != nil {
 		t.Fatalf("label with failing store must still succeed in memory: %v", err)
 	}
 	if got := e.Counters().WALAppendErrors; got != 2 {
@@ -216,7 +217,7 @@ func TestWALAppendFailureSurfaced(t *testing.T) {
 	}
 
 	store.setFail(false)
-	if res, _ := e.Append("pv", []Point{{Value: 4}}, nil); !res.Persisted {
+	if res, _ := e.Append(context.Background(), "pv", []Point{{Value: 4}}, nil); !res.Persisted {
 		t.Fatal("store recovered but Persisted still false")
 	}
 }
@@ -243,7 +244,7 @@ func trainableSeries(t *testing.T, weeks int) (*Engine, []float64, int) {
 	for i := range pts {
 		pts[i] = Point{Value: d.Series.Values[i]}
 	}
-	if _, err := e.Append("pv", pts, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 		t.Fatal(err)
 	}
 	var windows []Window
@@ -252,10 +253,10 @@ func trainableSeries(t *testing.T, weeks int) (*Engine, []float64, int) {
 			windows = append(windows, Window{Start: w.Start, End: w.End, Anomalous: true})
 		}
 	}
-	if _, err := e.Label("pv", windows); err != nil {
+	if _, err := e.Label(context.Background(), "pv", windows); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Train("pv"); err != nil {
+	if _, err := e.Train(context.Background(), "pv"); err != nil {
 		t.Fatal(err)
 	}
 	return e, d.Series.Values[boot:], boot
@@ -300,7 +301,7 @@ func TestConcurrentIngestRetrainNoVerdictLoss(t *testing.T) {
 				for i, v := range chunk {
 					pts[i] = Point{Value: v}
 				}
-				res, err := e.Append("pv", pts, nil)
+				res, err := e.Append(context.Background(), "pv", pts, nil)
 				if err != nil {
 					t.Errorf("append: %v", err)
 					return
@@ -318,7 +319,7 @@ func TestConcurrentIngestRetrainNoVerdictLoss(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := e.Train("pv"); err != nil {
+			if _, err := e.Train(context.Background(), "pv"); err != nil {
 				t.Errorf("train: %v", err)
 			}
 		}()
@@ -338,7 +339,7 @@ func TestConcurrentIngestRetrainNoVerdictLoss(t *testing.T) {
 			t.Fatalf("verdict index %d at position %d, want %d: a point was dropped or double-classified across a monitor swap", got, i, want)
 		}
 	}
-	st, err := e.Status("pv")
+	st, err := e.Status(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestAutoRetrainAsync(t *testing.T) {
 	for i := range pts {
 		pts[i] = Point{Value: d.Series.Values[i]}
 	}
-	if _, err := e.Append("pv", pts, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 		t.Fatal(err)
 	}
 	var windows []Window
@@ -377,10 +378,10 @@ func TestAutoRetrainAsync(t *testing.T) {
 			windows = append(windows, Window{Start: w.Start, End: w.End, Anomalous: true})
 		}
 	}
-	if _, err := e.Label("pv", windows); err != nil {
+	if _, err := e.Label(context.Background(), "pv", windows); err != nil {
 		t.Fatal(err)
 	}
-	first, err := e.Train("pv")
+	first, err := e.Train(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +403,7 @@ func TestAutoRetrainAsync(t *testing.T) {
 	for i := range week {
 		week[i] = Point{Value: d.Series.Values[boot+i]}
 	}
-	if _, err := e.Append("pv", week, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", week, nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -413,7 +414,7 @@ func TestAutoRetrainAsync(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("background retrain never completed")
 	}
-	st, err := e.Status("pv")
+	st, err := e.Status(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +435,7 @@ func TestVerdictBufferReuse(t *testing.T) {
 	for i := range pts {
 		pts[i] = Point{Value: rest[i%len(rest)]}
 	}
-	res, err := e.Append("pv", pts, buf)
+	res, err := e.Append(context.Background(), "pv", pts, buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,17 @@ type counters struct {
 	modelRestoreCold   atomic.Int64 // series cold-retrained during Restore
 	modelRollbacks     atomic.Int64 // explicit model rollbacks
 	restoreMillis      atomic.Int64 // wall time of the last Restore pass
+
+	// Overload and supervision accounting.
+	ingestSheds       atomic.Int64 // batches shed by admission control
+	degradedEntered   atomic.Int64 // series transitions into degraded mode
+	degradedRecovered atomic.Int64 // series transitions back to healthy
+	walBufferedPoints atomic.Int64 // points buffered by degraded WAL writers
+	walLostPoints     atomic.Int64 // points dropped from the log (buffer full)
+	trainStalls       atomic.Int64 // training/publish rounds abandoned by the watchdog
+	trainRetriesRun   atomic.Int64 // watchdog-driven retrain retries
+	seriesQuarantined atomic.Int64 // series whose training was quarantined
+	workerPanics      atomic.Int64 // recovered panics in supervised workers
 }
 
 // observeTraining records one training round's wall time (failed rounds
@@ -64,6 +75,17 @@ type Counters struct {
 	ExtractCacheBytes        int64
 	ExtractCacheCapBytes     int64
 	ExtractCacheInvalidated  int64
+
+	// Overload and supervision accounting (see the resilience layer).
+	IngestSheds       int64
+	DegradedEntered   int64
+	DegradedRecovered int64
+	WALBufferedPoints int64
+	WALLostPoints     int64
+	TrainStalls       int64
+	TrainRetries      int64
+	SeriesQuarantined int64
+	WorkerPanics      int64
 }
 
 // Counters returns the current engine-wide counters.
@@ -83,6 +105,16 @@ func (e *Engine) Counters() Counters {
 		ModelRestoreCold:   e.counters.modelRestoreCold.Load(),
 		ModelRollbacks:     e.counters.modelRollbacks.Load(),
 		RestoreSeconds:     float64(e.counters.restoreMillis.Load()) / 1000,
+
+		IngestSheds:       e.counters.ingestSheds.Load(),
+		DegradedEntered:   e.counters.degradedEntered.Load(),
+		DegradedRecovered: e.counters.degradedRecovered.Load(),
+		WALBufferedPoints: e.counters.walBufferedPoints.Load(),
+		WALLostPoints:     e.counters.walLostPoints.Load(),
+		TrainStalls:       e.counters.trainStalls.Load(),
+		TrainRetries:      e.counters.trainRetriesRun.Load(),
+		SeriesQuarantined: e.counters.seriesQuarantined.Load(),
+		WorkerPanics:      e.counters.workerPanics.Load(),
 	}
 	if e.models != nil {
 		c.ModelChecksumFailures = e.models.Stats().ChecksumFailures

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"time"
 
@@ -94,18 +95,24 @@ func (e *Engine) publishNow(m *managed) (bool, error) {
 		return false, nil // nothing new to publish
 	}
 
-	var buf bytes.Buffer
-	if err := mon.SaveModel(&buf); err != nil {
-		e.counters.modelPublishErrors.Add(1)
-		e.publishDone(m.name, 0, err)
-		return false, err
-	}
-	g, err := e.models.Publish(m.name, modelreg.Info{
-		Fingerprint: mon.Fingerprint(),
-		Points:      points,
-		CThld:       mon.CThld(),
-		TrainedAt:   trained,
-	}, buf.Bytes())
+	// The serialize-and-publish round runs under the same watchdog as
+	// training: a registry wedged on bad storage cannot pin the publish
+	// worker forever, and a panic in serialization is recovered and counted.
+	var g modelreg.Generation
+	err := e.supervise("model publish", m.name, func() error {
+		var buf bytes.Buffer
+		if err := mon.SaveModel(&buf); err != nil {
+			return err
+		}
+		var err error
+		g, err = e.models.Publish(m.name, modelreg.Info{
+			Fingerprint: mon.Fingerprint(),
+			Points:      points,
+			CThld:       mon.CThld(),
+			TrainedAt:   trained,
+		}, buf.Bytes())
+		return err
+	})
 	if err != nil {
 		e.counters.modelPublishErrors.Add(1)
 		e.publishDone(m.name, 0, err)
@@ -246,6 +253,9 @@ func (e *Engine) warmSwap(m *managed) error {
 	}
 	m.monitor = mon
 	m.trained = art.TrainedAt
+	// Like the retrain swap, the replay covered everything appended so far,
+	// including values parked while degraded.
+	m.pending = m.pending[:0]
 	// The swapped-in model is deliberately old: pin pointsAtTrain to the
 	// stream head so the auto-retrain trigger counts from now instead of
 	// immediately republishing over the rollback, and mark it published so
@@ -290,7 +300,10 @@ func (e *Engine) ModelManifest(name string) (modelreg.Manifest, error) {
 // backwards and, if the series is live, hot-swaps its monitor to the
 // rolled-back model. The registry change is durable even when the live swap
 // fails (the operator is told; the next restart serves the rollback).
-func (e *Engine) RollbackModel(name string) (modelreg.Manifest, error) {
+func (e *Engine) RollbackModel(ctx context.Context, name string) (modelreg.Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return modelreg.Manifest{}, err
+	}
 	if e.models == nil {
 		return modelreg.Manifest{}, invalidf("no model registry configured")
 	}

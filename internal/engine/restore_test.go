@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"io"
 	"log/slog"
@@ -72,7 +73,7 @@ func seedTrainedStore(t testing.TB, names ...string) (dataDir, modelDir string) 
 		for j := range pts {
 			pts[j] = Point{Value: d.Series.Values[j]}
 		}
-		if _, err := e.Append(name, pts, nil); err != nil {
+		if _, err := e.Append(context.Background(), name, pts, nil); err != nil {
 			t.Fatal(err)
 		}
 		var windows []Window
@@ -81,10 +82,10 @@ func seedTrainedStore(t testing.TB, names ...string) (dataDir, modelDir string) 
 				windows = append(windows, Window{Start: w.Start, End: w.End, Anomalous: true})
 			}
 		}
-		if _, err := e.Label(name, windows); err != nil {
+		if _, err := e.Label(context.Background(), name, windows); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := e.Train(name); err != nil {
+		if _, err := e.Train(context.Background(), name); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -119,7 +120,7 @@ func TestRestoreWarmNoRetrain(t *testing.T) {
 	dataDir, modelDir := seedTrainedStore(t, "pv-a", "pv-b", "pv-c")
 
 	e, _ := restartEngine(t, dataDir, modelDir, Config{})
-	restored, err := e.Restore()
+	restored, err := e.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,14 +138,14 @@ func TestRestoreWarmNoRetrain(t *testing.T) {
 		t.Errorf("RestoreSeconds = %v, want >= 0", c.RestoreSeconds)
 	}
 	for _, name := range []string{"pv-a", "pv-b", "pv-c"} {
-		st, err := e.Status(name)
+		st, err := e.Status(context.Background(), name)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !st.Trained {
 			t.Fatalf("%s restored untrained", name)
 		}
-		res, err := e.Append(name, []Point{{Value: 1}, {Value: 2}}, nil)
+		res, err := e.Append(context.Background(), name, []Point{{Value: 1}, {Value: 2}}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,10 +172,10 @@ func TestRestoreWarmMatchesColdVerdicts(t *testing.T) {
 	want := man.Generations[0].CThld
 
 	e, _ := restartEngine(t, dataDir, modelDir, Config{})
-	if _, err := e.Restore(); err != nil {
+	if _, err := e.Restore(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	st, err := e.Status("pv")
+	st, err := e.Status(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestRestoreCorruptArtifactFallsBackCold(t *testing.T) {
 	}
 
 	e, _ := restartEngine(t, dataDir, modelDir, Config{})
-	restored, err := e.Restore()
+	restored, err := e.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestRestoreCorruptArtifactFallsBackCold(t *testing.T) {
 	}
 	// Both series serve verdicts regardless of which rung restored them.
 	for _, name := range []string{"pv-a", "pv-b"} {
-		res, err := e.Append(name, []Point{{Value: 1}}, nil)
+		res, err := e.Append(context.Background(), name, []Point{{Value: 1}}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +240,7 @@ func TestRestoreFingerprintMismatchFallsBackCold(t *testing.T) {
 		return ds[:len(ds)-1], nil
 	}
 	e, _ := restartEngine(t, dataDir, modelDir, Config{Registry: subset})
-	if _, err := e.Restore(); err != nil {
+	if _, err := e.Restore(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	c := e.Counters()
@@ -293,7 +294,7 @@ func TestRestoreWarmConcurrentIngest(t *testing.T) {
 			<-start
 			sent := 0
 			for sent < perSeries {
-				res, err := e.Append(name, []Point{{Value: float64(sent)}}, nil)
+				res, err := e.Append(context.Background(), name, []Point{{Value: float64(sent)}}, nil)
 				if errors.Is(err, ErrNotFound) {
 					continue // series not yet through the restore pass
 				}
@@ -310,7 +311,7 @@ func TestRestoreWarmConcurrentIngest(t *testing.T) {
 	}
 
 	close(start)
-	restored, err := e.Restore()
+	restored, err := e.Restore(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestRestoreWarmConcurrentIngest(t *testing.T) {
 		t.Errorf("warm restores = %d, want %d", c.ModelRestoreWarm, len(names))
 	}
 	for _, name := range names {
-		st, err := e.Status(name)
+		st, err := e.Status(context.Background(), name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -374,7 +375,7 @@ func TestPublishAsyncAfterTrain(t *testing.T) {
 		default:
 		}
 	}})
-	if _, err := e.Train("pv"); err != nil {
+	if _, err := e.Train(context.Background(), "pv"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -403,7 +404,7 @@ func TestRollbackModelLiveSwap(t *testing.T) {
 	if n := e.PublishModels(); n != 1 {
 		t.Fatalf("flush published %d, want 1", n)
 	}
-	if _, err := e.Train("pv"); err != nil {
+	if _, err := e.Train(context.Background(), "pv"); err != nil {
 		t.Fatal(err)
 	}
 	e.PublishModels() // deterministic gen 2 (async publish may have raced it)
@@ -416,14 +417,14 @@ func TestRollbackModelLiveSwap(t *testing.T) {
 	}
 	gen1 := man.Generations[0]
 
-	man, err = e.RollbackModel("pv")
+	man, err = e.RollbackModel(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if man.Current != 1 {
 		t.Fatalf("current = %d after rollback, want 1", man.Current)
 	}
-	st, err := e.Status("pv")
+	st, err := e.Status(context.Background(), "pv")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,10 +439,10 @@ func TestRollbackModelLiveSwap(t *testing.T) {
 		t.Errorf("PublishModels republished %d artifacts after rollback, want 0", n)
 	}
 	// Rolling back past the oldest generation is rejected, not silent.
-	if _, err := e.RollbackModel("pv"); !errors.Is(err, ErrRejected) {
+	if _, err := e.RollbackModel(context.Background(), "pv"); !errors.Is(err, ErrRejected) {
 		t.Errorf("rollback past oldest: err = %v, want ErrRejected", err)
 	}
-	if _, err := e.RollbackModel("nope"); !errors.Is(err, ErrNotFound) {
+	if _, err := e.RollbackModel(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("rollback of unknown series: err = %v, want ErrNotFound", err)
 	}
 }
@@ -456,7 +457,7 @@ func BenchmarkRestoreWarmVsCold(b *testing.B) {
 	// Sanity outside the timer: the warm path must actually be warm.
 	{
 		e, store := benchRestartEngine(b, dataDir, modelDir)
-		if _, err := e.Restore(); err != nil {
+		if _, err := e.Restore(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		c := e.Counters()
@@ -470,7 +471,7 @@ func BenchmarkRestoreWarmVsCold(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e, store := benchRestartEngine(b, dataDir, "")
-			if _, err := e.Restore(); err != nil {
+			if _, err := e.Restore(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			b.StopTimer()
@@ -482,7 +483,7 @@ func BenchmarkRestoreWarmVsCold(b *testing.B) {
 	b.Run("warm", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e, store := benchRestartEngine(b, dataDir, modelDir)
-			if _, err := e.Restore(); err != nil {
+			if _, err := e.Restore(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			if c := e.Counters(); c.TrainingsRun != 0 {

@@ -1,10 +1,16 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"time"
 
 	"opprentice/internal/core"
+	"opprentice/internal/detectors"
 	"opprentice/internal/ml/forest"
+	"opprentice/internal/timeseries"
 )
 
 // TrainResult reports one completed training round.
@@ -18,13 +24,16 @@ type TrainResult struct {
 // monitor is live. The caller waits, but ingest does not: training runs
 // against a snapshot and only briefly re-acquires the series mutex to replay
 // mid-train points and swap the monitor in (see train). Untrainable history
-// returns an ErrRejected-wrapped error.
-func (e *Engine) Train(name string) (TrainResult, error) {
+// returns an ErrRejected-wrapped error; a round that blows the training
+// deadline (or ctx's, whichever is sooner) is abandoned by the watchdog
+// with an ErrStalled-wrapped error and the live monitor untouched. A
+// successful manual Train also lifts a training quarantine.
+func (e *Engine) Train(ctx context.Context, name string) (TrainResult, error) {
 	m, err := e.lookup(name)
 	if err != nil {
 		return TrainResult{}, err
 	}
-	return e.train(m)
+	return e.train(ctx, m)
 }
 
 // train runs one snapshot → fit → replay+swap round. The retrain-swap
@@ -33,8 +42,9 @@ func (e *Engine) Train(name string) (TrainResult, error) {
 //  1. Under m.mu: clone the series and labels (cheap memcpy) and note the
 //     live monitor. Release m.mu — ingest continues against the live
 //     monitor throughout the expensive part.
-//  2. Off-lock: fit a replacement monitor. First-ever training builds it
-//     with core.NewMonitor (cross-validated initial cThld); afterwards
+//  2. Off-lock: fit a replacement monitor, supervised by the training
+//     watchdog (see fitSupervised). First-ever training builds it with
+//     core.NewMonitor (cross-validated initial cThld); afterwards
 //     Monitor.RetrainSnapshot carries the EWMA cThld state forward without
 //     touching the live monitor.
 //  3. Under m.mu again: replay the points appended since the snapshot
@@ -42,11 +52,13 @@ func (e *Engine) Train(name string) (TrainResult, error) {
 //     issued by the old monitor, so replay verdicts are discarded; the
 //     replay only advances detector and duration-filter state to the stream
 //     head — then swap the monitor pointer. Every point thus receives
-//     exactly one verdict across the swap.
+//     exactly one verdict across the swap. The replay covers any values
+//     parked in the degraded-mode pending buffer too (they are ordinary
+//     series values by now), so pending is cleared at the swap.
 //
 // m.trainMu serializes rounds so two trains cannot interleave their swaps.
 // On any error the live monitor is left untouched.
-func (e *Engine) train(m *managed) (res TrainResult, err error) {
+func (e *Engine) train(ctx context.Context, m *managed) (res TrainResult, err error) {
 	m.trainMu.Lock()
 	defer m.trainMu.Unlock()
 
@@ -54,6 +66,9 @@ func (e *Engine) train(m *managed) (res TrainResult, err error) {
 	defer func() { e.counters.observeTraining(time.Since(started)) }()
 	if e.hooks.TrainDone != nil {
 		defer func() { e.hooks.TrainDone(m.name, res, err) }()
+	}
+	if err = ctx.Err(); err != nil {
+		return TrainResult{}, err
 	}
 
 	// 1. Snapshot.
@@ -63,29 +78,14 @@ func (e *Engine) train(m *managed) (res TrainResult, err error) {
 	cur := m.monitor
 	m.mu.Unlock()
 
-	// 2. Fit off-lock.
+	// 2. Fit off-lock, supervised.
 	dets, err := e.registry(snap.Interval)
 	if err != nil {
 		return TrainResult{}, rejected(err)
 	}
-	// m.featCache (nil when caching is disabled) makes this extraction
-	// incremental: only the points appended since the previous round are run
-	// through the detectors, and the cache's checkpoints advance to the
-	// snapshot head. It is only ever touched here, under m.trainMu.
-	var next *core.Monitor
-	if cur == nil {
-		cfg := core.MonitorConfig{
-			Preference:      m.pref,
-			Forest:          forest.Config{Trees: m.trees, Seed: 1},
-			OnDetectorPanic: e.panicHook(m.name),
-			Cache:           m.featCache,
-		}
-		next, err = core.NewMonitor(snap, labels, dets, cfg)
-	} else {
-		next, err = cur.RetrainSnapshotCached(snap, labels, dets, m.featCache)
-	}
+	next, err := e.fitSupervised(ctx, m, snap, labels, cur, dets)
 	if err != nil {
-		return TrainResult{}, rejected(err)
+		return TrainResult{}, err
 	}
 
 	// 3. Replay and swap.
@@ -96,8 +96,15 @@ func (e *Engine) train(m *managed) (res TrainResult, err error) {
 	m.monitor = next
 	m.trained = time.Now().UTC()
 	m.pointsAtTrain = m.series.Len()
+	m.pending = m.pending[:0]
 	res = TrainResult{TrainedAt: m.trained, CThld: next.CThld(), Points: m.series.Len()}
 	m.mu.Unlock()
+
+	// A successful round resets the failure streak and lifts quarantine.
+	m.trainFails.Store(0)
+	if m.quarantined.CompareAndSwap(true, false) {
+		e.log.Info("series left training quarantine", "series", m.name)
+	}
 
 	e.log.Info("series trained", "name", m.name, "points", res.Points,
 		"cthld", res.CThld, "replayed", res.Points-snap.Len(), "took", time.Since(started))
@@ -105,6 +112,89 @@ func (e *Engine) train(m *managed) (res TrainResult, err error) {
 	// registry); Close runs a final synchronous sweep for anything unflushed.
 	e.schedulePublish(m)
 	return res, nil
+}
+
+// fitSupervised runs the expensive fit under the training watchdog: the
+// fit executes on its own goroutine (panics recovered and counted, never
+// crashing the engine) while this one waits out the effective deadline —
+// the smaller of the engine's training deadline and ctx's. On a miss the
+// round is abandoned with an ErrStalled-wrapped error and the zombie fit
+// is detached: the series gets a fresh feature cache immediately (the next
+// round extracts cold), and the old cache is invalidated once the zombie
+// finishes so its budget is returned and its result can never be swapped
+// in. Caller holds m.trainMu, so m.featCache is stable here.
+func (e *Engine) fitSupervised(ctx context.Context, m *managed, snap *timeseries.Series,
+	labels timeseries.Labels, cur *core.Monitor, dets []detectors.Detector) (*core.Monitor, error) {
+
+	deadline := time.Duration(e.trainDeadline.Load())
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); deadline <= 0 || rem < deadline {
+			deadline = rem
+		}
+	}
+	cache := m.featCache
+	fit := func() (*core.Monitor, error) {
+		if cur == nil {
+			cfg := core.MonitorConfig{
+				Preference:      m.pref,
+				Forest:          forest.Config{Trees: m.trees, Seed: 1},
+				OnDetectorPanic: e.panicHook(m.name),
+				Cache:           cache,
+			}
+			return core.NewMonitor(snap, labels, dets, cfg)
+		}
+		return cur.RetrainSnapshotCached(snap, labels, dets, cache)
+	}
+	if deadline <= 0 && ctx.Done() == nil {
+		// Watchdog disabled and nothing to cancel on: fit inline.
+		next, err := fit()
+		if err != nil {
+			return nil, rejected(err)
+		}
+		return next, nil
+	}
+
+	type fitResult struct {
+		mon *core.Monitor
+		err error
+	}
+	done := make(chan fitResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.counters.workerPanics.Add(1)
+				done <- fitResult{err: fmt.Errorf("training panicked: %v", r)}
+			}
+		}()
+		mon, err := fit()
+		done <- fitResult{mon, err}
+	}()
+	var timer <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return nil, rejected(r.err)
+		}
+		return r.mon, nil
+	case <-timer:
+	case <-ctx.Done():
+	}
+	e.counters.trainStalls.Add(1)
+	if cache != nil {
+		m.featCache = core.NewFeatureCache(e.cacheBudget)
+		go func() {
+			<-done
+			cache.Invalidate()
+		}()
+	} else {
+		go func() { <-done }()
+	}
+	return nil, stalledf("training round for %q exceeded its %v deadline", m.name, deadline)
 }
 
 // VerifyFeatureCache cross-checks the named series' incremental
@@ -146,8 +236,13 @@ func (e *Engine) panicHook(name string) func(string, any) {
 
 // scheduleRetrain arms one asynchronous retrain for m. Callers hold m.mu;
 // only the CAS and a non-blocking channel send happen here. If the queue is
-// saturated the trigger is dropped and re-armed by the next append.
+// saturated the trigger is dropped and re-armed by the next append. A
+// quarantined series is skipped: its old model keeps serving until a
+// manual Train succeeds.
 func (e *Engine) scheduleRetrain(m *managed) {
+	if m.quarantined.Load() {
+		return
+	}
 	if !m.training.CompareAndSwap(false, true) {
 		return // already queued or running
 	}
@@ -167,10 +262,52 @@ func (e *Engine) retrainWorker() {
 		case <-e.stop:
 			return
 		case m := <-e.trainQ:
-			if _, err := e.train(m); err != nil {
-				e.log.Warn("auto-retrain failed", "series", m.name, "err", err)
-			}
+			e.autoRetrain(m)
 			m.training.Store(false)
+		}
+	}
+}
+
+// autoRetrain runs one automatic round under the watchdog's retry policy:
+// a stalled round is retried with exponential backoff and jitter (bounded
+// by the retry budget and engine shutdown); any failure advances the
+// series' consecutive-failure streak, and crossing the limit quarantines
+// its training — the last good model keeps serving, automatic retrains
+// stop, and a successful manual Train lifts it.
+func (e *Engine) autoRetrain(m *managed) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 10 * time.Second
+	for attempt := 0; ; attempt++ {
+		_, err := e.train(context.Background(), m)
+		if err == nil {
+			return
+		}
+		fails := int(m.trainFails.Add(1))
+		e.log.Warn("auto-retrain failed", "series", m.name,
+			"attempt", attempt, "consecutive_failures", fails, "err", err)
+		if e.trainFailLimit > 0 && fails >= e.trainFailLimit {
+			if m.quarantined.CompareAndSwap(false, true) {
+				e.counters.seriesQuarantined.Add(1)
+				e.log.Error("series training quarantined after repeated failures",
+					"series", m.name, "failures", fails)
+			}
+			return
+		}
+		// Only stalls are worth retrying: a rejected round (untrainable
+		// history, bad registry) fails identically on every attempt.
+		if !errors.Is(err, ErrStalled) || attempt >= e.trainRetries {
+			return
+		}
+		e.counters.trainRetriesRun.Add(1)
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		select {
+		case <-e.stop:
+			return
+		case <-time.After(delay):
 		}
 	}
 }

@@ -7,6 +7,7 @@ package engine
 // must be purely incremental. Runs under `make engine-race`.
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"sync"
@@ -57,7 +58,7 @@ func TestRetrainUsesCacheUnderConcurrentIngest(t *testing.T) {
 				for i, v := range chunk {
 					pts[i] = Point{Value: v}
 				}
-				if _, err := e.Append("pv", pts, nil); err != nil {
+				if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 					t.Errorf("append: %v", err)
 					return
 				}
@@ -68,7 +69,7 @@ func TestRetrainUsesCacheUnderConcurrentIngest(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := e.Train("pv"); err != nil {
+			if _, err := e.Train(context.Background(), "pv"); err != nil {
 				t.Errorf("train: %v", err)
 			}
 		}()
@@ -98,10 +99,10 @@ func TestRetrainUsesCacheUnderConcurrentIngest(t *testing.T) {
 	for i := range pts {
 		pts[i] = Point{Value: rest[i]}
 	}
-	if _, err := e.Append("pv", pts, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Train("pv"); err != nil {
+	if _, err := e.Train(context.Background(), "pv"); err != nil {
 		t.Fatal(err)
 	}
 	post := e.Counters()
@@ -135,7 +136,7 @@ func TestEngineCacheDisabled(t *testing.T) {
 	for i := range pts {
 		pts[i] = Point{Value: d.Series.Values[i]}
 	}
-	if _, err := e.Append("pv", pts, nil); err != nil {
+	if _, err := e.Append(context.Background(), "pv", pts, nil); err != nil {
 		t.Fatal(err)
 	}
 	var windows []Window
@@ -144,13 +145,13 @@ func TestEngineCacheDisabled(t *testing.T) {
 			windows = append(windows, Window{Start: w.Start, End: w.End, Anomalous: true})
 		}
 	}
-	if _, err := e.Label("pv", windows); err != nil {
+	if _, err := e.Label(context.Background(), "pv", windows); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Train("pv"); err != nil {
+	if _, err := e.Train(context.Background(), "pv"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Train("pv"); err != nil {
+	if _, err := e.Train(context.Background(), "pv"); err != nil {
 		t.Fatal(err)
 	}
 	c := e.Counters()

@@ -268,3 +268,79 @@ func AppendGarbage(path string, garbage []byte) error {
 	_, err = f.Write(garbage)
 	return err
 }
+
+// StallGate is a reusable block-until-released gate for simulating hung
+// dependencies (a disk that stops completing writes, a trainer that never
+// returns). Arm blocks every subsequent Wait until Release; a disarmed gate
+// costs one mutex acquisition and never blocks. Arm/Release are idempotent
+// and the gate can be re-armed after a release.
+type StallGate struct {
+	mu   sync.Mutex
+	gate chan struct{} // non-nil while armed; closed on release
+}
+
+// Arm makes Wait block until the next Release.
+func (g *StallGate) Arm() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gate == nil {
+		g.gate = make(chan struct{})
+	}
+}
+
+// Release unblocks every current and future Wait until the next Arm.
+func (g *StallGate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gate != nil {
+		close(g.gate)
+		g.gate = nil
+	}
+}
+
+// Armed reports whether Wait would currently block.
+func (g *StallGate) Armed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gate != nil
+}
+
+// Wait blocks while the gate is armed.
+func (g *StallGate) Wait() {
+	g.mu.Lock()
+	ch := g.gate
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// StallingDetector implements detectors.Detector by blocking on a StallGate
+// at every Step: while the gate is armed, any training round extracting with
+// this configuration hangs exactly like a wedged native detector would.
+// Disarmed it contributes a constant feature and costs nothing.
+type StallingDetector struct {
+	// ConfigName is returned by Name (default "faulty(stall)").
+	ConfigName string
+	// Gate controls the blocking; a nil gate never blocks.
+	Gate *StallGate
+}
+
+// Name implements detectors.Detector.
+func (d *StallingDetector) Name() string {
+	if d.ConfigName == "" {
+		return "faulty(stall)"
+	}
+	return d.ConfigName
+}
+
+// Step implements detectors.Detector, blocking while the gate is armed.
+func (d *StallingDetector) Step(float64) (float64, bool) {
+	if d.Gate != nil {
+		d.Gate.Wait()
+	}
+	return 0, true
+}
+
+// Reset implements detectors.Detector.
+func (d *StallingDetector) Reset() {}

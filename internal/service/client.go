@@ -10,7 +10,10 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
+
+	"opprentice/internal/engine"
 )
 
 // Client is a typed Go client for the opprenticed HTTP API. The zero value
@@ -21,10 +24,13 @@ type Client struct {
 
 	// Retry configures automatic retry with exponential backoff for
 	// idempotent requests (GET, PUT, HEAD, DELETE) that fail with a
-	// transport error or a 5xx status. The zero value disables retry, so
-	// existing callers keep single-attempt semantics. Non-idempotent
-	// requests (POST points/labels/train) are never retried: a retried
-	// points POST could double-append.
+	// transport error, a 5xx status, or a 429 overload shed — for 429 and
+	// 503 the server's Retry-After header, when present, replaces the
+	// computed backoff. The zero value disables retry, so existing callers
+	// keep single-attempt semantics. Non-idempotent requests (POST
+	// points/labels/train/rollback) are never retried, not even on 429: a
+	// retried points POST could double-append and a retried rollback would
+	// walk back two generations.
 	Retry RetryConfig
 }
 
@@ -62,6 +68,9 @@ func retryable(method string) bool {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent). The
+	// service sends it on 429 admission sheds and 503 stalls.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -93,10 +102,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		maxDelay = 2 * time.Second
 	}
 	var lastErr error
+	var serverWait time.Duration // Retry-After from the previous response
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			jittered := delay + time.Duration(0.2*rand.Float64()*float64(delay))
-			t := time.NewTimer(jittered)
+			wait := delay + time.Duration(0.2*rand.Float64()*float64(delay))
+			if serverWait > 0 {
+				wait = serverWait
+			}
+			t := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -112,11 +125,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return nil
 		}
 		lastErr = err
-		// Only transport errors and 5xx responses are worth retrying; a 4xx
-		// will not improve on its own.
+		serverWait = 0
+		// Transport errors, 5xx responses, and 429 admission sheds are worth
+		// retrying (the method is already known idempotent here); any other
+		// 4xx will not improve on its own. A Retry-After hint overrides the
+		// computed backoff for the next attempt.
 		var apiErr *APIError
-		if errors.As(err, &apiErr) && apiErr.StatusCode < 500 {
-			return err
+		if errors.As(err, &apiErr) {
+			switch {
+			case apiErr.StatusCode >= 500:
+			case apiErr.StatusCode == http.StatusTooManyRequests:
+			default:
+				return err
+			}
+			if apiErr.RetryAfter > 0 {
+				serverWait = apiErr.RetryAfter
+			}
 		}
 		if ctx.Err() != nil {
 			return err
@@ -148,11 +172,21 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: string(data)}
 		var er errorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: er.Error}
+			apiErr.Message = er.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+		// Only the delta-seconds Retry-After form is parsed (the service
+		// sends nothing else); an HTTP-date or garbage leaves the hint zero
+		// and the computed backoff applies. The hint is capped so a
+		// misconfigured server cannot park the client for minutes.
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				apiErr.RetryAfter = min(time.Duration(secs)*time.Second, 30*time.Second)
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -163,6 +197,22 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 // Health checks service liveness.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Ready fetches the readiness probe: whether every series serves
+// full-fidelity verdicts, and the degraded/quarantined ones by name. A
+// not-ready service answers 503; the readiness body is still parsed and
+// returned alongside the error so callers can name the offenders.
+func (c *Client) Ready(ctx context.Context) (engine.Readiness, error) {
+	var r engine.Readiness
+	err := c.do(ctx, http.MethodGet, "/v1/readyz", nil, &r)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable {
+			_ = json.Unmarshal([]byte(apiErr.Message), &r)
+		}
+	}
+	return r, err
 }
 
 // List returns the managed series names.

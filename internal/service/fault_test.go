@@ -489,3 +489,55 @@ func TestFaultClientGivesUpAfterMaxAttempts(t *testing.T) {
 		t.Errorf("attempts = %d, want 3", got)
 	}
 }
+
+// Regression: 429 admission sheds used to fall through the generic "4xx is
+// final" arm, so an idempotent request was never retried even though the
+// server explicitly said when to come back.
+func TestFaultClientRetriesIdempotentOn429(t *testing.T) {
+	var calls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, errors.New("overloaded"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"series": {}})
+	}))
+	defer backend.Close()
+	c := NewClient(backend.URL, backend.Client())
+	c.Retry = RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	start := time.Now()
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("List should succeed after the shed clears: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (one shed, one success)", got)
+	}
+	// The 1s Retry-After hint must replace the 1ms computed backoff.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= ~1s (Retry-After honored)", elapsed)
+	}
+}
+
+func TestFaultClientNeverRetriesPointsOn429(t *testing.T) {
+	var calls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("overloaded"))
+	}))
+	defer backend.Close()
+	c := NewClient(backend.URL, backend.Client())
+	c.Retry = RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	_, err := c.Append(context.Background(), "pv", []Point{{Timestamp: time.Unix(0, 0), Value: 1}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 APIError", err)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s parsed from the header", apiErr.RetryAfter)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("POST attempts = %d, want exactly 1 (a blind resend could double-append)", got)
+	}
+}

@@ -46,6 +46,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP opprenticed_restore_seconds Wall time of the last restore pass.\n# TYPE opprenticed_restore_seconds gauge\nopprenticed_restore_seconds %.3f\n",
 		c.RestoreSeconds)
 
+	// Overload and supervision (DESIGN.md §11): admission sheds,
+	// degraded-mode transitions, buffered/lost WAL points, and watchdog
+	// activity on the training workers.
+	writeCounter("opprenticed_ingest_sheds_total", "Point batches shed whole by admission control (HTTP 429).", c.IngestSheds)
+	writeCounter("opprenticed_degraded_entered_total", "Series transitions into degraded (threshold-only) serving.", c.DegradedEntered)
+	writeCounter("opprenticed_degraded_recovered_total", "Series recoveries out of degraded serving.", c.DegradedRecovered)
+	writeCounter("opprenticed_wal_buffered_points_total", "Points buffered by degraded background WAL writers.", c.WALBufferedPoints)
+	writeCounter("opprenticed_wal_lost_points_total", "Points dropped from the log because a degraded buffer overflowed.", c.WALLostPoints)
+	writeCounter("opprenticed_train_stalls_total", "Training/publish rounds abandoned by the watchdog.", c.TrainStalls)
+	writeCounter("opprenticed_train_retries_total", "Watchdog-driven retrain retries.", c.TrainRetries)
+	writeCounter("opprenticed_series_quarantined_total", "Series whose training was quarantined after repeated failures.", c.SeriesQuarantined)
+	writeCounter("opprenticed_worker_panics_total", "Recovered panics in supervised background workers.", c.WorkerPanics)
+	ready := s.eng.Ready()
+	fmt.Fprintf(w, "# HELP opprenticed_series_degraded Series currently in degraded (threshold-only) serving.\n# TYPE opprenticed_series_degraded gauge\nopprenticed_series_degraded %d\n", len(ready.Degraded))
+	fmt.Fprintf(w, "# HELP opprenticed_series_quarantined Series whose training is currently quarantined.\n# TYPE opprenticed_series_quarantined gauge\nopprenticed_series_quarantined %d\n", len(ready.Quarantined))
+
 	// Incremental feature-extraction cache: work done per mode, current
 	// footprint, and whole-cache invalidations.
 	fmt.Fprintf(w, "# HELP opprenticed_extract_points_total Point-by-configuration severity computations during training extraction, by mode.\n# TYPE opprenticed_extract_points_total counter\n")

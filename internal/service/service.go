@@ -14,6 +14,7 @@
 // API (all JSON):
 //
 //	GET  /v1/healthz                    liveness
+//	GET  /v1/readyz                     readiness (degraded/quarantined series)
 //	GET  /v1/series                     list series
 //	PUT  /v1/series/{name}              create a series
 //	GET  /v1/series/{name}              status
@@ -52,16 +53,32 @@
 //     labels) that failed; the affected points responses also carry
 //     "persisted": false.
 //
+// The overload and supervision layer (DESIGN.md §11) adds:
+//
+//   - opprenticed_ingest_sheds_total — point batches rejected whole by
+//     admission control (HTTP 429).
+//   - opprenticed_degraded_entered_total / opprenticed_degraded_recovered_total
+//     and the opprenticed_series_degraded gauge — degraded-mode transitions
+//     and the number of series currently degraded.
+//   - opprenticed_wal_buffered_points_total / opprenticed_wal_lost_points_total
+//     — points buffered by degraded WAL writers, and points dropped from the
+//     log when that buffer overflowed.
+//   - opprenticed_train_stalls_total / opprenticed_train_retries_total /
+//     opprenticed_series_quarantined_total / opprenticed_worker_panics_total
+//     — watchdog activity on the training/publish workers.
+//
 // A non-zero rate on any of these means a dependency is degrading while the
 // service keeps running; see DESIGN.md's "Failure modes & degradation".
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -76,14 +93,62 @@ import (
 // (which builds its own engine) or NewServerWithEngine, and mount Handler on
 // an http.Server.
 type Server struct {
-	eng     *engine.Engine
-	log     *slog.Logger
-	metrics metrics
+	eng      *engine.Engine
+	log      *slog.Logger
+	metrics  metrics
+	timeouts Timeouts
 
 	// vbufs pools verdict buffers for the points hot path; the engine
 	// appends verdicts into a pooled buffer instead of allocating per
 	// request.
 	vbufs sync.Pool
+}
+
+// Timeouts are the per-endpoint deadlines the server attaches to each
+// request's context before calling into the engine; the engine propagates
+// them through its own budgets (WAL deadline, training watchdog). Zero
+// fields pick the defaults; negative disables that endpoint's deadline.
+type Timeouts struct {
+	// Append bounds POST points (default 30s).
+	Append time.Duration
+	// Label bounds POST labels (default 30s).
+	Label time.Duration
+	// Train bounds POST train (default 10m) — synchronous training is the
+	// slowest endpoint by far.
+	Train time.Duration
+	// Status bounds the cheap read endpoints (default 5s).
+	Status time.Duration
+	// Rollback bounds POST rollback, which hot-swaps a monitor (default 2m).
+	Rollback time.Duration
+}
+
+// resolveTimeouts fills zero fields with the defaults.
+func resolveTimeouts(t Timeouts) Timeouts {
+	def := func(v *time.Duration, d time.Duration) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = 0
+		}
+	}
+	def(&t.Append, 30*time.Second)
+	def(&t.Label, 30*time.Second)
+	def(&t.Train, 10*time.Minute)
+	def(&t.Status, 5*time.Second)
+	def(&t.Rollback, 2*time.Minute)
+	return t
+}
+
+// SetTimeouts replaces the per-endpoint deadlines. Call it before serving.
+func (s *Server) SetTimeouts(t Timeouts) { s.timeouts = resolveTimeouts(t) }
+
+// opCtx derives the handler's working context: the request context plus
+// the endpoint's deadline (when enabled).
+func opCtx(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
 }
 
 // NewServer returns a service over a fresh default engine.
@@ -100,7 +165,7 @@ func NewServerWithEngine(eng *engine.Engine, log *slog.Logger) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
-	s := &Server{eng: eng, log: log}
+	s := &Server{eng: eng, log: log, timeouts: resolveTimeouts(Timeouts{})}
 	s.vbufs.New = func() any {
 		buf := make([]engine.Verdict, 0, 256)
 		return &buf
@@ -143,7 +208,9 @@ func (s *Server) SetNotifyConfig(cfg alerting.PipelineConfig) {
 func (s *Server) SetModels(r *modelreg.Registry) { s.eng.SetModels(r) }
 
 // Restore replays every series in the engine's store; see engine.Restore.
-func (s *Server) Restore() (int, error) { return s.eng.Restore() }
+// It keeps its context-free signature for callers that restore during boot
+// with no deadline to propagate.
+func (s *Server) Restore() (int, error) { return s.eng.Restore(context.Background()) }
 
 // Close shuts down the engine: retrain workers stop and pending webhook
 // deliveries are given grace before being dropped; call it after
@@ -154,6 +221,7 @@ func (s *Server) Close() { s.eng.Close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/series", s.handleList)
 	mux.HandleFunc("PUT /v1/series/{name}", s.handleCreate)
 	mux.HandleFunc("GET /v1/series/{name}", s.handleStatus)
@@ -214,9 +282,13 @@ type PointsResponse struct {
 	Total    int               `json:"total"`
 	Verdicts []VerdictResponse `json:"verdicts,omitempty"`
 	// Persisted is present (and false) only when a durable store is attached
-	// and its append failed: the points are live in memory and were
-	// classified, but a restart would lose them.
+	// and its append failed or is still buffered behind a degraded WAL
+	// writer: the points are live in memory and were classified, but a
+	// restart right now would lose them.
 	Persisted *bool `json:"persisted,omitempty"`
+	// Degraded is present (and true) only when the series answered in
+	// degraded mode: the verdicts are threshold-only, not the full model's.
+	Degraded *bool `json:"degraded,omitempty"`
 }
 
 // LabelWindow labels (or clears) the half-open index range [Start, End).
@@ -249,6 +321,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the load-balancer readiness probe: 200 while every series
+// serves full-fidelity verdicts, 503 (with Retry-After) while any series is
+// degraded or quarantined — the body names them either way.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := s.eng.Ready()
+	code := http.StatusOK
+	if !ready.Ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+	}
+	writeJSON(w, code, ready)
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"series": s.eng.Names()})
 }
@@ -276,7 +361,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st, err := s.eng.Status(r.PathValue("name"))
+	ctx, cancel := opCtx(r, s.timeouts.Status)
+	defer cancel()
+	st, err := s.eng.Status(ctx, r.PathValue("name"))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -290,8 +377,10 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
 		return
 	}
+	ctx, cancel := opCtx(r, s.timeouts.Append)
+	defer cancel()
 	bufp := s.vbufs.Get().(*[]engine.Verdict)
-	res, err := s.eng.Append(r.PathValue("name"), req.Points, *bufp)
+	res, err := s.eng.Append(ctx, r.PathValue("name"), req.Points, *bufp)
 	if err != nil {
 		s.vbufs.Put(bufp)
 		s.fail(w, err)
@@ -306,6 +395,10 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 		f := false
 		resp.Persisted = &f
 	}
+	if res.Degraded {
+		t := true
+		resp.Degraded = &t
+	}
 	writeJSON(w, http.StatusOK, resp)
 	// Return the (possibly grown) buffer to the pool only after encoding.
 	*bufp = res.Verdicts
@@ -318,7 +411,9 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
 		return
 	}
-	res, err := s.eng.Label(r.PathValue("name"), req.Windows)
+	ctx, cancel := opCtx(r, s.timeouts.Label)
+	defer cancel()
+	res, err := s.eng.Label(ctx, r.PathValue("name"), req.Windows)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -330,7 +425,9 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
-	res, err := s.eng.Train(r.PathValue("name"))
+	ctx, cancel := opCtx(r, s.timeouts.Train)
+	defer cancel()
+	res, err := s.eng.Train(ctx, r.PathValue("name"))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -379,7 +476,9 @@ func (s *Server) handleModelManifest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelRollback(w http.ResponseWriter, r *http.Request) {
-	man, err := s.eng.RollbackModel(r.PathValue("name"))
+	ctx, cancel := opCtx(r, s.timeouts.Rollback)
+	defer cancel()
+	man, err := s.eng.RollbackModel(ctx, r.PathValue("name"))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -387,8 +486,18 @@ func (s *Server) handleModelRollback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, man)
 }
 
+// Retry-After guidance, in seconds, for the two transient failure classes:
+// an overload shed clears as soon as in-flight work drains (retry quickly),
+// a stall or timeout means something is wedged (give it longer).
+const (
+	retryAfterOverload = 1
+	retryAfterStall    = 5
+)
+
 // fail maps an engine error kind to its HTTP status and writes the uniform
-// error body.
+// error body. Overload sheds answer 429 and stalls/timeouts 503, both with
+// a Retry-After so well-behaved clients (service.Client included) back off
+// instead of hammering a struggling node.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
@@ -400,6 +509,14 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.Is(err, engine.ErrRejected):
 		code = http.StatusUnprocessableEntity
+	case errors.Is(err, engine.ErrOverloaded):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterOverload))
+	case errors.Is(err, engine.ErrStalled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterStall))
 	}
 	s.countError(w, code, err)
 }

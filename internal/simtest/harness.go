@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -97,6 +98,25 @@ type Harness struct {
 	trains             int
 	ingestSinceRestore int
 
+	// Resilience fault machinery (DESIGN.md §11): the WAL gate stalls the
+	// store under the live engine's writers, the train gate wedges training
+	// rounds via a gated detector configuration, and the exp* counters are
+	// the mirror's prediction of the engine's overload/watchdog counters
+	// since the last restore.
+	walGate, trainGate *faultinject.StallGate
+	hungStep           int    // earliest step for the hung-trainer fault (-1: none)
+	hungTarget         int    // preferred series index for it
+	hungNow            string // series wedged this step ("" = none)
+	hungDone           bool
+	stallArmed         bool
+	expSheds           int64
+	expDegEntered      int64
+	expDegRecovered    int64
+	expBuffered        int64
+	expStalls          int64
+	expRetries         int64
+	expQuarantined     int64
+
 	twin       *twinState
 	tornSeries string
 	tornPubLen int
@@ -107,6 +127,11 @@ type Harness struct {
 	// invariant checking. Harness self-tests use it to emulate an engine bug
 	// (losing a verdict) and assert the oracle catches it.
 	MutateDropVerdict func(series string, step int, res *engine.AppendResult)
+	// DisableWatchdog turns the training watchdog off through its runtime
+	// hook before the gated round runs. The mutation self-test uses it to
+	// prove the stall invariant bites: with no watchdog the gated round
+	// never completes and the harness must report a watchdog violation.
+	DisableWatchdog bool
 }
 
 // Result summarizes a passing run.
@@ -132,6 +157,14 @@ func NewHarness(scen Scenario, baseDir string, long bool) (*Harness, error) {
 		trainStash: make(map[string][]trainEvent),
 		pubStash:   make(map[string][]pubEvent),
 		mirror:     make(map[string]*seriesState),
+		walGate:    &faultinject.StallGate{},
+		trainGate:  &faultinject.StallGate{},
+		hungStep:   -1,
+	}
+	for _, f := range scen.Faults {
+		if f.Kind == FaultHungTrainer {
+			h.hungStep, h.hungTarget = f.Step, f.Series
+		}
 	}
 	for _, dir := range []string{h.dataDir, h.modelDir, h.scratch} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -151,25 +184,37 @@ func NewHarness(scen Scenario, baseDir string, long bool) (*Harness, error) {
 }
 
 // registryFn returns the detector-set factory for the scenario: the default
-// registry, plus one deterministically panicking configuration when the
-// scenario says so.
+// registry, one stalling configuration the hung-trainer fault wedges, and
+// one deterministically panicking configuration when the scenario says so.
+// The stalling detector is bound to the gate only when the set is created
+// inside an armed window — which is exactly the wedged training rounds: the
+// driver arms the gate before the append that schedules the round. Sets
+// created while disarmed (boot, publishes, restores, the serving monitors)
+// get an inert instance, so live verdict serving never blocks. Either way
+// the configuration contributes the same constant feature, keeping the twin
+// bit-identical. The twin shares the factory for the same reason.
 func (h *Harness) registryFn() func(time.Duration) ([]detectors.Detector, error) {
-	if !h.scen.DetectorPanics {
-		return nil // engine default
-	}
 	return func(interval time.Duration) ([]detectors.Detector, error) {
 		ds, err := detectors.Registry(interval)
 		if err != nil {
 			return nil, err
 		}
-		return append(ds, &faultinject.PanickingDetector{ConfigName: "sim(panic)", PanicAfter: 3}), nil
+		var gate *faultinject.StallGate
+		if h.trainGate.Armed() {
+			gate = h.trainGate
+		}
+		ds = append(ds, &faultinject.StallingDetector{ConfigName: "sim(stall)", Gate: gate})
+		if h.scen.DetectorPanics {
+			ds = append(ds, &faultinject.PanickingDetector{ConfigName: "sim(panic)", PanicAfter: 3})
+		}
+		return ds, nil
 	}
 }
 
 // engineConfig assembles the engine configuration. hooked engines feed the
 // harness' lifecycle channels; the twin runs unhooked with a throwaway
 // recorder so it cannot pollute the live accounting.
-func (h *Harness) engineConfig(store *tsdb.Store, models *modelreg.Registry, rec *recorder, hooked bool) engine.Config {
+func (h *Harness) engineConfig(store engine.Store, models *modelreg.Registry, rec *recorder, hooked bool) engine.Config {
 	cfg := engine.Config{
 		Log:            h.log,
 		Shards:         4,
@@ -180,6 +225,13 @@ func (h *Harness) engineConfig(store *tsdb.Store, models *modelreg.Registry, rec
 		RetrainWorkers: 2,
 		RestoreWorkers: 2,
 		ExtractCacheMB: 64,
+		// Resilience knobs sized for the simulation: a budget one oversized
+		// batch can trip, a short recovery hysteresis, and a failure limit
+		// of 2 so one watchdog retry reaches quarantine.
+		IngestInflight:   simInflight,
+		DegradedRecovery: recoveryWindow,
+		TrainRetries:     3,
+		TrainFailLimit:   2,
 		Notify: alerting.PipelineConfig{
 			QueueSize:        1024,
 			MaxAttempts:      10,
@@ -217,7 +269,11 @@ func (h *Harness) buildEngine() error {
 		return err
 	}
 	h.store, h.models = store, models
-	h.eng = engine.New(h.engineConfig(store, models, h.rec, true))
+	h.eng = engine.New(h.engineConfig(&gatedStore{Store: store, gate: h.walGate}, models, h.rec, true))
+	// The resilience counters die with the engine instance (checkResilience
+	// ran just before the previous teardown); the mirror's predictions
+	// restart with it.
+	h.resetResilienceExpectations()
 	return nil
 }
 
@@ -233,6 +289,14 @@ func (h *Harness) Run() (Result, error) {
 	steps := h.scen.Steps()
 	for s := 0; s < steps; s++ {
 		h.step = s
+		// The hung-trainer fault latches onto the first scheduled retrain at
+		// or after its step: the target is resolved fresh each step so an
+		// earlier fault (rollback, restore) pinning a watermark defers
+		// rather than invalidates it.
+		h.hungNow = ""
+		if h.hungStep >= 0 && !h.hungDone && s >= h.hungStep {
+			h.hungNow = h.chooseHungTarget()
+		}
 		for _, name := range h.names {
 			st := h.mirror[name]
 			if st.dead {
@@ -284,7 +348,7 @@ func (h *Harness) boot() error {
 		if err := h.labelRange(st, 0, bootN); err != nil {
 			return err
 		}
-		res, err := h.eng.Train(name)
+		res, err := h.eng.Train(context.Background(), name)
 		if err != nil {
 			return h.fail("boot_train", "series %s: boot training failed: %v", name, err)
 		}
@@ -332,7 +396,7 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 	}
 	expectTrain := st.trained && base+n-st.pointsAtTrain >= st.ppw
 
-	res, err := h.eng.Append(name, pts, nil)
+	res, err := h.eng.Append(context.Background(), name, pts, nil)
 	if err != nil {
 		return h.fail("append", "series %s: append of %d points at %d rejected: %v", name, n, base, err)
 	}
@@ -344,6 +408,9 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 	}
 	if !res.Persisted {
 		return h.fail("wal", "series %s: append at %d not persisted", name, base)
+	}
+	if res.Degraded {
+		return h.fail("degraded", "series %s: append at %d served degraded verdicts outside a scheduled slow-disk window", name, base)
 	}
 	if st.trained {
 		if len(res.Verdicts) != n {
@@ -368,7 +435,7 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 	// Restore-determinism probe: the twin must produce bitwise-identical
 	// verdicts on identical traffic.
 	if h.twin != nil {
-		tres, terr := h.twin.eng.Append(name, pts, nil)
+		tres, terr := h.twin.eng.Append(context.Background(), name, pts, nil)
 		if terr != nil {
 			return h.fail("restore_determinism", "series %s: twin rejected the probe batch: %v", name, terr)
 		}
@@ -393,7 +460,11 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 	}
 
 	if expectTrain {
-		if err := h.afterWeeklyTrain(st); err != nil {
+		after := h.afterWeeklyTrain
+		if h.stallArmed {
+			after = h.afterStalledTrain
+		}
+		if err := after(st); err != nil {
 			return err
 		}
 	}
@@ -409,6 +480,9 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 
 // stepSeries drives one step of one series.
 func (h *Harness) stepSeries(st *seriesState) error {
+	if st.spec.Name == h.hungNow {
+		return h.stepHungTrainer(st)
+	}
 	return h.appendChecked(st, h.scen.BatchPoints)
 }
 
@@ -481,7 +555,7 @@ func (h *Harness) labelRange(st *seriesState, lo, hi int) error {
 	if len(windows) == 0 {
 		return nil
 	}
-	res, err := h.eng.Label(name, windows)
+	res, err := h.eng.Label(context.Background(), name, windows)
 	if err != nil {
 		return h.fail("label", "series %s: labeling [%d,%d) rejected: %v", name, lo, hi, err)
 	}
@@ -507,6 +581,14 @@ func (h *Harness) applyFault(f FaultEvent) error {
 		return h.faultRollback()
 	case FaultCrashRestore:
 		return h.crashRestore()
+	case FaultSlowDisk:
+		return h.faultSlowDisk()
+	case FaultIngestFlood:
+		return h.faultIngestFlood()
+	case FaultHungTrainer:
+		// Applied in-step: stepSeries wedges the scheduled retrain of the
+		// first qualifying series at or after the fault's step.
+		return nil
 	default:
 		return fmt.Errorf("simtest: unknown fault %v", f.Kind)
 	}
@@ -579,7 +661,7 @@ func (h *Harness) faultRollback() error {
 		if st.dead || len(st.pubs) < 2 {
 			continue
 		}
-		man, err := h.eng.RollbackModel(name)
+		man, err := h.eng.RollbackModel(context.Background(), name)
 		if err != nil {
 			return h.fail("rollback", "series %s: rollback rejected with %d published generations: %v", name, len(st.pubs), err)
 		}
@@ -588,7 +670,7 @@ func (h *Harness) faultRollback() error {
 		if cur == nil {
 			return h.fail("manifest", "series %s: post-rollback manifest current gen %d has no entry", name, man.Current)
 		}
-		status, err := h.eng.Status(name)
+		status, err := h.eng.Status(context.Background(), name)
 		if err != nil {
 			return err
 		}
@@ -616,6 +698,9 @@ func (h *Harness) faultRollback() error {
 func (h *Harness) finalize() (Result, error) {
 	if h.twin != nil {
 		h.discardTwin()
+	}
+	if h.hungStep >= 0 && !h.hungDone {
+		return Result{}, h.fail("watchdog", "hung-trainer fault scheduled from step %d but no qualifying scheduled retrain was found to wedge", h.hungStep)
 	}
 	if err := h.preCloseChecks(); err != nil {
 		return Result{}, err

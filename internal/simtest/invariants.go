@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -73,21 +74,32 @@ func (h *Harness) fail(invariant, format string, args ...any) error {
 // stashing events of other series (the publish worker and restore pool do
 // not promise cross-series ordering).
 func (h *Harness) awaitTrain(name string) (trainEvent, error) {
+	ev, ok := h.awaitTrainWithin(name, hookTimeout)
+	if !ok {
+		return trainEvent{}, h.fail("hook_timeout", "no TrainDone for %s within %v", name, hookTimeout)
+	}
+	return ev, nil
+}
+
+// awaitTrainWithin is awaitTrain with a caller-chosen timeout and no
+// violation on expiry (ok=false instead): the stall orchestration turns a
+// missing TrainDone into a watchdog violation of its own.
+func (h *Harness) awaitTrainWithin(name string, d time.Duration) (trainEvent, bool) {
 	if evs := h.trainStash[name]; len(evs) > 0 {
 		ev := evs[0]
 		h.trainStash[name] = evs[1:]
-		return ev, nil
+		return ev, true
 	}
-	timeout := time.After(hookTimeout)
+	timeout := time.After(d)
 	for {
 		select {
 		case ev := <-h.trainCh:
 			if ev.series == name {
-				return ev, nil
+				return ev, true
 			}
 			h.trainStash[ev.series] = append(h.trainStash[ev.series], ev)
 		case <-timeout:
-			return trainEvent{}, h.fail("hook_timeout", "no TrainDone for %s within %v", name, hookTimeout)
+			return trainEvent{}, false
 		}
 	}
 }
@@ -158,6 +170,12 @@ func (h *Harness) crashRestore() error {
 		h.discardTwin()
 	}
 
+	// The resilience counters die with the instance: settle the mirror's
+	// predictions against them before the teardown.
+	if err := h.checkResilience(); err != nil {
+		return err
+	}
+
 	// Graceful crash: torn WAL tails are tsdb's own fault-test territory; the
 	// simulation exercises the restore ladder over consistent logs.
 	h.eng.Close()
@@ -190,7 +208,7 @@ func (h *Harness) crashRestore() error {
 	if err := h.buildEngine(); err != nil {
 		return err
 	}
-	restored, err := h.eng.Restore()
+	restored, err := h.eng.Restore(context.Background())
 	if err != nil {
 		return h.fail("restore", "engine restore failed: %v", err)
 	}
@@ -204,7 +222,7 @@ func (h *Harness) crashRestore() error {
 		if st.corrupted && !st.dead {
 			expectQuarantined++
 			st.dead = true
-			if _, serr := h.eng.Status(name); !errors.Is(serr, engine.ErrNotFound) {
+			if _, serr := h.eng.Status(context.Background(), name); !errors.Is(serr, engine.ErrNotFound) {
 				return h.fail("wal", "series %s: corrupt WAL but restore served it anyway (status err %v)", name, serr)
 			}
 			orig := filepath.Join(h.dataDir, name+".wal")
@@ -295,7 +313,7 @@ drained:
 		if st.dead {
 			continue
 		}
-		status, serr := h.eng.Status(name)
+		status, serr := h.eng.Status(context.Background(), name)
 		if serr != nil {
 			return h.fail("restore", "series %s: status after restore: %v", name, serr)
 		}
@@ -350,7 +368,7 @@ drained:
 		return fmt.Errorf("simtest: open twin registry: %w", err)
 	}
 	teng := engine.New(h.engineConfig(tstore, tmodels, newRecorder(h.scen.Seed, 0), false))
-	if _, err := teng.Restore(); err != nil {
+	if _, err := teng.Restore(context.Background()); err != nil {
 		teng.Close()
 		tstore.Close()
 		return h.fail("restore_determinism", "twin restore from identical disk state failed: %v", err)
@@ -361,8 +379,8 @@ drained:
 		if st.dead {
 			continue
 		}
-		live, lerr := h.eng.Status(name)
-		twin, terr := teng.Status(name)
+		live, lerr := h.eng.Status(context.Background(), name)
+		twin, terr := teng.Status(context.Background(), name)
 		if lerr != nil || terr != nil {
 			return h.fail("restore_determinism", "series %s: status live err %v, twin err %v", name, lerr, terr)
 		}
@@ -413,7 +431,7 @@ func (h *Harness) preCloseChecks() error {
 	if !h.scen.DetectorPanics && c.DetectorPanics != 0 {
 		return h.fail("sandbox", "%d detector panics sandboxed with no panicking detector configured", c.DetectorPanics)
 	}
-	return nil
+	return h.checkResilience()
 }
 
 // assertQuiescent asserts that no lifecycle event is waiting anywhere: every

@@ -20,7 +20,17 @@
 //     entry intact, and the live cThld agreeing with the manifest after
 //     rollback and warm restore;
 //   - alert delivery at-least-once with no duplicates beyond the retry
-//     contract, across engine restarts.
+//     contract, across engine restarts;
+//   - overload sheds atomic: a batch over the in-flight budget is rejected
+//     with ErrOverloaded and zero points appended, and the next batch
+//     passes;
+//   - a stalled WAL writer flips the series degraded (threshold-only
+//     advisory verdicts, bounded buffering, zero lost points) and the
+//     hysteresis recovers it once the stall clears;
+//   - the training watchdog abandons a wedged round as ErrStalled, retries
+//     with backoff, quarantines at the failure limit, and a manual retrain
+//     lifts the quarantine — with every resilience counter matching the
+//     mirror's prediction.
 //
 // Every failure carries the scenario seed and a trailing step trace so
 // `go test ./internal/simtest -run TestSimSeed -seed=N` reproduces it.
@@ -59,6 +69,20 @@ const (
 	// then restores a fresh engine from disk and cross-checks it against a
 	// twin restored from a copy of the same disk state.
 	FaultCrashRestore
+	// FaultSlowDisk stalls the store under one series' WAL writer: the next
+	// append must blow the WAL deadline and flip the series into degraded
+	// (threshold-only) serving with bounded buffering, then recover through
+	// the hysteresis once the stall clears — with zero lost points.
+	FaultSlowDisk
+	// FaultHungTrainer wedges a training round via a gated detector: the
+	// watchdog must abandon it as stalled, retry with backoff, quarantine the
+	// series after the failure limit, and a manual retrain after the hang
+	// clears must lift the quarantine.
+	FaultHungTrainer
+	// FaultIngestFlood pushes one batch over the shard's in-flight ingest
+	// budget: admission control must shed it whole (ErrOverloaded, zero
+	// points appended) and the next normal batch must sail through.
+	FaultIngestFlood
 )
 
 // String names the fault kind.
@@ -72,6 +96,12 @@ func (k FaultKind) String() string {
 		return "rollback"
 	case FaultCrashRestore:
 		return "crash_restore"
+	case FaultSlowDisk:
+		return "slow_disk"
+	case FaultHungTrainer:
+		return "hung_trainer"
+	case FaultIngestFlood:
+		return "ingest_flood"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -148,7 +178,10 @@ func GenScenario(seed int64, long bool) Scenario {
 	for i := 0; i < nSeries; i++ {
 		p := kinds[order[i%len(kinds)]](kpigen.Small)
 		p.Interval = time.Hour // hourly keeps a seed in CI-sized time
-		p.Weeks = bootWeeks + driveWeeks
+		// One spare week of generated data beyond the driven length: the
+		// slow-disk fault appends extra in-fault batches (degrade, buffer,
+		// recover) that consume points outside the regular step budget.
+		p.Weeks = bootWeeks + driveWeeks + 1
 		p.Name = fmt.Sprintf("%s-%d", p.Name, i)
 		series = append(series, SeriesSpec{
 			Name:    p.Name,
@@ -182,6 +215,31 @@ func GenScenario(seed int64, long bool) Scenario {
 			Series: rng.Intn(nSeries),
 		})
 	}
+	// Mandatory resilience faults (DESIGN.md §11). The ingest flood is
+	// instantaneous and mirror-neutral, so any step works. The hung trainer
+	// wedges a scheduled retrain, so it anchors at the first weekly boundary
+	// — the one step where every surviving series is guaranteed to cross the
+	// retrain watermark (later boundaries can be pinned by a rollback or a
+	// restore); the harness defers it to a later qualifying step if needed.
+	// The slow disk appends four extra in-fault batches and must keep the
+	// retrain watermark distance under a week throughout, which restricts it
+	// to steps just after a boundary; it also stays off the early-crash
+	// range so its degraded window never overlaps a live restore-determinism
+	// twin.
+	faults = append(faults, FaultEvent{Step: rng.Intn(steps), Kind: FaultIngestFlood})
+	hung := spw - 1
+	faults = append(faults, FaultEvent{Step: hung, Kind: FaultHungTrainer, Series: rng.Intn(nSeries)})
+	var slowOK []int
+	for s := 0; s < steps; s++ {
+		if r := s % spw; r != 0 && r != 1 && r != spw-1 {
+			continue
+		}
+		if (s >= 1 && s <= spw-2) || s == hung {
+			continue
+		}
+		slowOK = append(slowOK, s)
+	}
+	faults = append(faults, FaultEvent{Step: slowOK[rng.Intn(len(slowOK))], Kind: FaultSlowDisk})
 	// Mandatory rollback once every series has two generations (after the
 	// first weekly retrain, i.e. from the second driven week on).
 	rollback := spw + rng.Intn(spw-3)

@@ -16,9 +16,10 @@ var (
 )
 
 // matrixSeeds are the fixed seeds `make sim` runs. Every generated scenario
-// contains at least one crash+restore and one rollback; the optional faults
-// (WAL corruption, torn artifacts, early crashes, panicking detectors) vary
-// across the seeds, so the matrix as a whole covers every fault kind.
+// contains at least one crash+restore, one rollback, one ingest flood, one
+// slow-disk stall and one hung trainer; the optional faults (WAL corruption,
+// torn artifacts, early crashes, panicking detectors) vary across the seeds,
+// so the matrix as a whole covers every fault kind.
 var matrixSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
 
 // runScenario executes one scenario to completion and fails the test with
@@ -94,5 +95,29 @@ func TestSimCatchesVerdictLoss(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "go test ./internal/simtest -run TestSimSeed -seed=1") {
 		t.Fatalf("violation report lacks the reproduction command:\n%v", err)
+	}
+}
+
+// TestSimCatchesWatchdogOutage is the stall invariant's self-test: with the
+// training watchdog disabled through its runtime hook (a zero deadline), the
+// gated round never completes and the harness must report a watchdog
+// violation instead of hanging or passing.
+func TestSimCatchesWatchdogOutage(t *testing.T) {
+	scen := GenScenario(1, false)
+	h, err := NewHarness(scen, t.TempDir(), false)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	h.DisableWatchdog = true
+	_, err = h.Run()
+	if err == nil {
+		t.Fatalf("harness absorbed a disabled watchdog without a violation")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("watchdog outage reported as %T, want *Violation: %v", err, err)
+	}
+	if v.Invariant != "watchdog" {
+		t.Fatalf("watchdog outage blamed on invariant %q, want %q: %v", v.Invariant, "watchdog", err)
 	}
 }
