@@ -64,7 +64,8 @@ bench:
 
 # Run the retrain + flattened-forest benchmarks and record them as JSON
 # (BENCH_retrain.json), then the warm-vs-cold restart benchmark
-# (BENCH_restore.json). The fixed -benchtime keeps the runs short while
+# (BENCH_restore.json), then the segmented-WAL ingest benchmark
+# (BENCH_ingest.json). The fixed -benchtime keeps the runs short while
 # giving stable ratios.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRetrainColdVsIncremental|BenchmarkForestProbFlat$$' \
@@ -73,15 +74,21 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRestoreWarmVsCold$$' \
 		-benchtime 2x ./internal/engine/ | tee bench_restore.txt
 	$(GO) run ./cmd/benchjson -in bench_restore.txt -out BENCH_restore.json
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestWAL$$' \
+		-benchmem -benchtime 2s . | tee bench_ingest.txt
+	$(GO) run ./cmd/benchjson -in bench_ingest.txt -out BENCH_ingest.json
 
 # Regression gates (machine-independent RATIOS, not absolute ns/op): the
 # cold/incremental retrain speedup must stay within 10% of the committed
 # baseline and above the absolute 5x floor, forest.Prob must stay
 # allocation-free, and the model registry's warm restart must stay >= 3x
-# faster than a cold restart.
+# faster than a cold restart. The ingest run must hold >= 1M pts/s of bulk
+# WAL throughput and a >= 5x bytes-per-point win over the legacy JSON-lines
+# encoding.
 bench-check: bench-json
 	$(GO) run ./cmd/benchjson -in bench_retrain.txt -check BENCH_baseline.json
 	$(GO) run ./cmd/benchjson -in bench_restore.txt -check BENCH_baseline.json
+	$(GO) run ./cmd/benchjson -in bench_ingest.txt -check BENCH_baseline.json
 
 # Regenerate every paper table/figure (writes results_medium.txt + HTML).
 eval:
@@ -96,6 +103,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/timeseries/
 	$(GO) test -fuzz=FuzzParseManifest -fuzztime=$(FUZZTIME) ./internal/registry/
 	$(GO) test -fuzz=FuzzHandlePoints -fuzztime=$(FUZZTIME) ./internal/service/
+	$(GO) test -fuzz=FuzzSegmentDecode -fuzztime=$(FUZZTIME) ./internal/tsdb/
 
 # Static analysis beyond vet. Both tools are optional: the targets no-op with
 # a notice when the binary is not installed, so `make all` works in minimal
@@ -116,4 +124,4 @@ govulncheck:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench_retrain.txt bench_restore.txt
+	rm -f test_output.txt bench_output.txt bench_retrain.txt bench_restore.txt bench_ingest.txt

@@ -19,10 +19,14 @@
 //   - BenchmarkRestoreWarmVsCold cold ÷ warm (the restart speedup the model
 //     registry buys) must stay within -tolerance of the baseline and above
 //     the -min-restore-speedup floor.
+//   - BenchmarkIngestWAL/bulk pts/s must stay above the -min-ingest-pps
+//     floor, and the steady-state jsonB/pt ÷ walB/pt compression ratio of
+//     the segmented WAL over the legacy JSON-lines encoding must stay above
+//     -min-wal-ratio.
 //
-// Each gate applies only when its benchmark pair is present in the input, so
-// the retrain and restore runs can be checked separately; input containing
-// neither pair fails.
+// Each gate applies only when its benchmark (pair) is present in the input,
+// so the retrain, restore and ingest runs can be checked separately; input
+// containing none of them fails.
 package main
 
 import (
@@ -31,7 +35,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -43,6 +46,8 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+	// Metrics holds custom b.ReportMetric pairs by unit (e.g. "pts/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the JSON artifact (BENCH_retrain.json / BENCH_baseline.json).
@@ -59,36 +64,85 @@ type Report struct {
 	// BenchmarkRestoreWarmVsCold — the restart speedup the model registry's
 	// warm path buys over cold retraining.
 	RestoreSpeedup float64 `json:"restore_speedup,omitempty"`
+	// IngestPointsPerSec is the pts/s metric of BenchmarkIngestWAL/bulk —
+	// the raw segmented-WAL ingest throughput (machine-dependent; gated by
+	// an absolute floor only).
+	IngestPointsPerSec float64 `json:"ingest_points_per_sec,omitempty"`
+	// WALBytesPerPoint / JSONBytesPerPoint are the steady-state on-disk
+	// bytes per appended point of the segmented WAL vs what the legacy
+	// JSON-lines encoding would have written for the same points, from
+	// BenchmarkIngestWAL/steady.
+	WALBytesPerPoint  float64 `json:"wal_bytes_per_point,omitempty"`
+	JSONBytesPerPoint float64 `json:"json_bytes_per_point,omitempty"`
+	// WALCompressionRatio is JSONBytesPerPoint ÷ WALBytesPerPoint — the
+	// machine-independent compression win the gate compares.
+	WALCompressionRatio float64 `json:"wal_compression_ratio,omitempty"`
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
-//
-//	BenchmarkRetrainColdVsIncremental/cold-8   10   46604300 ns/op   9352404 B/op   54211 allocs/op
-var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
-
 const (
-	coldName        = "RetrainColdVsIncremental/cold"
-	incName         = "RetrainColdVsIncremental/incremental"
-	probName        = "ForestProbFlat"
-	restoreColdName = "RestoreWarmVsCold/cold"
-	restoreWarmName = "RestoreWarmVsCold/warm"
+	coldName         = "RetrainColdVsIncremental/cold"
+	incName          = "RetrainColdVsIncremental/incremental"
+	probName         = "ForestProbFlat"
+	restoreColdName  = "RestoreWarmVsCold/cold"
+	restoreWarmName  = "RestoreWarmVsCold/warm"
+	ingestBulkName   = "IngestWAL/bulk"
+	ingestSteadyName = "IngestWAL/steady"
 )
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkIngestWAL/bulk-8   5954   209310 ns/op   1223069 pts/s   5445 B/op   25 allocs/op
+//
+// The tail after the iteration count is a sequence of "value unit" pairs:
+// the standard ns/op, B/op and allocs/op land in dedicated fields, custom
+// b.ReportMetric units in Metrics.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	if r.NsPerOp == 0 {
+		return "", Result{}, false
+	}
+	return name, r, true
+}
 
 func parse(data []byte) (*Report, error) {
 	rep := &Report{Benchmarks: map[string]Result{}}
 	for _, line := range strings.Split(string(data), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
+		if name, r, ok := parseLine(strings.TrimSpace(line)); ok {
+			rep.Benchmarks[name] = r
 		}
-		var r Result
-		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		rep.Benchmarks[m[1]] = r
 	}
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark result lines found")
@@ -103,6 +157,13 @@ func parse(data []byte) (*Report, error) {
 	if okRC && okRW && rwarm.NsPerOp > 0 {
 		rep.RestoreSpeedup = rcold.NsPerOp / rwarm.NsPerOp
 	}
+	rep.IngestPointsPerSec = rep.Benchmarks[ingestBulkName].Metrics["pts/s"]
+	steady := rep.Benchmarks[ingestSteadyName].Metrics
+	rep.WALBytesPerPoint = steady["walB/pt"]
+	rep.JSONBytesPerPoint = steady["jsonB/pt"]
+	if rep.WALBytesPerPoint > 0 {
+		rep.WALCompressionRatio = rep.JSONBytesPerPoint / rep.WALBytesPerPoint
+	}
 	return rep, nil
 }
 
@@ -114,6 +175,8 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional speedup regression vs the baseline")
 		minSpeedup = flag.Float64("min-speedup", 5.0, "absolute cold/incremental retrain speedup floor (0 disables)")
 		minRestore = flag.Float64("min-restore-speedup", 3.0, "absolute cold/warm restore speedup floor (0 disables)")
+		minIngest  = flag.Float64("min-ingest-pps", 1e6, "absolute bulk WAL ingest points/sec floor (0 disables)")
+		minWALR    = flag.Float64("min-wal-ratio", 5.0, "absolute JSON-lines ÷ segmented-WAL bytes-per-point compression ratio floor (0 disables)")
 	)
 	flag.Parse()
 
@@ -143,8 +206,8 @@ func main() {
 		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 			fatal("write %s: %v", *out, err)
 		}
-		fmt.Printf("benchjson: wrote %s (retrain speedup %.2fx, restore speedup %.2fx)\n",
-			*out, rep.RetrainSpeedup, rep.RestoreSpeedup)
+		fmt.Printf("benchjson: wrote %s (retrain %.2fx, restore %.2fx, ingest %.0f pts/s, wal ratio %.2fx)\n",
+			*out, rep.RetrainSpeedup, rep.RestoreSpeedup, rep.IngestPointsPerSec, rep.WALCompressionRatio)
 	}
 
 	if *check == "" {
@@ -160,8 +223,8 @@ func main() {
 	}
 
 	failed := false
-	if rep.RetrainSpeedup == 0 && rep.RestoreSpeedup == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has neither a RetrainColdVsIncremental nor a RestoreWarmVsCold pair")
+	if rep.RetrainSpeedup == 0 && rep.RestoreSpeedup == 0 && rep.IngestPointsPerSec == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has no RetrainColdVsIncremental or RestoreWarmVsCold pair and no IngestWAL run")
 		failed = true
 	}
 	if rep.RetrainSpeedup > 0 {
@@ -194,20 +257,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: forest.Prob allocates %d objects/op, want 0\n", prob.AllocsPerOp)
 		failed = true
 	}
+	if rep.IngestPointsPerSec > 0 && *minIngest > 0 && rep.IngestPointsPerSec < *minIngest {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: bulk WAL ingest %.0f pts/s below the %.0f pts/s floor\n",
+			rep.IngestPointsPerSec, *minIngest)
+		failed = true
+	}
+	if rep.WALCompressionRatio > 0 {
+		if *minWALR > 0 && rep.WALCompressionRatio < *minWALR {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: WAL compression ratio %.2fx (%.1f json B/pt ÷ %.1f wal B/pt) below the %.1fx floor\n",
+				rep.WALCompressionRatio, rep.JSONBytesPerPoint, rep.WALBytesPerPoint, *minWALR)
+			failed = true
+		}
+		floor := base.WALCompressionRatio * (1 - *tolerance)
+		if base.WALCompressionRatio > 0 && rep.WALCompressionRatio < floor {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: WAL compression ratio %.2fx regressed >%.0f%% vs baseline %.2fx (floor %.2fx)\n",
+				rep.WALCompressionRatio, *tolerance*100, base.WALCompressionRatio, floor)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
-	switch {
-	case rep.RetrainSpeedup > 0 && rep.RestoreSpeedup > 0:
-		fmt.Printf("benchjson: OK: retrain speedup %.2fx, restore speedup %.2fx (baselines %.2fx/%.2fx, tolerance %.0f%%)\n",
-			rep.RetrainSpeedup, rep.RestoreSpeedup, base.RetrainSpeedup, base.RestoreSpeedup, *tolerance*100)
-	case rep.RestoreSpeedup > 0:
-		fmt.Printf("benchjson: OK: restore speedup %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
-			rep.RestoreSpeedup, base.RestoreSpeedup, *tolerance*100)
-	default:
-		fmt.Printf("benchjson: OK: retrain speedup %.2fx (baseline %.2fx, tolerance %.0f%%)\n",
-			rep.RetrainSpeedup, base.RetrainSpeedup, *tolerance*100)
+	var oks []string
+	if rep.RetrainSpeedup > 0 {
+		oks = append(oks, fmt.Sprintf("retrain speedup %.2fx (baseline %.2fx)", rep.RetrainSpeedup, base.RetrainSpeedup))
 	}
+	if rep.RestoreSpeedup > 0 {
+		oks = append(oks, fmt.Sprintf("restore speedup %.2fx (baseline %.2fx)", rep.RestoreSpeedup, base.RestoreSpeedup))
+	}
+	if rep.IngestPointsPerSec > 0 {
+		oks = append(oks, fmt.Sprintf("bulk ingest %.0f pts/s (floor %.0f)", rep.IngestPointsPerSec, *minIngest))
+	}
+	if rep.WALCompressionRatio > 0 {
+		oks = append(oks, fmt.Sprintf("wal compression %.2fx (floor %.1fx)", rep.WALCompressionRatio, *minWALR))
+	}
+	fmt.Printf("benchjson: OK: %s (tolerance %.0f%%)\n", strings.Join(oks, ", "), *tolerance*100)
 }
 
 // fatal prints an error and exits 2 (distinct from the regression gate's 1).

@@ -15,6 +15,12 @@
 //	opprenticectl models list                      # series with published models
 //	opprenticectl models inspect pv                # generation index + current
 //	opprenticectl models rollback pv               # serve the previous generation
+//
+// The wal subcommand works on a data directory directly (no server needed):
+//
+//	opprenticectl wal cat -data-dir ./data                 # decode every segment frame
+//	opprenticectl wal cat -data-dir ./data -series pv      # one series' records
+//	opprenticectl wal cat -data-dir ./data -since 3        # skip segments below 3
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +36,7 @@ import (
 
 	"opprentice/internal/service"
 	"opprentice/internal/timeseries"
+	"opprentice/internal/tsdb"
 )
 
 func main() {
@@ -61,6 +69,8 @@ func main() {
 		err = runAlarms(ctx, client, args[1:])
 	case "models":
 		err = runModels(ctx, client, args[1:])
+	case "wal":
+		err = runWAL(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -72,8 +82,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|ready|alarms|models> [args]")
+	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|ready|alarms|models|wal> [args]")
 	fmt.Fprintln(os.Stderr, "       opprenticectl models <list|inspect|rollback> [series]")
+	fmt.Fprintln(os.Stderr, "       opprenticectl wal cat -data-dir DIR [-series NAME] [-since SEGMENT]")
 }
 
 func needName(args []string) (string, []string, error) {
@@ -322,6 +333,37 @@ func printManifest(man service.ModelManifest) {
 		fmt.Printf("%s gen %d  trained %s  points=%d  cthld=%.3f  %d bytes  crc=%08x  fingerprint=%016x\n",
 			marker, g.Gen, g.TrainedAt.Format(time.RFC3339), g.Points, g.CThld, g.Size, g.CRC, g.Fingerprint)
 	}
+}
+
+// runWAL is the offline segment toolbox; cat decodes a data directory's
+// segmented WAL to stdout via tsdb.Dump. It never mutates the directory, so
+// it is safe to point at a live opprenticed's data dir.
+func runWAL(args []string) error {
+	if len(args) == 0 || args[0] != "cat" {
+		return fmt.Errorf("wal: subcommand required (cat)")
+	}
+	fs := flag.NewFlagSet("wal cat", flag.ContinueOnError)
+	dataDir := fs.String("data-dir", "", "data directory holding the shard-*/ segments")
+	series := fs.String("series", "", "only this series' records")
+	since := fs.Uint64("since", 0, "skip segments numbered below this")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("wal cat: -data-dir required")
+	}
+	return walCat(os.Stdout, *dataDir, tsdb.DumpOptions{Series: *series, Since: *since})
+}
+
+// walCat renders the segment decode plus a trailing stats line onto w.
+func walCat(w io.Writer, dataDir string, opts tsdb.DumpOptions) error {
+	stats, err := tsdb.Dump(dataDir, w, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d segments, %d frames (%d corrupt), %d records\n",
+		stats.Segments, stats.Frames, stats.CorruptFrames, stats.Records)
+	return nil
 }
 
 func runAlarms(ctx context.Context, c *service.Client, args []string) error {

@@ -43,6 +43,8 @@ func main() {
 		cacheMB   = flag.Int("extract-cache-mb", 0, "incremental feature-extraction cache cap in MiB, shared by all series (0 = default 256, negative = disabled)")
 		inflight  = flag.Int("ingest-inflight", 0, "per-shard in-flight ingest budget in points; batches over it are shed with 429 (0 = default 65536, negative = unlimited)")
 		walDL     = flag.Duration("wal-deadline", 0, "how long an append waits for its durable WAL write before the series degrades to threshold-only serving (0 = default 2s, negative = disabled)")
+		walSeg    = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 64 MiB)")
+		walGC     = flag.Duration("wal-group-commit", 0, "how long the WAL appender holds a commit open to batch concurrent writers into one fsync (0 = commit immediately, coalescing only what is already queued)")
 		trainDL   = flag.Duration("train-deadline", 0, "training watchdog deadline per round; stalled rounds are abandoned and retried (0 = default 5m, negative = disabled)")
 		degradedR = flag.Duration("degraded-recovery", 0, "quiet period before a degraded series recovers full serving (0 = default 30s, negative = sticky until restart)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
@@ -74,7 +76,14 @@ func main() {
 	eng := engine.New(cfg)
 	srv := service.NewServerWithEngine(eng, logger)
 	if *dataDir != "" {
-		store, err := tsdb.Open(*dataDir)
+		var walOpts []tsdb.Option
+		if *walSeg > 0 {
+			walOpts = append(walOpts, tsdb.WithSegmentBytes(*walSeg))
+		}
+		if *walGC > 0 {
+			walOpts = append(walOpts, tsdb.WithGroupCommit(*walGC))
+		}
+		store, err := tsdb.Open(*dataDir, walOpts...)
 		if err != nil {
 			logger.Error("open data dir", "err", err)
 			os.Exit(1)

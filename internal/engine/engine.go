@@ -53,8 +53,8 @@ import (
 // *tsdb.Store satisfies it; tests substitute failing or recording fakes.
 type Store interface {
 	CreateSeries(meta tsdb.Meta) error
-	AppendPoints(name string, values []float64) error
-	AppendLabel(name string, start, end int, anomalous bool) error
+	AppendPoints(ctx context.Context, name string, values []float64) error
+	AppendLabel(ctx context.Context, name string, start, end int, anomalous bool) error
 	List() ([]string, error)
 	Load(name string) (*tsdb.Loaded, error)
 	Quarantine(name string) (string, error)

@@ -154,7 +154,7 @@ func (f *flakyStore) setFail(v bool) { f.mu.Lock(); f.fail = v; f.mu.Unlock() }
 
 func (f *flakyStore) CreateSeries(tsdb.Meta) error { return nil }
 
-func (f *flakyStore) AppendPoints(string, []float64) error {
+func (f *flakyStore) AppendPoints(context.Context, string, []float64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.appends++
@@ -165,7 +165,7 @@ func (f *flakyStore) AppendPoints(string, []float64) error {
 	return nil
 }
 
-func (f *flakyStore) AppendLabel(string, int, int, bool) error {
+func (f *flakyStore) AppendLabel(context.Context, string, int, int, bool) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.fail {

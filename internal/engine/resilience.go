@@ -358,9 +358,12 @@ func (w *walWriter) exec(op walOp) {
 	case opMeta:
 		err = w.eng.store.CreateSeries(op.meta)
 	case opPoints:
-		err = w.eng.store.AppendPoints(w.series, op.values)
+		// The queue decouples callers from the store, so there is no caller
+		// context to propagate: the op must run to completion regardless —
+		// the caller's await has its own deadline.
+		err = w.eng.store.AppendPoints(context.Background(), w.series, op.values)
 	case opLabel:
-		err = w.eng.store.AppendLabel(w.series, op.start, op.end, op.anomalous)
+		err = w.eng.store.AppendLabel(context.Background(), w.series, op.start, op.end, op.anomalous)
 	case opBarrier:
 		// Nothing: completing it is the point.
 	}

@@ -94,11 +94,11 @@ func (s *stallStore) wait() {
 }
 
 func (s *stallStore) CreateSeries(tsdb.Meta) error { return nil }
-func (s *stallStore) AppendPoints(string, []float64) error {
+func (s *stallStore) AppendPoints(context.Context, string, []float64) error {
 	s.wait()
 	return nil
 }
-func (s *stallStore) AppendLabel(string, int, int, bool) error {
+func (s *stallStore) AppendLabel(context.Context, string, int, int, bool) error {
 	s.wait()
 	return nil
 }

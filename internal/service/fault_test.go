@@ -15,8 +15,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -115,9 +113,9 @@ func TestFaultRestoreQuarantinesCorruptLog(t *testing.T) {
 	ts1.Close()
 	store.Close()
 
-	// Rot one byte inside b's log (line 2 = the points batch). The label on
-	// line 3 makes this mid-log corruption, not a forgivable torn tail.
-	if err := faultinject.CorruptLine(filepath.Join(dir, "b.wal"), 2); err != nil {
+	// Rot one byte inside b's newest points frame. The label frame behind it
+	// makes this mid-segment corruption, not a forgivable torn tail.
+	if err := tsdb.CorruptPointsFrame(dir, "b"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -135,11 +133,13 @@ func TestFaultRestoreQuarantinesCorruptLog(t *testing.T) {
 	if restored != 2 {
 		t.Fatalf("restored = %d, want 2", restored)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "b.wal.corrupt")); err != nil {
-		t.Errorf("quarantine file missing: %v", err)
+	// The quarantine tombstones the series but keeps the damaged frames on
+	// disk for inspection until compaction.
+	if _, err := store2.Load("b"); err == nil || errors.Is(err, tsdb.ErrCorrupt) {
+		t.Errorf("Load(b) after quarantine = %v, want a not-found error", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "b.wal")); !errors.Is(err, os.ErrNotExist) {
-		t.Errorf("corrupt log still in place: %v", err)
+	if stats, err := tsdb.Dump(dir, io.Discard, tsdb.DumpOptions{Series: "b"}); err != nil || stats.CorruptFrames == 0 {
+		t.Errorf("damaged frames not preserved (stats %+v, err %v)", stats, err)
 	}
 
 	ts2 := httptest.NewServer(s2.Handler())

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestStreamPointsBulkIngest drives the binary bulk path end to end: one
+// persistent stream carrying interleaved batches for two series, verified
+// against the JSON status endpoint afterwards.
+func TestStreamPointsBulkIngest(t *testing.T) {
+	ts := newTestServer(t)
+	defer ts.Close()
+	createSeries(t, ts, "pv", 60)
+	createSeries(t, ts, "sr", 60)
+
+	c := NewClient(ts.URL, nil)
+	st, err := c.StreamPoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantPV, wantSR int
+	for i := 0; i < 10; i++ {
+		if err := st.Send("pv", []float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		wantPV += 3
+		if err := st.Send("sr", []float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+		wantSR++
+	}
+	sum, err := st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Appended != wantPV+wantSR || sum.Batches != 20 {
+		t.Errorf("summary = %+v, want appended %d over 20 batches", sum, wantPV+wantSR)
+	}
+	for name, want := range map[string]int{"pv": wantPV, "sr": wantSR} {
+		status, err := c.Status(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.Points != want {
+			t.Errorf("%s: %d points, want %d", name, status.Points, want)
+		}
+	}
+}
+
+// TestStreamPointsUnknownSeries checks mid-stream failure: the server aborts
+// on the bad batch and the close error carries the status and the partial
+// summary of what committed first.
+func TestStreamPointsUnknownSeries(t *testing.T) {
+	ts := newTestServer(t)
+	defer ts.Close()
+	createSeries(t, ts, "pv", 60)
+
+	c := NewClient(ts.URL, nil)
+	st, err := c.StreamPoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send("pv", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Sends may start failing as soon as the server aborts; the definitive
+	// outcome comes from Close.
+	_ = st.Send("ghost", []float64{3})
+	sum, err := st.Close()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("close err = %v, want a 404 APIError", err)
+	}
+	if sum.Appended != 2 || sum.Batches != 1 {
+		t.Errorf("partial summary = %+v, want the first committed batch reported", sum)
+	}
+}
+
+// TestIngestRejectsMalformedFrames posts raw garbage shapes at the endpoint
+// and expects 400s, never a hang or a 500.
+func TestIngestRejectsMalformedFrames(t *testing.T) {
+	ts := newTestServer(t)
+	defer ts.Close()
+
+	frame := func(payload []byte) []byte {
+		var b []byte
+		b = binary.AppendUvarint(b, uint64(len(payload)))
+		return append(b, payload...)
+	}
+	cases := map[string][]byte{
+		"oversized length": binary.AppendUvarint(nil, 1<<40),
+		"zero length":      {0x00},
+		"truncated body":   {0x10, 0x01},
+		"unknown op":       frame([]byte{0x7F, 0x01}),
+		"unbound stream":   frame(append([]byte{ingestOpPoints, 0x09, 0x01}, make([]byte, 8)...)),
+		"count mismatch":   frame([]byte{ingestOpPoints, 0x01, 0x05}),
+		"empty bind name":  frame([]byte{ingestOpBind, 0x01}),
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/ingest", ingestContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestIngestEmptyStreamOK: opening and closing a stream without sending
+// anything is a clean zero summary, mirroring an empty JSON batch being
+// invalid but an empty session being fine.
+func TestIngestEmptyStreamOK(t *testing.T) {
+	ts := newTestServer(t)
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	st, err := c.StreamPoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := st.Close()
+	if err != nil || sum.Appended != 0 || sum.Batches != 0 {
+		t.Fatalf("empty stream: %+v, %v", sum, err)
+	}
+}

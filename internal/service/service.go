@@ -19,6 +19,8 @@
 //	PUT  /v1/series/{name}              create a series
 //	GET  /v1/series/{name}              status
 //	POST /v1/series/{name}/points       append points, get verdicts
+//	POST /v1/ingest                     streaming bulk ingest (binary frames;
+//	                                    see ingest.go and Client.StreamPoints)
 //	POST /v1/series/{name}/labels       label/unlabel windows
 //	POST /v1/series/{name}/train        (re)train the classifier
 //	GET  /v1/series/{name}/alarms       recent alarms
@@ -47,8 +49,9 @@
 //   - opprenticed_notify_delivered_total / opprenticed_notify_retries_total /
 //     opprenticed_notify_dropped_total — asynchronous webhook delivery
 //     outcomes, summed over the per-series alerting pipelines.
-//   - opprenticed_wal_quarantined_total — corrupt series logs set aside
-//     (renamed to *.wal.corrupt) during Restore.
+//   - opprenticed_wal_quarantined_total — corrupt series tombstoned out of
+//     the segmented WAL during Restore (legacy JSON-lines logs are renamed
+//     to *.wal.corrupt instead).
 //   - opprenticed_wal_append_errors_total — durable appends (points or
 //     labels) that failed; the affected points responses also carry
 //     "persisted": false.
@@ -226,6 +229,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/series/{name}", s.handleCreate)
 	mux.HandleFunc("GET /v1/series/{name}", s.handleStatus)
 	mux.HandleFunc("POST /v1/series/{name}/points", s.handlePoints)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/series/{name}/labels", s.handleLabels)
 	mux.HandleFunc("POST /v1/series/{name}/train", s.handleTrain)
 	mux.HandleFunc("GET /v1/series/{name}/alarms", s.handleAlarms)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -58,11 +59,11 @@ type failingStore struct {
 	fail bool
 }
 
-func (f *failingStore) AppendPoints(name string, values []float64) error {
+func (f *failingStore) AppendPoints(ctx context.Context, name string, values []float64) error {
 	if f.fail {
 		return errors.New("disk full")
 	}
-	return f.Store.AppendPoints(name, values)
+	return f.Store.AppendPoints(ctx, name, values)
 }
 
 // TestPersistedFieldSurfacesWALFailure checks the wire contract of the

@@ -594,20 +594,21 @@ func (h *Harness) applyFault(f FaultEvent) error {
 	}
 }
 
-// faultWALCorrupt flips a byte inside the target's WAL. The live engine must
-// keep serving; the next restore must quarantine exactly this series.
+// faultWALCorrupt flips a byte inside the XOR bitstream of the target's
+// newest points frame — mid-segment damage behind the write head. The live
+// engine must keep serving; the next restore must quarantine exactly this
+// series.
 func (h *Harness) faultWALCorrupt(idx int) error {
 	st := h.mirror[h.names[idx%len(h.names)]]
 	if st.dead || st.corrupted {
 		h.tracef("step %d: wal_corrupt skipped (%s already %s)", h.step, st.spec.Name, deadOrCorrupt(st))
 		return nil
 	}
-	path := filepath.Join(h.dataDir, st.spec.Name+".wal")
-	if err := faultinject.CorruptLine(path, 2); err != nil {
-		return fmt.Errorf("simtest: corrupt %s: %w", path, err)
+	if err := tsdb.CorruptPointsFrame(h.dataDir, st.spec.Name); err != nil {
+		return fmt.Errorf("simtest: corrupt %s: %w", st.spec.Name, err)
 	}
 	st.corrupted = true
-	h.tracef("step %d: wal_corrupt %s (line 2)", h.step, st.spec.Name)
+	h.tracef("step %d: wal_corrupt %s (points frame bit flip)", h.step, st.spec.Name)
 	// The damage must be detectable right now by an independent reader.
 	probe, err := tsdb.Open(h.dataDir)
 	if err != nil {

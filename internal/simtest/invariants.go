@@ -225,12 +225,8 @@ func (h *Harness) crashRestore() error {
 			if _, serr := h.eng.Status(context.Background(), name); !errors.Is(serr, engine.ErrNotFound) {
 				return h.fail("wal", "series %s: corrupt WAL but restore served it anyway (status err %v)", name, serr)
 			}
-			orig := filepath.Join(h.dataDir, name+".wal")
-			if _, ferr := os.Stat(orig); ferr == nil {
-				return h.fail("wal", "series %s: corrupt WAL still at %s after quarantine", name, orig)
-			}
-			if _, ferr := os.Stat(orig + ".corrupt"); ferr != nil {
-				return h.fail("wal", "series %s: quarantined WAL not preserved at %s.corrupt: %v", name, orig, ferr)
+			if err := h.checkQuarantined(name); err != nil {
+				return err
 			}
 			h.tracef("step %d: restore quarantined %s", h.step, name)
 		}
@@ -463,11 +459,39 @@ func (h *Harness) assertQuiescent() error {
 	return nil
 }
 
+// checkQuarantined asserts the two halves of the quarantine contract for one
+// series: the name is retired from the catalog (an independent reader cannot
+// load it), yet the damaged frames stay on disk as evidence — tombstoned
+// segment records that Dump can still render, with the CRC failure visible.
+func (h *Harness) checkQuarantined(name string) error {
+	probe, err := tsdb.Open(h.dataDir)
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	if _, lerr := probe.Load(name); lerr == nil {
+		return h.fail("wal", "series %s: still loads after quarantine", name)
+	} else if errors.Is(lerr, tsdb.ErrCorrupt) {
+		return h.fail("wal", "series %s: quarantine left the corrupt binding live (%v)", name, lerr)
+	}
+	stats, derr := tsdb.Dump(h.dataDir, io.Discard, tsdb.DumpOptions{Series: name})
+	if derr != nil {
+		return h.fail("wal", "series %s: dump after quarantine failed: %v", name, derr)
+	}
+	if stats.Records == 0 {
+		return h.fail("wal", "series %s: quarantine dropped the damaged frames from disk", name)
+	}
+	if stats.CorruptFrames == 0 {
+		return h.fail("wal", "series %s: quarantined evidence has no CRC-failed frame", name)
+	}
+	return nil
+}
+
 // checkWALs replays every series' log with an independent reader and
 // compares it bit for bit against the mirror: values, labels, and the
 // creation metadata that derives the (strictly monotonic) timestamps.
-// Corrupt logs must refuse to load; quarantined ones must be preserved under
-// their .corrupt name.
+// Corrupt series must refuse to load; quarantined ones must stay retired
+// with their damaged frames preserved.
 func (h *Harness) checkWALs() error {
 	probe, err := tsdb.Open(h.dataDir)
 	if err != nil {
@@ -478,8 +502,8 @@ func (h *Harness) checkWALs() error {
 		st := h.mirror[name]
 		switch {
 		case st.dead:
-			if _, err := os.Stat(filepath.Join(h.dataDir, name+".wal.corrupt")); err != nil {
-				return h.fail("wal", "series %s: quarantined log missing: %v", name, err)
+			if err := h.checkQuarantined(name); err != nil {
+				return err
 			}
 		case st.corrupted:
 			if _, lerr := probe.Load(name); !errors.Is(lerr, tsdb.ErrCorrupt) {

@@ -53,14 +53,14 @@ type gatedStore struct {
 	gate *faultinject.StallGate
 }
 
-func (g *gatedStore) AppendPoints(name string, values []float64) error {
+func (g *gatedStore) AppendPoints(ctx context.Context, name string, values []float64) error {
 	g.gate.Wait()
-	return g.Store.AppendPoints(name, values)
+	return g.Store.AppendPoints(ctx, name, values)
 }
 
-func (g *gatedStore) AppendLabel(name string, start, end int, anomalous bool) error {
+func (g *gatedStore) AppendLabel(ctx context.Context, name string, start, end int, anomalous bool) error {
 	g.gate.Wait()
-	return g.Store.AppendLabel(name, start, end, anomalous)
+	return g.Store.AppendLabel(ctx, name, start, end, anomalous)
 }
 
 // chooseHungTarget picks the series whose next batch will cross the retrain

@@ -1,0 +1,284 @@
+package tsdb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DumpOptions filters Dump output.
+type DumpOptions struct {
+	// Series limits output to records of one series name (matching every
+	// historical binding of the name, including tombstoned generations).
+	Series string
+	// Since skips segments numbered below it.
+	Since uint64
+}
+
+// DumpStats summarizes one Dump pass.
+type DumpStats struct {
+	Segments      int // segment files visited (after the Since filter)
+	Frames        int // complete frames decoded, including corrupt ones
+	Records       int // sub-records printed (after the Series filter)
+	CorruptFrames int // frames whose CRC failed
+}
+
+// Dump renders a data directory's segment WAL human-readably onto w: one
+// line per frame, one indented line per sub-record, decoding names, metas,
+// XOR point streams and labels. It reads the directory directly (no Store
+// needed — it works on a live directory or a crashed one) and never
+// mutates anything. Corrupt frames are printed with crc=FAIL and their
+// payloads left undecoded; the XOR chain of any series touched by one is
+// considered broken from that point on.
+func Dump(dir string, w io.Writer, opts DumpOptions) (DumpStats, error) {
+	var stats DumpStats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return stats, fmt.Errorf("tsdb: %w", err)
+	}
+	var shards []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			shards = append(shards, e.Name())
+		}
+	}
+	sort.Strings(shards)
+	for _, shardName := range shards {
+		if err := dumpShard(dir, shardName, w, opts, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+func dumpShard(dir, shardName string, w io.Writer, opts DumpOptions, stats *DumpStats) error {
+	shardDir := filepath.Join(dir, shardName)
+	seqs, err := listSegments(shardDir)
+	if err != nil {
+		return err
+	}
+	names := make(map[uint64]string) // id → name, historical
+	chains := make(map[uint64]*xorChain)
+	broken := make(map[uint64]bool) // chain poisoned by a corrupt frame
+	for _, seq := range seqs {
+		if seq < opts.Since {
+			// Bindings and chain state still need the skipped prefix.
+			_, _, err := walkSegment(filepath.Join(shardDir, segFileName(seq)), func(fr *frameInfo) error {
+				preDecodeFrame(fr, names, chains, broken)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		stats.Segments++
+		rel := filepath.Join(shardName, segFileName(seq))
+		good, end, err := walkSegment(filepath.Join(shardDir, segFileName(seq)), func(fr *frameInfo) error {
+			stats.Frames++
+			if !fr.crcOK {
+				stats.CorruptFrames++
+			}
+			return dumpFrame(w, rel, fr, opts, names, chains, broken, stats)
+		})
+		if err != nil {
+			return err
+		}
+		switch end {
+		case segTorn:
+			fmt.Fprintf(w, "%s: torn tail at byte %d\n", rel, good)
+		case segBad:
+			fmt.Fprintf(w, "%s: structural corruption at byte %d\n", rel, good)
+		}
+	}
+	return nil
+}
+
+// preDecodeFrame advances the dictionary and chain state across a segment
+// skipped by --since, without printing.
+func preDecodeFrame(fr *frameInfo, names map[uint64]string, chains map[uint64]*xorChain, broken map[uint64]bool) {
+	_ = parseSubs(fr.body[1:len(fr.body)-4], func(sub *subRecord) error {
+		if !fr.crcOK {
+			broken[sub.id] = true
+			return nil
+		}
+		switch sub.op {
+		case opSeries:
+			names[sub.id] = sub.name
+		case opPoints:
+			if !broken[sub.id] {
+				c := chains[sub.id]
+				if c == nil {
+					c = &xorChain{}
+					chains[sub.id] = c
+				}
+				if _, err := decodePoints(sub, c, nil); err != nil {
+					broken[sub.id] = true
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func dumpFrame(w io.Writer, rel string, fr *frameInfo, opts DumpOptions,
+	names map[uint64]string, chains map[uint64]*xorChain, broken map[uint64]bool, stats *DumpStats) error {
+
+	crc := "ok"
+	if !fr.crcOK {
+		crc = "FAIL"
+	}
+	var lines []string
+	perr := parseSubs(fr.body[1:len(fr.body)-4], func(sub *subRecord) error {
+		if fr.crcOK && sub.op == opSeries {
+			names[sub.id] = sub.name
+		}
+		name := names[sub.id]
+		match := opts.Series == "" || name == opts.Series
+		line := func(format string, args ...any) {
+			if match {
+				lines = append(lines, fmt.Sprintf(format, args...))
+				stats.Records++
+			}
+		}
+		if !fr.crcOK {
+			// Untrusted payload: attribute, never decode.
+			broken[sub.id] = true
+			line("  %s id=%d %q <payload untrusted>", opName(sub.op), sub.id, name)
+			return nil
+		}
+		switch sub.op {
+		case opSeries:
+			line("  series id=%d %q", sub.id, sub.name)
+		case opMeta:
+			line("  meta id=%d %q start=%s interval=%ds trees=%d recall=%g precision=%g retrain=%d",
+				sub.id, name, sub.meta.Start.Format(time.RFC3339), sub.meta.IntervalSeconds,
+				sub.meta.Trees, sub.meta.Recall, sub.meta.Precision, sub.meta.RetrainEvery)
+		case opPoints:
+			if broken[sub.id] {
+				line("  points id=%d %q count=%d <chain broken upstream>", sub.id, name, sub.count)
+				return nil
+			}
+			c := chains[sub.id]
+			if c == nil {
+				c = &xorChain{}
+				chains[sub.id] = c
+			}
+			values, err := decodePoints(sub, c, nil)
+			if err != nil {
+				broken[sub.id] = true
+				line("  points id=%d %q count=%d <bitstream truncated>", sub.id, name, sub.count)
+				return nil
+			}
+			line("  points id=%d %q count=%d %v", sub.id, name, sub.count, values)
+		case opLabel:
+			line("  label id=%d %q [%d,%d) anomalous=%v", sub.id, name, sub.start, sub.end, sub.anomalous)
+		case opTombstone:
+			line("  tombstone id=%d %q", sub.id, name)
+		}
+		return nil
+	})
+	if perr != nil {
+		lines = append(lines, "  <unparseable sub-records>")
+	}
+	if opts.Series == "" || len(lines) > 0 {
+		fmt.Fprintf(w, "%s @%d len=%d crc=%s\n", rel, fr.off, fr.size, crc)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+	return nil
+}
+
+func opName(op byte) string {
+	switch op {
+	case opSeries:
+		return "series"
+	case opMeta:
+		return "meta"
+	case opPoints:
+		return "points"
+	case opLabel:
+		return "label"
+	case opTombstone:
+		return "tombstone"
+	}
+	return fmt.Sprintf("op%#x", op)
+}
+
+// CorruptPointsFrame flips one byte inside the XOR bitstream of the last
+// points frame of the named series — fault injection for tests and the
+// simulation harness. The flip damages only the payload: the frame's length
+// varint and sub-record structure stay intact, so a rescan detects a CRC
+// failure attributable to exactly this series. (It lives here rather than
+// in faultinject because the segment layout knowledge is this package's.)
+func CorruptPointsFrame(dir, name string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	shards := 0
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			shards++
+		}
+	}
+	if shards == 0 {
+		return fmt.Errorf("tsdb: no shard directories in %s", dir)
+	}
+	shardDir := filepath.Join(dir, shardDirName(shardIndex(name, shards)))
+	seqs, err := listSegments(shardDir)
+	if err != nil {
+		return err
+	}
+	ids := make(map[string]uint64) // live binding per name
+	var (
+		targetPath string
+		targetOff  int64
+	)
+	for _, seq := range seqs {
+		path := filepath.Join(shardDir, segFileName(seq))
+		_, _, err := walkSegment(path, func(fr *frameInfo) error {
+			if !fr.crcOK {
+				return nil // already damaged; aim at healthy frames only
+			}
+			varintLen := fr.size - int64(len(fr.body))
+			return parseSubs(fr.body[1:len(fr.body)-4], func(sub *subRecord) error {
+				switch sub.op {
+				case opSeries:
+					ids[sub.name] = sub.id
+				case opPoints:
+					if sub.id == ids[name] && sub.id != 0 && len(sub.stream) > 0 {
+						targetPath = path
+						targetOff = fr.off + varintLen + 1 + int64(sub.streamOff) + int64(len(sub.stream)/2)
+					}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if targetPath == "" {
+		return fmt.Errorf("tsdb: no points frame found for series %q", name)
+	}
+	f, err := os.OpenFile(targetPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, targetOff); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, targetOff); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	return f.Sync()
+}

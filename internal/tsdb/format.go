@@ -1,0 +1,229 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+// On-disk format of one segment file (see the package comment in tsdb.go
+// for the rationale):
+//
+//	segment := magic "OPSEG001" | frame*
+//	frame   := uvarint(len(body)) | body
+//	body    := kind(1B, =frameCommit) | sub* | crc32c(body[:len-4]) LE
+//	sub     := op(1B) | uvarint(seriesID) | payload
+//
+//	opSeries    payload := uvarint(len) | name bytes      (binds name → ID)
+//	opMeta      payload := varint(startUnixNano) | uvarint(intervalSecs) |
+//	                       recallBits(8B LE) | precisionBits(8B LE) |
+//	                       uvarint(trees) | uvarint(retrainEvery) |
+//	                       uvarint(len) | webhookURL bytes
+//	opPoints    payload := uvarint(count) | uvarint(len) | XOR bitstream of
+//	                       len bytes, zero-padded to a byte boundary (the
+//	                       XOR chain continues across frames)
+//	opLabel     payload := uvarint(start) | uvarint(end) | anomalous(1B)
+//	opTombstone payload := (empty; retires the ID — quarantine or removal)
+//
+// One frame carries one group-commit batch: every sub-record the shard
+// appender accumulated before a single write+fsync. The CRC covers the kind
+// byte and all sub-records, so a torn tail (short frame at the end of the
+// newest segment) is distinguishable from corruption (a complete frame whose
+// CRC fails): torn tails are forgiven and overwritten by the next append,
+// CRC failures quarantine exactly the series named by the damaged frame's
+// sub-records.
+
+const (
+	segMagic    = "OPSEG001"
+	frameCommit = 0x01
+
+	opSeries    = 0x01
+	opMeta      = 0x02
+	opPoints    = 0x03
+	opLabel     = 0x04
+	opTombstone = 0x05
+
+	// maxFrame bounds a single frame; anything claiming more is structural
+	// corruption, not a large batch (the appender splits bigger batches).
+	maxFrame = 64 << 20
+	// maxName bounds an interned series name.
+	maxName = 4096
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// uvarint / varint append-and-consume helpers over byte slices. The consume
+// side returns n == 0 on malformed or truncated input.
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func takeUvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0
+	}
+	return v, n
+}
+
+func takeVarint(b []byte) (int64, int) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, 0
+	}
+	return v, n
+}
+
+// subRecord is one decoded sub-record of a commit frame.
+type subRecord struct {
+	op   byte
+	id   uint64
+	name string // opSeries
+	meta Meta   // opMeta (Name left empty; bound via the ID)
+	// opPoints: the raw bitstream and its count. Decoding needs the series'
+	// chain state, so it happens at replay, not at parse. streamOff is the
+	// bitstream's byte offset within the parsed body (for fault injection).
+	count     uint64
+	stream    []byte
+	streamOff int
+	// opLabel
+	start, end int
+	anomalous  bool
+}
+
+// parseSubs decodes the sub-records of a commit-frame body (kind byte and
+// CRC already stripped). It is pure structure: per-series semantic checks
+// (meta before points, label bounds) happen at replay.
+func parseSubs(body []byte, fn func(sub *subRecord) error) error {
+	full := body
+	var sub subRecord
+	for len(body) > 0 {
+		op := body[0]
+		body = body[1:]
+		id, n := takeUvarint(body)
+		if n == 0 || id == 0 {
+			return fmt.Errorf("%w: bad sub-record series id", ErrCorrupt)
+		}
+		body = body[n:]
+		sub = subRecord{op: op, id: id}
+		switch op {
+		case opSeries:
+			ln, n := takeUvarint(body)
+			if n == 0 || ln == 0 || ln > maxName || uint64(len(body)-n) < ln {
+				return fmt.Errorf("%w: bad series-name length", ErrCorrupt)
+			}
+			sub.name = string(body[n : n+int(ln)])
+			body = body[n+int(ln):]
+		case opMeta:
+			rest, meta, err := parseMeta(body)
+			if err != nil {
+				return err
+			}
+			sub.meta, body = meta, rest
+		case opPoints:
+			count, n := takeUvarint(body)
+			body = body[n:]
+			// The stream's byte length is stored explicitly: decoding by
+			// count needs the series' chain state, which the structural scan
+			// does not have. Each point costs at least one bit, so a count
+			// beyond the stream's bit capacity is corruption.
+			ln, n2 := takeUvarint(body)
+			if n == 0 || n2 == 0 || uint64(len(body)-n2) < ln || count > ln*8 {
+				return fmt.Errorf("%w: bad points sub-record", ErrCorrupt)
+			}
+			sub.count = count
+			sub.stream = body[n2 : n2+int(ln)]
+			sub.streamOff = len(full) - len(body) + n2
+			body = body[n2+int(ln):]
+		case opLabel:
+			start, n1 := takeUvarint(body)
+			body = body[n1:]
+			end, n2 := takeUvarint(body)
+			body = body[n2:]
+			if n1 == 0 || n2 == 0 || len(body) < 1 ||
+				start > math.MaxInt32 || end > math.MaxInt32 {
+				return fmt.Errorf("%w: bad label sub-record", ErrCorrupt)
+			}
+			sub.start, sub.end, sub.anomalous = int(start), int(end), body[0] != 0
+			body = body[1:]
+		case opTombstone:
+			// empty payload
+		default:
+			return fmt.Errorf("%w: unknown sub-record op %#x", ErrCorrupt, op)
+		}
+		if err := fn(&sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendMeta(b []byte, m Meta) []byte {
+	b = binary.AppendVarint(b, m.Start.UnixNano())
+	b = appendUvarint(b, uint64(m.IntervalSeconds))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Recall))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Precision))
+	b = appendUvarint(b, uint64(m.Trees))
+	b = appendUvarint(b, uint64(m.RetrainEvery))
+	b = appendUvarint(b, uint64(len(m.WebhookURL)))
+	return append(b, m.WebhookURL...)
+}
+
+func parseMeta(b []byte) (rest []byte, m Meta, err error) {
+	bad := func() ([]byte, Meta, error) {
+		return nil, Meta{}, fmt.Errorf("%w: bad meta sub-record", ErrCorrupt)
+	}
+	ns, n := takeVarint(b)
+	if n == 0 {
+		return bad()
+	}
+	b = b[n:]
+	interval, n := takeUvarint(b)
+	if n == 0 || interval > math.MaxInt32 {
+		return bad()
+	}
+	b = b[n:]
+	if len(b) < 16 {
+		return bad()
+	}
+	m.Recall = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	m.Precision = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	b = b[16:]
+	trees, n := takeUvarint(b)
+	if n == 0 || trees > math.MaxInt32 {
+		return bad()
+	}
+	b = b[n:]
+	retrain, n := takeUvarint(b)
+	if n == 0 || retrain > math.MaxInt32 {
+		return bad()
+	}
+	b = b[n:]
+	ln, n := takeUvarint(b)
+	if n == 0 || ln > maxName || uint64(len(b)-n) < ln {
+		return bad()
+	}
+	m.WebhookURL = string(b[n : n+int(ln)])
+	b = b[n+int(ln):]
+	m.Start = time.Unix(0, ns).UTC()
+	m.IntervalSeconds = int(interval)
+	m.Trees = int(trees)
+	m.RetrainEvery = int(retrain)
+	return b, m, nil
+}
+
+// decodePoints replays one points sub-record through the series' chain.
+func decodePoints(sub *subRecord, chain *xorChain, out []float64) ([]float64, error) {
+	r := bitReader{buf: sub.stream}
+	for i := uint64(0); i < sub.count; i++ {
+		v, ok := xorRead(&r, chain)
+		if !ok {
+			return out, fmt.Errorf("%w: points bitstream truncated", ErrCorrupt)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package tsdb
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// copyFixtureDir copies the committed pre-refactor data directory (legacy
+// JSON-lines logs, checksummed and bare) into a writable temp dir.
+func copyFixtureDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestLegacyFixtureMigration is the cross-version regression gate: a data
+// directory written by the pre-segment JSON-lines store must open, list and
+// load bit-identically, then migrate transparently on first write with the
+// replayed state preserved exactly.
+func TestLegacyFixtureMigration(t *testing.T) {
+	dir := copyFixtureDir(t, filepath.Join("testdata", "legacy"))
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"lat", "pv"}) {
+		t.Fatalf("List = %v, want [lat pv]", names)
+	}
+
+	// The exact state the fixture encodes (pv checksummed, lat bare-JSON
+	// with a torn tail line that must be forgiven).
+	wantPV := Loaded{
+		Meta: Meta{Name: "pv", Start: time.Date(2015, 1, 5, 0, 0, 0, 0, time.UTC),
+			IntervalSeconds: 60, Recall: 0.66, Precision: 0.66, Trees: 60},
+		Values: []float64{10.5, 11, 11.5, 12, 80, 12.5, 13, 13.5},
+		Labels: []bool{false, false, false, false, true, false, false, false},
+	}
+	wantLat := Loaded{
+		Meta: Meta{Name: "lat", Start: time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC),
+			IntervalSeconds: 300, Recall: 0.75, Precision: 0.6, Trees: 40},
+		Values: []float64{1, 2, 3, 4},
+		Labels: []bool{false, false, false, false},
+	}
+	checkLoad := func(stage string, s *Store, name string, want Loaded) {
+		t.Helper()
+		got, err := s.Load(name)
+		if err != nil {
+			t.Fatalf("%s: Load(%q): %v", stage, name, err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Errorf("%s: Load(%q) =\n  %+v\nwant\n  %+v", stage, name, *got, want)
+		}
+	}
+	checkLoad("pre-migration", s, "pv", wantPV)
+	checkLoad("pre-migration", s, "lat", wantLat)
+
+	// First write migrates pv into segments; lat stays a legacy log.
+	if err := s.AppendPoints(ctx, "pv", []float64{14}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pv.wal")); !os.IsNotExist(err) {
+		t.Errorf("pv.wal still present after migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pv.wal.migrated")); err != nil {
+		t.Errorf("migrated copy missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "lat.wal")); err != nil {
+		t.Errorf("untouched legacy log should remain: %v", err)
+	}
+	wantPV.Values = append(wantPV.Values, 14)
+	wantPV.Labels = append(wantPV.Labels, false)
+	checkLoad("post-migration", s, "pv", wantPV)
+	checkLoad("post-migration", s, "lat", wantLat)
+
+	// A cold reopen sees the mixed directory: pv from segments, lat legacy.
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	names, err = s2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"lat", "pv"}) {
+		t.Fatalf("post-migration List = %v, want [lat pv]", names)
+	}
+	checkLoad("reopen", s2, "pv", wantPV)
+	checkLoad("reopen", s2, "lat", wantLat)
+}

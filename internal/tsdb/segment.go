@@ -1,0 +1,263 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segEnd classifies how a segment walk terminated.
+type segEnd int
+
+const (
+	segClean segEnd = iota // parsed to EOF
+	segTorn                // incomplete frame (or header) at the tail
+	segBad                 // structural damage: bad magic, bad varint, oversize frame
+)
+
+// frameInfo describes one complete frame encountered by walkSegment. body
+// runs from the kind byte through the trailing CRC and aliases the walk
+// buffer — callbacks must not retain it.
+type frameInfo struct {
+	off   int64 // offset of the frame's length varint in the file
+	size  int64 // total frame size including the length varint
+	body  []byte
+	crcOK bool
+}
+
+// walkSegment reads one segment file sequentially and hands every complete
+// frame to fn (including frames whose CRC fails — fn sees crcOK). It
+// returns the byte length of the structurally valid prefix and how the
+// segment ended. A short frame at the tail is segTorn — the crash-recovery
+// case — while anything structurally impossible is segBad. fn errors abort
+// the walk as segBad.
+func walkSegment(path string, fn func(fr *frameInfo) error) (int64, segEnd, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, segBad, fmt.Errorf("tsdb: %w", err)
+	}
+	if len(data) < len(segMagic) {
+		if string(data) == segMagic[:len(data)] {
+			return 0, segTorn, nil // crash between create and header fsync
+		}
+		return 0, segBad, nil
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, segBad, nil
+	}
+	off := int64(len(segMagic))
+	for off < int64(len(data)) {
+		v, n := binary.Uvarint(data[off:])
+		if n == 0 {
+			return off, segTorn, nil // ran out of bytes mid-varint
+		}
+		if n < 0 || v > maxFrame {
+			return off, segBad, nil
+		}
+		if v == 0 {
+			// A zero length cannot come from the writer; zero-fill after a
+			// crash can. Forgive it as a torn tail.
+			return off, segTorn, nil
+		}
+		end := off + int64(n) + int64(v)
+		if end > int64(len(data)) {
+			return off, segTorn, nil
+		}
+		body := data[off+int64(n) : end]
+		if len(body) < 5 { // kind byte + CRC is the minimum
+			return off, segBad, nil
+		}
+		crcOK := crc32.Checksum(body[:len(body)-4], castagnoli) ==
+			binary.LittleEndian.Uint32(body[len(body)-4:])
+		fi := frameInfo{off: off, size: end - off, body: body, crcOK: crcOK}
+		if err := fn(&fi); err != nil {
+			return off, segBad, err
+		}
+		off = end
+	}
+	return off, segClean, nil
+}
+
+// frameBody re-validates one frame read back by extent (length varint,
+// CRC, kind) and returns its body.
+func frameBody(frame []byte) ([]byte, error) {
+	v, n := binary.Uvarint(frame)
+	if n <= 0 || v < 5 || int64(v)+int64(n) != int64(len(frame)) {
+		return nil, fmt.Errorf("tsdb: frame framing mismatch (%w)", ErrCorrupt)
+	}
+	body := frame[n:]
+	if crc32.Checksum(body[:len(body)-4], castagnoli) !=
+		binary.LittleEndian.Uint32(body[len(body)-4:]) {
+		return nil, fmt.Errorf("tsdb: frame checksum mismatch (%w)", ErrCorrupt)
+	}
+	if body[0] != frameCommit {
+		return nil, fmt.Errorf("tsdb: unknown frame kind %#x (%w)", body[0], ErrCorrupt)
+	}
+	return body, nil
+}
+
+// listSegments returns the ascending segment sequence numbers present in a
+// shard directory.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".seg")
+		if !ok || !e.Type().IsRegular() {
+			continue
+		}
+		seq, err := strconv.ParseUint(name, 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// scan builds the shard's in-memory index — name dictionary, per-series
+// extents, segment states, corruption flags — with one sequential pass over
+// its segments. It never mutates the directory (beyond creating it), so a
+// probe Store can safely scan a directory a live Store is writing: torn
+// tails and rotations are recorded and handled lazily by the appender
+// before its first write.
+func (sh *shard) scan() error {
+	if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	seqs, err := listSegments(sh.dir)
+	if err != nil {
+		return err
+	}
+	for i, seq := range seqs {
+		if err := sh.scanSegment(seq, i == len(seqs)-1); err != nil {
+			return err
+		}
+	}
+	if len(seqs) > 0 {
+		sh.activeSeq = seqs[len(seqs)-1]
+	}
+	return nil
+}
+
+func (sh *shard) scanSegment(seq uint64, last bool) error {
+	sg := &segState{seq: seq}
+	sh.segs = append(sh.segs, sg)
+	good, end, err := walkSegment(filepath.Join(sh.dir, segFileName(seq)), func(fr *frameInfo) error {
+		sh.indexFrame(seq, fr)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sg.size = good
+	switch end {
+	case segClean:
+	case segTorn:
+		if last {
+			sh.torn = true // the appender truncates before its first write
+		} else {
+			sh.poison() // a sealed segment must end cleanly
+		}
+	case segBad:
+		sh.poison()
+		if last {
+			// Keep the damaged bytes on disk as evidence; append elsewhere.
+			sh.rotateFirst = true
+		}
+	}
+	if last {
+		sh.activeSize = good
+	}
+	return nil
+}
+
+// indexFrame folds one scanned frame into the shard index. Frames with a
+// valid CRC replay their bindings and tombstones; frames with a failing CRC
+// are attributed best-effort — their structure still parses after a payload
+// bit-flip, so exactly the series they name are marked corrupt. Frames too
+// damaged to even parse structurally poison the whole shard (conservative:
+// an intern record may have been lost, so no series in it can be trusted).
+func (sh *shard) indexFrame(seq uint64, fr *frameInfo) {
+	if fr.crcOK && fr.body[0] != frameCommit {
+		sh.poison() // valid checksum, unknown kind: a future format
+		return
+	}
+	ext := extent{seq: seq, off: fr.off, size: fr.size}
+	err := parseSubs(fr.body[1:len(fr.body)-4], func(sub *subRecord) error {
+		ser := sh.byID[sub.id]
+		if ser == nil {
+			ser = &series{id: sub.id}
+			if !fr.crcOK || sub.op != opSeries {
+				// An ID referenced before (or without) its intern record: the
+				// intern may sit in a lost region. Index the frames so they
+				// stay pinned, but never trust the series.
+				ser.corrupt = true
+			}
+			sh.byID[sub.id] = ser
+		}
+		if sh.nextID < sub.id {
+			sh.nextID = sub.id
+		}
+		sh.noteExtent(ser, ext)
+		if !fr.crcOK {
+			ser.corrupt = true
+			return nil // structure only; the content is untrusted
+		}
+		switch sub.op {
+		case opSeries:
+			if old := sh.byName[sub.name]; old != nil && old != ser {
+				// A duplicate bind; newest wins, the orphan stays pinned.
+				old.corrupt = true
+			}
+			ser.name = sub.name
+			sh.byName[sub.name] = ser
+		case opTombstone:
+			sh.retireLocked(ser, seq)
+		}
+		return nil
+	})
+	if err != nil {
+		sh.poison()
+	}
+}
+
+// noteExtent records that a frame references ser, bumping the segment's
+// live-reference count on the first reference per (series, segment). Scan
+// and commit both visit frames in ascending (segment, offset) order, so
+// checking the tail extent suffices for both dedups.
+func (sh *shard) noteExtent(ser *series, ext extent) {
+	if n := len(ser.extents); n > 0 {
+		last := ser.extents[n-1]
+		if last.seq == ext.seq && last.off == ext.off {
+			return
+		}
+		if last.seq == ext.seq {
+			ser.extents = append(ser.extents, ext)
+			return
+		}
+	}
+	ser.extents = append(ser.extents, ext)
+	sh.segRef(ext.seq, +1)
+}
+
+// poison marks every series indexed so far as corrupt and disables
+// compaction for the shard: structural damage means the index may be
+// missing bindings, so nothing already seen can be trusted and no segment
+// may be deleted. Series interned after the damage point (their frames
+// parse cleanly) stay healthy.
+func (sh *shard) poison() {
+	sh.poisoned = true
+	for _, ser := range sh.byID {
+		ser.corrupt = true
+	}
+}

@@ -1,11 +1,14 @@
 package tsdb
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 )
+
+var ctx = context.Background()
 
 func openTemp(t *testing.T) *Store {
 	t.Helper()
@@ -31,16 +34,16 @@ func TestRoundTrip(t *testing.T) {
 	if err := s.CreateSeries(meta); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendPoints("pv", []float64{1, 2, 3}); err != nil {
+	if err := s.AppendPoints(ctx, "pv", []float64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendPoints("pv", []float64{4, 5}); err != nil {
+	if err := s.AppendPoints(ctx, "pv", []float64{4, 5}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendLabel("pv", 1, 3, true); err != nil {
+	if err := s.AppendLabel(ctx, "pv", 1, 3, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendLabel("pv", 2, 3, false); err != nil { // partial undo
+	if err := s.AppendLabel(ctx, "pv", 2, 3, false); err != nil { // partial undo
 		t.Fatal(err)
 	}
 	got, err := s.Load("pv")
@@ -59,22 +62,15 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-func TestLoadSurvivesTornTail(t *testing.T) {
+func TestLegacyLoadSurvivesTornTail(t *testing.T) {
 	s := openTemp(t)
-	if err := s.CreateSeries(meta); err != nil {
+	// A legacy JSON-lines log whose final line was torn by a crash.
+	content := `{"kind":"meta","meta":{"name":"pv","interval_seconds":60}}
+{"kind":"points","values":[1,2]}
+{"kind":"points","values":[9,9`
+	if err := os.WriteFile(filepath.Join(s.dir, "pv.wal"), []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AppendPoints("pv", []float64{1, 2}); err != nil {
-		t.Fatal(err)
-	}
-	// Simulate a crash mid-write: a torn, non-JSON trailing line.
-	path := filepath.Join(s.dir, "pv.wal")
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.WriteString(`{"kind":"points","values":[9,9`)
-	f.Close()
 	got, err := s.Load("pv")
 	if err != nil {
 		t.Fatalf("torn tail should be tolerated: %v", err)
@@ -84,7 +80,7 @@ func TestLoadSurvivesTornTail(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsMidLogCorruption(t *testing.T) {
+func TestLegacyLoadRejectsMidLogCorruption(t *testing.T) {
 	s := openTemp(t)
 	path := filepath.Join(s.dir, "bad.wal")
 	content := `{"kind":"meta","meta":{"name":"bad","interval_seconds":60}}
@@ -99,7 +95,7 @@ not json at all
 	}
 }
 
-func TestLoadValidations(t *testing.T) {
+func TestLegacyLoadValidations(t *testing.T) {
 	s := openTemp(t)
 	cases := map[string]string{
 		"nometa":    `{"kind":"points","values":[1]}` + "\n",
@@ -122,7 +118,7 @@ func TestLoadValidations(t *testing.T) {
 func TestInvalidNames(t *testing.T) {
 	s := openTemp(t)
 	for _, name := range []string{"", "a/b", `a\b`, ".."} {
-		if err := s.AppendPoints(name, []float64{1}); err == nil {
+		if err := s.AppendPoints(ctx, name, []float64{1}); err == nil {
 			t.Errorf("name %q accepted", name)
 		}
 	}
@@ -163,7 +159,7 @@ func TestAppendAfterReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.CreateSeries(meta)
-	s.AppendPoints("pv", []float64{1})
+	s.AppendPoints(ctx, "pv", []float64{1})
 	s.Close()
 
 	s2, err := Open(dir)
@@ -171,7 +167,7 @@ func TestAppendAfterReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if err := s2.AppendPoints("pv", []float64{2}); err != nil {
+	if err := s2.AppendPoints(ctx, "pv", []float64{2}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := s2.Load("pv")
@@ -185,20 +181,57 @@ func TestAppendAfterReopen(t *testing.T) {
 
 func TestAppendLabelValidation(t *testing.T) {
 	s := openTemp(t)
-	if err := s.AppendLabel("pv", 3, 3, true); err == nil {
+	if err := s.AppendLabel(ctx, "pv", 3, 3, true); err == nil {
 		t.Error("empty range accepted")
 	}
-	if err := s.AppendLabel("pv", -1, 2, true); err == nil {
+	if err := s.AppendLabel(ctx, "pv", -1, 2, true); err == nil {
 		t.Error("negative start accepted")
 	}
 }
 
 func TestAppendPointsEmptyNoop(t *testing.T) {
 	s := openTemp(t)
-	if err := s.AppendPoints("pv", nil); err != nil {
+	if err := s.AppendPoints(ctx, "pv", nil); err != nil {
 		t.Fatal(err)
 	}
 	if names, _ := s.List(); len(names) != 0 {
 		t.Errorf("empty append created a log: %v", names)
+	}
+}
+
+func TestCreateDuplicateRejected(t *testing.T) {
+	s := openTemp(t)
+	if err := s.CreateSeries(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateSeries(meta); err == nil {
+		t.Error("duplicate create accepted")
+	}
+}
+
+func TestAppendContextCanceled(t *testing.T) {
+	s := openTemp(t)
+	if err := s.CreateSeries(meta); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Cancellation abandons the wait, not the write: the call must return
+	// promptly with either the context error or (if the commit won the
+	// race) success — and the write may still be durable.
+	err := s.AppendPoints(canceled, "pv", []float64{1})
+	if err != nil && err != context.Canceled {
+		t.Errorf("err = %v, want nil or context.Canceled", err)
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.AppendPoints(ctx, "pv", []float64{1}); err == nil {
+		t.Error("append after Close accepted")
 	}
 }

@@ -1,0 +1,163 @@
+package tsdb
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Gorilla-style XOR compression for float64 streams (Facebook's in-memory
+// TSDB paper, §4.1.2): the first value is stored raw, every later value as
+// the XOR with its predecessor — a zero XOR costs one bit, a repeat of the
+// previous leading/trailing-zero window costs two bits plus the meaningful
+// bits, and a new window costs 13 control bits. Monitoring KPIs are smooth,
+// so the meaningful window is usually a fraction of the mantissa and the
+// stream lands at a few bits per point.
+//
+// The chain state (previous value, previous window) persists across frames:
+// a one-point append of an existing series costs only its XOR bits, not a
+// raw 8-byte restart. Decoders therefore replay a series' frames strictly in
+// order, and the appender rebuilds the chain from disk before its first
+// post-reopen write to a series.
+
+// xorChain is the shared encoder/decoder state between consecutive values
+// of one series.
+type xorChain struct {
+	started  bool
+	value    uint64 // bits of the previous value
+	leading  uint8
+	trailing uint8
+	window   bool // leading/trailing hold a valid window
+}
+
+// bitWriter appends bits to a byte slice, MSB first.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint8 // bits currently buffered in acc
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint8) {
+	if n == 0 {
+		return
+	}
+	v &= (^uint64(0)) >> (64 - n)
+	for n+w.nacc >= 8 {
+		take := 8 - w.nacc
+		w.acc = w.acc<<take | v>>(n-take)
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc, w.nacc = 0, 0
+		n -= take
+		if n == 0 {
+			return
+		}
+		v &= (^uint64(0)) >> (64 - n)
+	}
+	w.acc = w.acc<<n | v
+	w.nacc += n
+}
+
+func (w *bitWriter) writeBit(b uint64) { w.writeBits(b, 1) }
+
+// flush pads the tail with zero bits to a byte boundary.
+func (w *bitWriter) flush() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.acc, w.nacc = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits from a byte slice, MSB first.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	bit  uint8
+	fail bool
+}
+
+func (r *bitReader) readBits(n uint8) uint64 {
+	var v uint64
+	for i := uint8(0); i < n; i++ {
+		if r.pos >= len(r.buf) {
+			r.fail = true
+			return 0
+		}
+		v = v<<1 | uint64(r.buf[r.pos]>>(7-r.bit))&1
+		if r.bit++; r.bit == 8 {
+			r.bit, r.pos = 0, r.pos+1
+		}
+	}
+	return v
+}
+
+// xorWrite appends one value to the stream, updating the chain.
+func xorWrite(w *bitWriter, c *xorChain, v float64) {
+	b := math.Float64bits(v)
+	if !c.started {
+		c.started = true
+		c.value = b
+		w.writeBits(b, 64)
+		return
+	}
+	x := b ^ c.value
+	c.value = b
+	if x == 0 {
+		w.writeBit(0)
+		return
+	}
+	w.writeBit(1)
+	lead := uint8(bits.LeadingZeros64(x))
+	if lead > 31 {
+		lead = 31 // 5-bit field; a narrower window is still correct
+	}
+	trail := uint8(bits.TrailingZeros64(x))
+	if c.window && lead >= c.leading && trail >= c.trailing {
+		w.writeBit(0)
+		w.writeBits(x>>c.trailing, 64-c.leading-c.trailing)
+		return
+	}
+	c.leading, c.trailing, c.window = lead, trail, true
+	sig := 64 - lead - trail
+	w.writeBit(1)
+	w.writeBits(uint64(lead), 5)
+	w.writeBits(uint64(sig-1), 6) // 1..64 meaningful bits, stored as 0..63
+	w.writeBits(x>>trail, sig)
+}
+
+// xorRead decodes one value from the stream. ok=false means the stream ran
+// out of bits (corruption or a short frame).
+func xorRead(r *bitReader, c *xorChain) (float64, bool) {
+	if !c.started {
+		b := r.readBits(64)
+		if r.fail {
+			return 0, false
+		}
+		c.started = true
+		c.value = b
+		return math.Float64frombits(b), true
+	}
+	if r.readBits(1) == 0 {
+		if r.fail {
+			return 0, false
+		}
+		return math.Float64frombits(c.value), true
+	}
+	if r.readBits(1) == 1 {
+		lead := uint8(r.readBits(5))
+		sig := uint8(r.readBits(6)) + 1
+		if r.fail || lead+sig > 64 {
+			r.fail = true
+			return 0, false
+		}
+		c.leading, c.trailing, c.window = lead, 64-lead-sig, true
+	} else if !c.window {
+		r.fail = true // reused-window op before any window was defined
+		return 0, false
+	}
+	x := r.readBits(64-c.leading-c.trailing) << c.trailing
+	if r.fail {
+		return 0, false
+	}
+	c.value ^= x
+	return math.Float64frombits(c.value), true
+}
