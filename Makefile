@@ -65,8 +65,10 @@ bench:
 # Run the retrain + flattened-forest benchmarks and record them as JSON
 # (BENCH_retrain.json), then the warm-vs-cold restart benchmark
 # (BENCH_restore.json), then the segmented-WAL ingest benchmark
-# (BENCH_ingest.json). The fixed -benchtime keeps the runs short while
-# giving stable ratios.
+# (BENCH_ingest.json), then the open-loop serving harness
+# (BENCH_serve.json — cmd/loadgen self-hosts an in-process opprenticed and
+# scrapes it at the operating point documented in EXPERIMENTS.md). The
+# fixed -benchtime keeps the runs short while giving stable ratios.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRetrainColdVsIncremental|BenchmarkForestProbFlat$$' \
 		-benchmem -benchtime 20x ./internal/core/ ./internal/ml/forest/ | tee bench_retrain.txt
@@ -77,6 +79,8 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestWAL$$' \
 		-benchmem -benchtime 2s . | tee bench_ingest.txt
 	$(GO) run ./cmd/benchjson -in bench_ingest.txt -out BENCH_ingest.json
+	$(GO) run ./cmd/loadgen | tee bench_serve.txt
+	$(GO) run ./cmd/benchjson -in bench_serve.txt -out BENCH_serve.json
 
 # Regression gates (machine-independent RATIOS, not absolute ns/op): the
 # cold/incremental retrain speedup must stay within 10% of the committed
@@ -84,11 +88,17 @@ bench-json:
 # allocation-free, and the model registry's warm restart must stay >= 3x
 # faster than a cold restart. The ingest run must hold >= 1M pts/s of bulk
 # WAL throughput and a >= 5x bytes-per-point win over the legacy JSON-lines
-# encoding.
+# encoding. The serving SLO gate is absolute: at loadgen's default
+# operating point (4 trained series scraped every 50ms, single-core), the
+# open-loop p99 verdict latency must stay under 20ms and streaming trained
+# scoring above 8k pts/s — both ~4x off the measured numbers in
+# EXPERIMENTS.md, and far inside the one-data-interval SLO (60s for
+# minute-granularity KPIs).
 bench-check: bench-json
 	$(GO) run ./cmd/benchjson -in bench_retrain.txt -check BENCH_baseline.json
 	$(GO) run ./cmd/benchjson -in bench_restore.txt -check BENCH_baseline.json
 	$(GO) run ./cmd/benchjson -in bench_ingest.txt -check BENCH_baseline.json
+	$(GO) run ./cmd/benchjson -in bench_serve.txt -check BENCH_baseline.json
 
 # Regenerate every paper table/figure (writes results_medium.txt + HTML).
 eval:
@@ -124,4 +134,4 @@ govulncheck:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench_retrain.txt bench_restore.txt bench_ingest.txt
+	rm -f test_output.txt bench_output.txt bench_retrain.txt bench_restore.txt bench_ingest.txt bench_serve.txt

@@ -23,10 +23,16 @@
 //     floor, and the steady-state jsonB/pt ÷ walB/pt compression ratio of
 //     the segmented WAL over the legacy JSON-lines encoding must stay above
 //     -min-wal-ratio.
+//   - The serving SLO from cmd/loadgen (BENCH_serve.json): the open-loop
+//     p99 verdict latency of BenchmarkServe/points must stay under
+//     -max-serve-p99-ns, and the streaming-ingest trained-scoring
+//     throughput of BenchmarkServe/ingest above -min-serve-pps. These are
+//     absolute, machine-dependent numbers: the floors are set with ~4x
+//     headroom from the operating point documented in EXPERIMENTS.md.
 //
 // Each gate applies only when its benchmark (pair) is present in the input,
-// so the retrain, restore and ingest runs can be checked separately; input
-// containing none of them fails.
+// so the retrain, restore, ingest and serve runs can be checked separately;
+// input containing none of them fails.
 package main
 
 import (
@@ -77,6 +83,20 @@ type Report struct {
 	// WALCompressionRatio is JSONBytesPerPoint ÷ WALBytesPerPoint — the
 	// machine-independent compression win the gate compares.
 	WALCompressionRatio float64 `json:"wal_compression_ratio,omitempty"`
+	// ServeP50Ns/P99Ns/P999Ns are the open-loop verdict latency percentiles
+	// of BenchmarkServe/points from cmd/loadgen, measured from each point's
+	// scheduled arrival (coordinated-omission corrected).
+	ServeP50Ns  float64 `json:"serve_p50_ns,omitempty"`
+	ServeP99Ns  float64 `json:"serve_p99_ns,omitempty"`
+	ServeP999Ns float64 `json:"serve_p999_ns,omitempty"`
+	// ServePointsPerSec is the delivered scrape-path throughput and
+	// ServeShedPct the percentage of open-loop arrivals shed (429) or
+	// skipped while the generator was behind schedule.
+	ServePointsPerSec float64 `json:"serve_points_per_sec,omitempty"`
+	ServeShedPct      float64 `json:"serve_shed_pct,omitempty"`
+	// ServeIngestPointsPerSec is BenchmarkServe/ingest — end-to-end trained
+	// scoring throughput over the streaming /v1/ingest path.
+	ServeIngestPointsPerSec float64 `json:"serve_ingest_points_per_sec,omitempty"`
 }
 
 const (
@@ -87,6 +107,8 @@ const (
 	restoreWarmName  = "RestoreWarmVsCold/warm"
 	ingestBulkName   = "IngestWAL/bulk"
 	ingestSteadyName = "IngestWAL/steady"
+	servePointsName  = "Serve/points"
+	serveIngestName  = "Serve/ingest"
 )
 
 // parseLine parses one `go test -bench` result line, e.g.
@@ -164,6 +186,13 @@ func parse(data []byte) (*Report, error) {
 	if rep.WALBytesPerPoint > 0 {
 		rep.WALCompressionRatio = rep.JSONBytesPerPoint / rep.WALBytesPerPoint
 	}
+	serve := rep.Benchmarks[servePointsName].Metrics
+	rep.ServeP50Ns = serve["p50-ns"]
+	rep.ServeP99Ns = serve["p99-ns"]
+	rep.ServeP999Ns = serve["p999-ns"]
+	rep.ServePointsPerSec = serve["pts/s"]
+	rep.ServeShedPct = serve["shed-pct"]
+	rep.ServeIngestPointsPerSec = rep.Benchmarks[serveIngestName].Metrics["pts/s"]
 	return rep, nil
 }
 
@@ -177,6 +206,8 @@ func main() {
 		minRestore = flag.Float64("min-restore-speedup", 3.0, "absolute cold/warm restore speedup floor (0 disables)")
 		minIngest  = flag.Float64("min-ingest-pps", 1e6, "absolute bulk WAL ingest points/sec floor (0 disables)")
 		minWALR    = flag.Float64("min-wal-ratio", 5.0, "absolute JSON-lines ÷ segmented-WAL bytes-per-point compression ratio floor (0 disables)")
+		maxServe99 = flag.Float64("max-serve-p99-ns", 20e6, "open-loop serving p99 verdict latency ceiling in ns from cmd/loadgen (0 disables)")
+		minServe   = flag.Float64("min-serve-pps", 8000, "streaming-ingest trained scoring points/sec floor from cmd/loadgen (0 disables)")
 	)
 	flag.Parse()
 
@@ -206,8 +237,9 @@ func main() {
 		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 			fatal("write %s: %v", *out, err)
 		}
-		fmt.Printf("benchjson: wrote %s (retrain %.2fx, restore %.2fx, ingest %.0f pts/s, wal ratio %.2fx)\n",
-			*out, rep.RetrainSpeedup, rep.RestoreSpeedup, rep.IngestPointsPerSec, rep.WALCompressionRatio)
+		fmt.Printf("benchjson: wrote %s (retrain %.2fx, restore %.2fx, ingest %.0f pts/s, wal ratio %.2fx, serve p99 %.1fms / %.0f pts/s)\n",
+			*out, rep.RetrainSpeedup, rep.RestoreSpeedup, rep.IngestPointsPerSec, rep.WALCompressionRatio,
+			rep.ServeP99Ns/1e6, rep.ServeIngestPointsPerSec)
 	}
 
 	if *check == "" {
@@ -223,8 +255,8 @@ func main() {
 	}
 
 	failed := false
-	if rep.RetrainSpeedup == 0 && rep.RestoreSpeedup == 0 && rep.IngestPointsPerSec == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has no RetrainColdVsIncremental or RestoreWarmVsCold pair and no IngestWAL run")
+	if rep.RetrainSpeedup == 0 && rep.RestoreSpeedup == 0 && rep.IngestPointsPerSec == 0 && rep.ServeP99Ns == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: FAIL: input has no RetrainColdVsIncremental or RestoreWarmVsCold pair and no IngestWAL or Serve run")
 		failed = true
 	}
 	if rep.RetrainSpeedup > 0 {
@@ -275,6 +307,16 @@ func main() {
 			failed = true
 		}
 	}
+	if rep.ServeP99Ns > 0 && *maxServe99 > 0 && rep.ServeP99Ns > *maxServe99 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: serving p99 verdict latency %.1fms over the %.1fms ceiling\n",
+			rep.ServeP99Ns/1e6, *maxServe99/1e6)
+		failed = true
+	}
+	if rep.ServeIngestPointsPerSec > 0 && *minServe > 0 && rep.ServeIngestPointsPerSec < *minServe {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: streaming trained scoring %.0f pts/s below the %.0f pts/s floor\n",
+			rep.ServeIngestPointsPerSec, *minServe)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -290,6 +332,12 @@ func main() {
 	}
 	if rep.WALCompressionRatio > 0 {
 		oks = append(oks, fmt.Sprintf("wal compression %.2fx (floor %.1fx)", rep.WALCompressionRatio, *minWALR))
+	}
+	if rep.ServeP99Ns > 0 {
+		oks = append(oks, fmt.Sprintf("serve p99 %.1fms (ceiling %.1fms)", rep.ServeP99Ns/1e6, *maxServe99/1e6))
+	}
+	if rep.ServeIngestPointsPerSec > 0 {
+		oks = append(oks, fmt.Sprintf("serve ingest %.0f pts/s (floor %.0f)", rep.ServeIngestPointsPerSec, *minServe))
 	}
 	fmt.Printf("benchjson: OK: %s (tolerance %.0f%%)\n", strings.Join(oks, ", "), *tolerance*100)
 }

@@ -1,0 +1,347 @@
+// Command loadgen is an open-loop load harness for the opprenticed serving
+// hot path. It pre-trains N kpigen-generated series, then drives them
+// Prometheus-scrape-style — every -tick, each series receives one fresh
+// point over POST /v1/series/{name}/points — and measures the verdict
+// latency distribution from each point's SCHEDULED arrival time, so a
+// stalled server cannot hide queueing delay by slowing the arrival rate
+// (the open-loop correction for coordinated omission). A second phase
+// pushes a bulk continuation through the streaming /v1/ingest path and
+// measures raw trained-scoring throughput.
+//
+// Results are printed as `go test -bench`-style lines that cmd/benchjson
+// parses into BENCH_serve.json and gates in `make bench-check`:
+//
+//	BenchmarkServe/points-1  800  412000 ns/op ... 103000 p99-ns ... 80 pts/s  0.00 shed-pct
+//	BenchmarkServe/ingest-1  40000  31000 ns/op  32258 pts/s
+//
+// By default loadgen self-hosts: it spins up the engine and HTTP service
+// in-process on a loopback listener, so `make bench-json` needs no running
+// daemon. Point -addr at a live opprenticed to load an external instance
+// instead (the target must be empty: loadgen creates and trains its own
+// series).
+//
+// Exit status: 0 on success; 1 on setup failure, when any request failed
+// with a transport error or 5xx, or when fewer than -min-verdicts verdicts
+// came back (the CI smoke gate).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opprentice/internal/engine"
+	"opprentice/internal/kpigen"
+	"opprentice/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "base URL of a running opprenticed (empty = self-host an in-process daemon on loopback)")
+		nSeries     = flag.Int("series", 4, "number of concurrently scraped series")
+		tick        = flag.Duration("tick", 50*time.Millisecond, "per-series scrape interval")
+		batch       = flag.Int("batch", 1, "points per scrape request (1 = classic per-point scrape; larger batches exercise the batched scoring path)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured load window")
+		warmup      = flag.Duration("warmup", 2*time.Second, "untimed warmup window before measurement")
+		weeks       = flag.Int("weeks", 9, "labeled training history per series, in weeks of hourly points")
+		trees       = flag.Int("trees", 20, "forest size per series")
+		ingestPts   = flag.Int("ingest-points", 40000, "points to push through streaming /v1/ingest in the throughput phase (0 = skip)")
+		seed        = flag.Int64("seed", 7, "kpigen base seed")
+		minVerdicts = flag.Int("min-verdicts", 1, "fail unless at least this many verdicts came back (0 disables)")
+	)
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	base := *addr
+	if base == "" {
+		eng := engine.New(engine.Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))})
+		srv := service.NewServerWithEngine(eng, logger)
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		logger.Info("self-hosted opprenticed", "addr", base)
+	}
+	ctx := context.Background()
+	c := service.NewClient(base, &http.Client{Timeout: time.Minute})
+	if err := c.Health(ctx); err != nil {
+		fatal("target %s not healthy: %v", base, err)
+	}
+
+	// Phase 0: create, bootstrap and train every series. Each gets its own
+	// kpigen seed so the scrape phase exercises distinct detector states,
+	// and the continuation values come from an independent generation of
+	// the same profile so they look like live traffic, not replay.
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = *weeks
+	names := make([]string, *nSeries)
+	conts := make([][]float64, *nSeries)
+	setupStart := time.Now()
+	for i := range names {
+		names[i] = fmt.Sprintf("load-%d", i)
+		d := kpigen.Generate(p, *seed+int64(i))
+		conts[i] = kpigen.Generate(p, *seed+1000+int64(i)).Series.Values
+		if err := c.Create(ctx, names[i], service.CreateRequest{
+			IntervalSeconds: 3600,
+			Start:           d.Series.Start,
+			Trees:           *trees,
+		}); err != nil {
+			fatal("create %s: %v", names[i], err)
+		}
+		st, err := c.StreamPoints(ctx)
+		if err != nil {
+			fatal("stream: %v", err)
+		}
+		if err := st.Send(names[i], d.Series.Values); err != nil {
+			fatal("bootstrap %s: %v", names[i], err)
+		}
+		if _, err := st.Close(); err != nil {
+			fatal("bootstrap %s: %v", names[i], err)
+		}
+		var windows []service.LabelWindow
+		for _, win := range d.Labels.Windows() {
+			windows = append(windows, service.LabelWindow{Start: win.Start, End: win.End, Anomalous: true})
+		}
+		if err := c.Label(ctx, names[i], windows); err != nil {
+			fatal("label %s: %v", names[i], err)
+		}
+		if _, err := c.Train(ctx, names[i]); err != nil {
+			fatal("train %s: %v", names[i], err)
+		}
+	}
+	logger.Info("series trained", "count", *nSeries, "weeks", *weeks, "trees", *trees, "took", time.Since(setupStart).Round(time.Millisecond))
+
+	// Phase 1: open-loop scrape fan-in.
+	var st serveStats
+	var wg sync.WaitGroup
+	start := time.Now().Add(250 * time.Millisecond) // common epoch; staggered below
+	measureFrom := start.Add(*warmup)
+	deadline := measureFrom.Add(*duration)
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Staggering the epochs spreads the fan-in across the tick
+			// instead of synchronizing every series' arrival.
+			offset := *tick * time.Duration(i) / time.Duration(len(names))
+			scrapeSeries(ctx, c, names[i], conts[i], start.Add(offset), measureFrom, deadline, *tick, *batch, &st)
+		}(i)
+	}
+	wg.Wait()
+
+	lats := st.sorted()
+	if len(lats) == 0 {
+		fatal("no requests completed in the measurement window")
+	}
+	fmt.Println(st.benchLine(*duration, *batch))
+
+	// Phase 2: streaming ingest throughput over the same trained series.
+	if *ingestPts > 0 {
+		sent, elapsed, err := ingestPhase(ctx, c, names, conts, *ingestPts)
+		if err != nil {
+			fatal("ingest phase: %v", err)
+		}
+		nsPerPt := float64(elapsed.Nanoseconds()) / float64(sent)
+		fmt.Printf("BenchmarkServe/ingest-1 \t%8d\t%12.0f ns/op\t%12.0f pts/s\n",
+			sent, nsPerPt, float64(sent)/elapsed.Seconds())
+	}
+
+	errs := st.errors.Load()
+	verdicts := st.verdicts.Load()
+	logger.Info("scrape phase",
+		"requests", len(lats),
+		"p50", lats[len(lats)/2].Round(time.Microsecond),
+		"p99", percentile(lats, 0.99).Round(time.Microsecond),
+		"verdicts", verdicts,
+		"shed", st.shed.Load(),
+		"errors", errs)
+	if errs > 0 {
+		fatal("%d requests failed with transport errors or 5xx", errs)
+	}
+	if *minVerdicts > 0 && verdicts < int64(*minVerdicts) {
+		fatal("only %d verdicts came back, want >= %d (series not serving trained verdicts?)", verdicts, *minVerdicts)
+	}
+}
+
+// serveStats accumulates the scrape phase across workers.
+type serveStats struct {
+	mu   sync.Mutex
+	lats []time.Duration // scheduled-arrival → response latencies
+
+	sent     atomic.Int64 // requests issued in the measurement window
+	shed     atomic.Int64 // 429 sheds plus open-loop ticks skipped while behind
+	errors   atomic.Int64 // transport errors and 5xx responses
+	verdicts atomic.Int64 // verdicts returned (trained, non-degraded serving)
+}
+
+func (s *serveStats) record(lat time.Duration) {
+	s.mu.Lock()
+	s.lats = append(s.lats, lat)
+	s.mu.Unlock()
+}
+
+// sorted returns the recorded latencies in ascending order.
+func (s *serveStats) sorted() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Slice(s.lats, func(i, j int) bool { return s.lats[i] < s.lats[j] })
+	return s.lats
+}
+
+// benchLine renders the scrape phase as one `go test -bench`-style result
+// line: ns/op is the mean latency, the percentile tail rides along as
+// custom units, pts/s is delivered point throughput (requests × batch) and
+// shed-pct the fraction of open-loop arrivals that were shed (429) or
+// skipped while catching up. Call sorted first.
+func (s *serveStats) benchLine(window time.Duration, batch int) string {
+	var sum time.Duration
+	for _, l := range s.lats {
+		sum += l
+	}
+	n := len(s.lats)
+	mean := float64(sum.Nanoseconds()) / float64(n)
+	offered := float64(s.sent.Load() + s.shed.Load())
+	shedPct := 0.0
+	if offered > 0 {
+		shedPct = 100 * float64(s.shed.Load()) / offered
+	}
+	return fmt.Sprintf("BenchmarkServe/points-1 \t%8d\t%12.0f ns/op\t%12d p50-ns\t%12d p99-ns\t%12d p999-ns\t%12.2f pts/s\t%12.2f shed-pct",
+		n, mean,
+		percentile(s.lats, 0.50).Nanoseconds(),
+		percentile(s.lats, 0.99).Nanoseconds(),
+		percentile(s.lats, 0.999).Nanoseconds(),
+		float64(n*batch)/window.Seconds(),
+		shedPct)
+}
+
+// percentile returns the nearest-rank q-quantile (0 < q <= 1) of an
+// ascending-sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeSeries drives one series on an absolute open-loop schedule: arrival
+// k is due at epoch+k*tick regardless of how long earlier requests took.
+// Latency is measured from the scheduled arrival, so time spent queued
+// behind a slow server counts against the distribution. When the worker
+// falls more than one tick behind, the skipped arrivals are counted as shed
+// rather than silently compressed into a slower request rate.
+func scrapeSeries(ctx context.Context, c *service.Client, name string, vals []float64, epoch, measureFrom, deadline time.Time, tick time.Duration, batch int, st *serveStats) {
+	pts := make([]service.Point, batch)
+	next := epoch
+	for k := 0; ; k++ {
+		if !next.Before(deadline) {
+			return
+		}
+		now := time.Now()
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		} else if behind := now.Sub(next); behind > tick {
+			skip := int(behind / tick)
+			if next.After(measureFrom) {
+				st.shed.Add(int64(skip))
+			}
+			next = next.Add(time.Duration(skip) * tick)
+		}
+		sched := next
+		for j := range pts {
+			pts[j].Value = vals[(k*batch+j)%len(vals)]
+		}
+		resp, err := c.Append(ctx, name, pts)
+		measured := sched.After(measureFrom)
+		switch {
+		case err == nil:
+			if measured {
+				st.sent.Add(1)
+				st.record(time.Since(sched))
+				st.verdicts.Add(int64(len(resp.Verdicts)))
+			}
+		case isShed(err):
+			if measured {
+				st.shed.Add(1)
+			}
+		default:
+			if measured {
+				st.errors.Add(1)
+			}
+		}
+		next = next.Add(tick)
+	}
+}
+
+// isShed reports a 429 admission shed — expected under deliberate overload,
+// accounted separately from hard failures.
+func isShed(err error) bool {
+	var apiErr *service.APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests
+}
+
+// ingestPhase streams total points across the series through /v1/ingest in
+// round-robin 64-point frames and returns how many were appended and the
+// wall time from first frame to stream close (which covers the final
+// flush), i.e. trained end-to-end scoring throughput.
+func ingestPhase(ctx context.Context, c *service.Client, names []string, conts [][]float64, total int) (int, time.Duration, error) {
+	st, err := c.StreamPoints(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	const frame = 64
+	off := make([]int, len(names))
+	start := time.Now()
+	sent := 0
+	for i := 0; sent < total; i = (i + 1) % len(names) {
+		vals := conts[i]
+		lo := off[i] % len(vals)
+		hi := lo + frame
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		if err := st.Send(names[i], vals[lo:hi]); err != nil {
+			return 0, 0, err
+		}
+		off[i] += hi - lo
+		sent += hi - lo
+	}
+	sum, err := st.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	if sum.Appended != sent {
+		return 0, 0, fmt.Errorf("ingest stream appended %d of %d points", sum.Appended, sent)
+	}
+	return sent, elapsed, nil
+}
+
+// fatal prints the error and exits 1 — setup failures and gate failures
+// alike fail the invoking make/CI step.
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package main
+
+// The emitted lines are a wire format: cmd/benchjson parses them with the
+// same field rules as `go test -bench` output, so the shape (Benchmark
+// prefix, integer iteration count, value-unit pairs including ns/op) is
+// pinned here against drift.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 1000)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Microsecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+		{1.0, 1000 * time.Microsecond},
+	} {
+		if got := percentile(lats, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile([]time.Duration{7 * time.Millisecond}, 0.999); got != 7*time.Millisecond {
+		t.Errorf("single-sample p999 = %v, want 7ms", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestBenchLineShape(t *testing.T) {
+	st := &serveStats{lats: []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 40 * time.Millisecond,
+	}}
+	st.sent.Store(4)
+	st.shed.Store(1)
+	line := st.benchLine(10*time.Second, 1)
+
+	fields := strings.Fields(line)
+	if !strings.HasPrefix(fields[0], "BenchmarkServe/points") {
+		t.Fatalf("line %q does not start with BenchmarkServe/points", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters != 4 {
+		t.Fatalf("iteration field = %q, want 4: %v", fields[1], err)
+	}
+	// The tail must be value-unit pairs, exactly how benchjson (and
+	// `go test -bench` consumers generally) read it.
+	units := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			t.Fatalf("field %d (%q) is not a value: %v", i, fields[i], err)
+		}
+		units[fields[i+1]] = v
+	}
+	for _, u := range []string{"ns/op", "p50-ns", "p99-ns", "p999-ns", "pts/s", "shed-pct"} {
+		if _, ok := units[u]; !ok {
+			t.Errorf("line %q is missing unit %s", line, u)
+		}
+	}
+	if units["p99-ns"] != float64(40*time.Millisecond) {
+		t.Errorf("p99-ns = %v, want 4e7 (nearest rank of 4 samples)", units["p99-ns"])
+	}
+	if units["pts/s"] != 0.4 {
+		t.Errorf("pts/s = %v, want 0.4 (4 delivered over 10s)", units["pts/s"])
+	}
+	if want := 100.0 / 5.0; units["shed-pct"] != want {
+		t.Errorf("shed-pct = %v, want %v (1 shed of 5 offered)", units["shed-pct"], want)
+	}
+}

@@ -26,6 +26,12 @@ type Monitor struct {
 	points int
 	filter *DurationFilter
 
+	// StepBatch scratch, grown on demand and reused across batches: a
+	// row-major feature matrix (batch × detectors) and a probability
+	// buffer. Never serialized; contents are dead between calls.
+	rowsBuf []float64
+	probBuf []float64
+
 	// Detector sandboxing: a configuration that panics is permanently
 	// degraded — its feature becomes 0 ("no evidence") and it is never
 	// stepped again — so one faulty configuration cannot take down the
@@ -162,7 +168,52 @@ func (m *Monitor) Step(v float64) Verdict {
 		m.row[j] = m.stepDetector(j, d, v)
 	}
 	m.points++
-	p := m.model.Prob(m.row)
+	return m.finalize(m.model.Prob(m.row))
+}
+
+// StepBatch consumes a batch of incoming points and appends one verdict per
+// point to out, returning the extended slice. It is the batched form of
+// Step: detectors are stepped per point (with the same panic sandboxing and
+// mid-batch degradation semantics), but the forest runs once over the whole
+// batch via ProbRowsInto instead of once per point. The verdict sequence is
+// bit-identical to calling Step on each value in order — detector stepping
+// never depends on forest output, and the duration filter still advances
+// point by point.
+func (m *Monitor) StepBatch(values []float64, out []Verdict) []Verdict {
+	n := len(values)
+	if n == 0 {
+		return out
+	}
+	d := len(m.dets)
+	if need := n * d; cap(m.rowsBuf) < need {
+		m.rowsBuf = make([]float64, need)
+	}
+	rows := m.rowsBuf[:n*d]
+	for k, v := range values {
+		row := rows[k*d : (k+1)*d]
+		for j, det := range m.dets {
+			if m.dead[j] {
+				row[j] = 0
+				continue
+			}
+			row[j] = m.stepDetector(j, det, v)
+		}
+		m.points++
+	}
+	if cap(m.probBuf) < n {
+		m.probBuf = make([]float64, n)
+	}
+	probs := m.probBuf[:n]
+	m.model.ProbRowsInto(rows, d, probs)
+	for _, p := range probs {
+		out = append(out, m.finalize(p))
+	}
+	return out
+}
+
+// finalize turns a vote fraction into a Verdict, applying the cThld and the
+// optional duration filter.
+func (m *Monitor) finalize(p float64) Verdict {
 	verdict := Verdict{Probability: p, Anomalous: p >= m.cthld, CThld: m.cthld, Decided: 1}
 	if m.filter != nil {
 		decisions := m.filter.Step(verdict.Anomalous)

@@ -123,12 +123,15 @@ func (d *HoltWinters) Clone() Detector {
 	return &c
 }
 
-// Clone implements Cloner. Only the history ring is streaming state; the
-// remaining slices are per-Step scratch fully overwritten before use, so the
-// clone gets fresh zeroed buffers.
+// Clone implements Cloner. The history ring and the warm-started power
+// iteration direction (v1, warm) are streaming state; the remaining slices
+// are per-Step scratch fully overwritten before use, so the clone gets fresh
+// zeroed buffers.
 func (d *SVDDetector) Clone() Detector {
 	c := NewSVD(d.rows, d.cols)
 	c.hist = cloneRing(d.hist)
+	copy(c.v1, d.v1)
+	c.warm = d.warm
 	return c
 }
 

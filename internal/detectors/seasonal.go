@@ -112,9 +112,10 @@ func (d *HistoricalMAD) Step(v float64) (float64, bool) {
 	if !hist.full {
 		return 0, false
 	}
+	// The scratch buffer is an owned copy of the ring, refilled every step,
+	// so the in-place median/MAD (which scrambles it) is free to reorder.
 	d.scratch = hist.values(d.scratch[:0])
-	med := timeseries.Median(d.scratch)
-	mad := timeseries.MAD(d.scratch)
+	med, mad := timeseries.MedianMADInPlace(d.scratch)
 	return math.Abs(v-med) / (mad + eps), true
 }
 
@@ -222,15 +223,16 @@ func (d *TSDMAD) Step(v float64) (float64, bool) {
 	if !hist.full {
 		return 0, false
 	}
+	// Scratch is refilled from the rings before each use, so the in-place
+	// median/MAD (which scrambles it) never sees stale data.
 	d.scratch = hist.values(d.scratch[:0])
-	seasonal := timeseries.Median(d.scratch)
+	seasonal := timeseries.MedianInPlace(d.scratch)
 	r := v - seasonal
 	ready := d.resid.full
 	sev := 0.0
 	if ready {
 		d.scratch = d.resid.values(d.scratch[:0])
-		trend := timeseries.Median(d.scratch)
-		spread := timeseries.MAD(d.scratch)
+		trend, spread := timeseries.MedianMADInPlace(d.scratch)
 		sev = math.Abs(r-trend) / (spread + eps)
 	}
 	d.resid.push(r)

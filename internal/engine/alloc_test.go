@@ -1,0 +1,71 @@
+package engine
+
+// Allocation regression gates for the ingest hot path. The serving claim
+// rests on Append staying allocation-free per point: feature rows, verdict
+// buffers, WAL ops, and scoring scratch are all pooled or reused, so any
+// new per-point allocation is a regression that should fail go test, not
+// only show up in benchmarks.
+//
+// AllocsPerRun's result is the integer mean over many runs, so the rare
+// amortized slice growth of the append-only series arrays (a handful of
+// doublings across hundreds of runs) rounds to zero, while a real per-point
+// allocation reads >= 1.
+
+import (
+	"context"
+	"testing"
+)
+
+func TestAppendUntrainedZeroAllocs(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.Create("pv", SeriesConfig{IntervalSeconds: 60, Start: testStart}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pts := []Point{{Value: 1}}
+	var vbuf []Verdict
+	// Warm-up establishes slice capacity and the admission fast path.
+	for i := 0; i < 64; i++ {
+		if _, err := e.Append(ctx, "pv", pts, vbuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := e.Append(ctx, "pv", pts, vbuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("untrained Append allocates %.1f objects per batch, want 0", allocs)
+	}
+}
+
+func TestAppendTrainedZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	e, rest, _ := trainableSeries(t, 9)
+	ctx := context.Background()
+	// The verdict buffer is recycled from the result like the service layer's
+	// sync.Pool does; a fresh nil buffer per call would cost one allocation.
+	vbuf := make([]Verdict, 0, 4)
+	pts := make([]Point, 1)
+	next := 0
+	step := func() {
+		pts[0].Value = rest[next%len(rest)]
+		res, err := e.Append(ctx, "pv", pts, vbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vbuf = res.Verdicts
+		next++
+	}
+	// Warm-up grows the monitor's batch scratch and the alarm ring.
+	for i := 0; i < 32; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(300, step)
+	if allocs != 0 {
+		t.Fatalf("trained Append allocates %.1f objects per batch, want 0", allocs)
+	}
+}

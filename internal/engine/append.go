@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -89,11 +90,18 @@ func (e *Engine) Append(ctx context.Context, name string, pts []Point, vbuf []Ve
 	if m == nil {
 		return AppendResult{}, notFound(name)
 	}
-	release, err := e.admit(sh, len(pts))
+	tok, err := e.admit(sh, len(pts))
 	if err != nil {
 		return AppendResult{}, err
 	}
-	defer release()
+	defer tok.release()
+	return e.appendSeries(ctx, m, pts, vbuf)
+}
+
+// appendSeries is Append after lookup and admission: the per-series locked
+// ingest body shared by Append and AppendBulk. The caller has already
+// reserved len(pts) against the shard's in-flight budget.
+func (e *Engine) appendSeries(ctx context.Context, m *managed, pts []Point, vbuf []Verdict) (AppendResult, error) {
 	vbuf = vbuf[:0]
 
 	m.mu.Lock()
@@ -113,45 +121,54 @@ func (e *Engine) Append(ctx context.Context, name string, pts []Point, vbuf []Ve
 		}
 	}
 
-	alarmsRaised := 0
-	for i, p := range pts {
-		idx := base + i
+	for _, p := range pts {
 		m.series.Append(p.Value)
 		m.labels = append(m.labels, false)
-		if m.monitor == nil {
-			continue
-		}
-		if m.degraded {
-			// Threshold-only verdict: the monitor is not stepped — the value
-			// is parked in pending and replayed through it at recovery, so
-			// the model converges with a run that never degraded.
+	}
+	alarmsRaised := 0
+	switch {
+	case m.monitor == nil:
+	case m.degraded:
+		// Threshold-only verdicts: the monitor is not stepped — values are
+		// parked in pending and replayed through it at recovery, so the
+		// model converges with a run that never degraded. Degraded state
+		// cannot flip mid-batch (enterDegraded runs only after this loop),
+		// so the batch is wholly degraded or wholly healthy.
+		for i, p := range pts {
 			prob := m.scorer.score(p.Value)
 			vbuf = append(vbuf, Verdict{
-				Index:       idx,
+				Index:       base + i,
 				Probability: prob,
 				Anomalous:   prob >= m.degradedCThld,
 				Degraded:    true,
 			})
 			m.pending = append(m.pending, p.Value)
-			continue
 		}
-		v := m.monitor.Step(p.Value)
-		vbuf = append(vbuf, Verdict{Index: idx, Probability: v.Probability, Anomalous: v.Anomalous})
-		if v.Anomalous {
-			alarmsRaised++
-			m.alarms.push(Alarm{
-				Time:        m.series.TimeAt(idx),
-				Value:       p.Value,
-				Probability: v.Probability,
-				CThld:       v.CThld,
-			})
-		}
-		if m.incident != nil {
-			// Observe only folds state and enqueues on the async pipeline —
-			// it cannot block on delivery. The one error surface is a
-			// saturated queue, which the pipeline counts and we log.
-			if err := m.incident.Observe(context.Background(), m.series.TimeAt(idx), v.Anomalous, v.Probability); err != nil {
-				e.log.Warn("incident notification not queued", "series", m.name, "err", err)
+	default:
+		// Batched scoring: the just-appended tail of the series is scored
+		// with one monitor call — one forest inference for the whole batch
+		// instead of one per point — into a per-series reusable verdict
+		// buffer. Bit-identical to stepping each point individually.
+		m.vbatch = m.monitor.StepBatch(m.series.Values[base:m.series.Len()], m.vbatch[:0])
+		for i, v := range m.vbatch {
+			idx := base + i
+			vbuf = append(vbuf, Verdict{Index: idx, Probability: v.Probability, Anomalous: v.Anomalous})
+			if v.Anomalous {
+				alarmsRaised++
+				m.alarms.push(Alarm{
+					Time:        m.series.TimeAt(idx),
+					Value:       pts[i].Value,
+					Probability: v.Probability,
+					CThld:       v.CThld,
+				})
+			}
+			if m.incident != nil {
+				// Observe only folds state and enqueues on the async pipeline —
+				// it cannot block on delivery. The one error surface is a
+				// saturated queue, which the pipeline counts and we log.
+				if err := m.incident.Observe(context.Background(), m.series.TimeAt(idx), v.Anomalous, v.Probability); err != nil {
+					e.log.Warn("incident notification not queued", "series", m.name, "err", err)
+				}
 			}
 		}
 	}
@@ -182,13 +199,17 @@ func (e *Engine) Append(ctx context.Context, name string, pts []Point, vbuf []Ve
 }
 
 // walAppend routes the batch's durable write through the background
-// writer (caller holds m.mu). The values are copied so the op is
-// self-contained regardless of later appends. Healthy path: wait up to
-// the WAL deadline, flipping the series degraded on a miss. Degraded
-// path: enqueue without waiting; a full buffer drops the batch from the
-// log (never from memory) with loss accounting.
+// writer (caller holds m.mu). The op aliases the committed range of the
+// series' value slice instead of copying it: the series is append-only, so
+// [Total-Appended, Total) is immutable once this call runs — later appends
+// either write past Total or reallocate the backing array, never touching
+// the committed range — and the channel send to the writer is the
+// happens-before edge for its reads. Healthy path: wait up to the WAL
+// deadline, flipping the series degraded on a miss. Degraded path: enqueue
+// without waiting; a full buffer drops the batch from the log (never from
+// memory) with loss accounting.
 func (e *Engine) walAppend(ctx context.Context, m *managed, res *AppendResult) {
-	values := append([]float64(nil), m.series.Values[res.Total-res.Appended:]...)
+	values := m.series.Values[res.Total-res.Appended : res.Total : res.Total]
 	if m.degraded {
 		res.Persisted = false
 		if !m.walw.enqueue(walOp{kind: opPoints, values: values}) {
@@ -200,8 +221,9 @@ func (e *Engine) walAppend(ctx context.Context, m *managed, res *AppendResult) {
 		e.counters.walBufferedPoints.Add(int64(len(values)))
 		return
 	}
-	done := make(chan error, 1)
+	done := donePool.Get().(chan error)
 	if !m.walw.enqueue(walOp{kind: opPoints, values: values, done: done}) {
+		donePool.Put(done)
 		res.Persisted = false
 		e.counters.walLostPoints.Add(int64(len(values)))
 		e.enterDegraded(m, "wal writer saturated")
@@ -211,8 +233,10 @@ func (e *Engine) walAppend(ctx context.Context, m *managed, res *AppendResult) {
 	switch {
 	case completed && err == nil:
 		// Durable before the call returns: the healthy contract.
+		donePool.Put(done)
 	case completed:
 		// The store failed fast; the writer already counted and logged it.
+		donePool.Put(done)
 		res.Persisted = false
 	default:
 		res.Persisted = false
@@ -224,6 +248,12 @@ func (e *Engine) walAppend(ctx context.Context, m *managed, res *AppendResult) {
 		}
 	}
 }
+
+// donePool recycles WAL completion channels. A channel goes back to the
+// pool only after its result was received (or it was never enqueued): a
+// channel abandoned by an await timeout still has a pending writer send and
+// is left to the garbage collector instead.
+var donePool = sync.Pool{New: func() any { return make(chan error, 1) }}
 
 // alarmRing is a bounded buffer of the most recent alarms: O(1) push with no
 // growth beyond max, unlike the slice-trim approach it replaces.

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// SeriesBatch is one series' slice of a bulk append: points destined for the
+// series' next slots, in stream order.
+type SeriesBatch struct {
+	Name   string
+	Points []Point
+}
+
+// BulkSummary reports an AppendBulk call: totals over the batches that
+// applied (on error, the prefix before the failing batch).
+type BulkSummary struct {
+	// Appended is the number of points committed.
+	Appended int
+	// Batches is how many batches fully applied.
+	Batches int
+	// Alarms is how many committed points were judged anomalous by a
+	// healthy (non-degraded) scorer.
+	Alarms int
+}
+
+// AppendBulk applies a group of batches in order with striped admission:
+// the group's point count is reserved against each touched shard's
+// in-flight budget with one atomic add per shard, instead of one admission
+// handshake per batch. It is the fan-in fast path behind streaming ingest,
+// where a single flush can carry dozens of single-series batches whose
+// per-batch admission and lookup costs would otherwise dominate.
+//
+// Semantics match a sequence of Append calls with one refinement: lookup
+// and validation run for the whole group up front, so a group whose k-th
+// batch names an unknown series (or is empty) applies batches 0..k-1 and
+// then fails — exactly the "nothing after the failing frame" contract of
+// the ingest stream. Admission is all-or-nothing for the admissible prefix:
+// an over-budget shard sheds the whole group before any mutation. A
+// mid-apply error (context cancellation, rejected timestamps) likewise
+// stops the group at the failing batch. The returned error wraps the
+// failing series' name and the underlying engine error kind.
+//
+// vbuf is a reusable verdict scratch buffer (grown as needed); the grown
+// buffer is returned for pooling. Verdicts are consumed internally — bulk
+// ingest summarizes instead of returning per-point verdicts.
+func (e *Engine) AppendBulk(ctx context.Context, batches []SeriesBatch, vbuf []Verdict) (BulkSummary, []Verdict, error) {
+	var sum BulkSummary
+	if len(batches) == 0 {
+		return sum, vbuf, invalidf("no batches")
+	}
+	if err := ctx.Err(); err != nil {
+		return sum, vbuf, err
+	}
+
+	// Resolve and validate the applicable prefix: the first empty or
+	// unknown batch bounds it, and its error is reported after the prefix
+	// applies.
+	type resolved struct {
+		m  *managed
+		sh *shard
+	}
+	rs := make([]resolved, 0, len(batches))
+	var deferred error
+	for _, b := range batches {
+		if len(b.Points) == 0 {
+			deferred = fmt.Errorf("series %q: %w", b.Name, invalidf("no points"))
+			break
+		}
+		sh := e.shardFor(b.Name)
+		sh.mu.RLock()
+		m := sh.series[b.Name]
+		sh.mu.RUnlock()
+		if m == nil {
+			deferred = fmt.Errorf("series %q: %w", b.Name, notFound(b.Name))
+			break
+		}
+		rs = append(rs, resolved{m: m, sh: sh})
+	}
+
+	// Striped admission: one reservation per distinct shard for the whole
+	// prefix. Shed the group whole if any shard is over budget.
+	tokens := make([]admitToken, 0, 8)
+	admitted := make(map[*shard]int, 8)
+	for i := range rs {
+		admitted[rs[i].sh] += len(batches[i].Points)
+	}
+	for sh, n := range admitted {
+		tok, err := e.admit(sh, n)
+		if err != nil {
+			for _, t := range tokens {
+				t.release()
+			}
+			return sum, vbuf, err
+		}
+		tokens = append(tokens, tok)
+	}
+	defer func() {
+		for _, t := range tokens {
+			t.release()
+		}
+	}()
+
+	for i := range rs {
+		res, err := e.appendSeries(ctx, rs[i].m, batches[i].Points, vbuf)
+		if len(res.Verdicts) > 0 {
+			vbuf = res.Verdicts
+		}
+		if err != nil {
+			return sum, vbuf, fmt.Errorf("series %q: %w", batches[i].Name, err)
+		}
+		sum.Appended += res.Appended
+		sum.Batches++
+		for _, v := range res.Verdicts {
+			if v.Anomalous && !v.Degraded {
+				sum.Alarms++
+			}
+		}
+	}
+	return sum, vbuf, deferred
+}

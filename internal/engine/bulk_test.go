@@ -1,0 +1,98 @@
+package engine
+
+// AppendBulk semantics: in-order prefix application with deferred
+// validation errors (the ingest stream contract), striped all-or-nothing
+// admission, and summary accounting.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"testing"
+)
+
+func bulkEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestAppendBulkAppliesInOrder(t *testing.T) {
+	e := newTestEngine(t)
+	for _, name := range []string{"a", "b"} {
+		if err := e.Create(name, SeriesConfig{IntervalSeconds: 60, Start: testStart}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batches := []SeriesBatch{
+		{Name: "a", Points: []Point{{Value: 1}, {Value: 2}}},
+		{Name: "b", Points: []Point{{Value: 3}}},
+		{Name: "a", Points: []Point{{Value: 4}}},
+	}
+	sum, _, err := e.AppendBulk(context.Background(), batches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Appended != 4 || sum.Batches != 3 {
+		t.Fatalf("summary = %+v, want 4 points / 3 batches", sum)
+	}
+	st, err := e.Status(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points != 3 {
+		t.Fatalf("series a has %d points, want 3 (duplicate-series batches must chain)", st.Points)
+	}
+}
+
+func TestAppendBulkUnknownSeriesAppliesPrefix(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.Create("a", SeriesConfig{IntervalSeconds: 60, Start: testStart}); err != nil {
+		t.Fatal(err)
+	}
+	batches := []SeriesBatch{
+		{Name: "a", Points: []Point{{Value: 1}}},
+		{Name: "ghost", Points: []Point{{Value: 2}}},
+		{Name: "a", Points: []Point{{Value: 3}}},
+	}
+	sum, _, err := e.AppendBulk(context.Background(), batches, nil)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if sum.Appended != 1 || sum.Batches != 1 {
+		t.Fatalf("summary = %+v, want exactly the prefix before the unknown series", sum)
+	}
+	st, _ := e.Status(context.Background(), "a")
+	if st.Points != 1 {
+		t.Fatalf("series a has %d points, want 1 (nothing after the failing batch)", st.Points)
+	}
+}
+
+func TestAppendBulkShedsGroupWhole(t *testing.T) {
+	e := bulkEngine(t, Config{IngestInflight: 3})
+	if err := e.Create("a", SeriesConfig{IntervalSeconds: 60, Start: testStart}); err != nil {
+		t.Fatal(err)
+	}
+	batches := []SeriesBatch{
+		{Name: "a", Points: []Point{{Value: 1}, {Value: 2}}},
+		{Name: "a", Points: []Point{{Value: 3}, {Value: 4}}},
+	}
+	sum, _, err := e.AppendBulk(context.Background(), batches, nil)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if sum.Appended != 0 {
+		t.Fatalf("shed group committed %d points, want 0 (admission is all-or-nothing)", sum.Appended)
+	}
+	st, _ := e.Status(context.Background(), "a")
+	if st.Points != 0 {
+		t.Fatalf("series a has %d points after shed, want 0", st.Points)
+	}
+	// The reservation must be fully returned: a fitting group now succeeds.
+	if _, _, err := e.AppendBulk(context.Background(), batches[:1], nil); err != nil {
+		t.Fatalf("append after shed: %v (leaked admission budget?)", err)
+	}
+}

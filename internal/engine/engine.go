@@ -283,6 +283,7 @@ type managed struct {
 	pref          stats.Preference
 	trees         int
 	monitor       *core.Monitor
+	vbatch        []core.Verdict // reusable StepBatch output (guarded by mu)
 	alarms        alarmRing
 	trained       time.Time
 	pointsAtTrain int

@@ -61,20 +61,34 @@ func (e *Engine) supervise(op, series string, fn func() error) error {
 	}
 }
 
+// admitToken is a reservation against one shard's in-flight budget. It is a
+// value (not a closure) so the per-append admission handshake stays off the
+// heap; release must be called exactly once when the append leaves the
+// engine. The zero token releases nothing.
+type admitToken struct {
+	sh *shard
+	n  int64
+}
+
+func (t admitToken) release() {
+	if t.sh != nil {
+		t.sh.inflight.Add(-t.n)
+	}
+}
+
 // admit reserves n points of the shard's in-flight budget, or sheds the
-// batch with an ErrOverloaded-wrapped error. The release function must be
-// called exactly once when the append leaves the engine.
-func (e *Engine) admit(sh *shard, n int) (release func(), err error) {
+// batch with an ErrOverloaded-wrapped error.
+func (e *Engine) admit(sh *shard, n int) (admitToken, error) {
 	if e.ingestInflight <= 0 {
-		return func() {}, nil
+		return admitToken{}, nil
 	}
 	if cur := sh.inflight.Add(int64(n)); cur > e.ingestInflight {
 		sh.inflight.Add(int64(-n))
 		e.counters.ingestSheds.Add(1)
-		return nil, overloadedf("ingest budget exhausted: %d points in flight, batch of %d over the %d cap",
+		return admitToken{}, overloadedf("ingest budget exhausted: %d points in flight, batch of %d over the %d cap",
 			cur-int64(n), n, e.ingestInflight)
 	}
-	return func() { sh.inflight.Add(int64(-n)) }, nil
+	return admitToken{sh: sh, n: int64(n)}, nil
 }
 
 // enterDegraded flips a series into degraded serving (caller holds m.mu):

@@ -83,6 +83,34 @@ func TestProbAllSerialAndParallelAgree(t *testing.T) {
 	check(small) // serial path
 }
 
+// TestProbRowsIntoMatchesProb pins the batched row-major path to the
+// per-row one: classifying a packed batch must be bit-identical to calling
+// Prob on each row, and must not allocate.
+func TestProbRowsIntoMatchesProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cols, labels := makeBlobs(600, 7, rng)
+	for _, mv := range []bool{false, true} {
+		f := Train(cols, labels, Config{Trees: 13, Seed: 5, MajorityVote: mv})
+		d := len(cols)
+		for _, n := range []int{1, 2, 17, 64} {
+			rows := make([]float64, n*d)
+			for i := range rows {
+				rows[i] = 6 * rng.NormFloat64()
+			}
+			out := make([]float64, n)
+			f.ProbRowsInto(rows, d, out)
+			for s := 0; s < n; s++ {
+				if want := f.Prob(rows[s*d : (s+1)*d]); out[s] != want {
+					t.Fatalf("majorityVote=%v n=%d sample %d: ProbRowsInto %v, Prob %v", mv, n, s, out[s], want)
+				}
+			}
+			if allocs := testing.AllocsPerRun(50, func() { f.ProbRowsInto(rows, d, out) }); allocs != 0 {
+				t.Fatalf("ProbRowsInto allocates %.1f objects per call, want 0", allocs)
+			}
+		}
+	}
+}
+
 // TestProbZeroAllocs is the acceptance criterion for the flattened hot
 // path: classifying one dense row of the paper-scale 133-configuration
 // feature vector allocates nothing.

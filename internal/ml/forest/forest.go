@@ -179,6 +179,38 @@ func (f *Forest) Prob(row []float64) float64 {
 	return f.probCodes(codes)
 }
 
+// ProbRowsInto classifies n = len(rows)/d samples packed row-major into
+// rows (sample s occupies rows[s*d : (s+1)*d]) and writes their anomaly
+// probabilities into out[:n]. It is the batched form of Prob — one call per
+// ingest batch instead of one per point — and is bit-identical to calling
+// Prob on each row in order. Zero allocations for d ≤ 256.
+func (f *Forest) ProbRowsInto(rows []float64, d int, out []float64) {
+	if d != f.binner.NumFeatures() {
+		panic(fmt.Sprintf("forest: rows have %d features, want %d", d, f.binner.NumFeatures()))
+	}
+	n := len(rows) / d
+	if len(rows) != n*d {
+		panic(fmt.Sprintf("forest: %d row values not a multiple of %d features", len(rows), d))
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("forest: out holds %d probabilities, need %d", len(out), n))
+	}
+	var buf [256]uint8
+	var codes []uint8
+	if d <= len(buf) {
+		codes = buf[:d]
+	} else {
+		codes = make([]uint8, d)
+	}
+	for s := 0; s < n; s++ {
+		row := rows[s*d : (s+1)*d]
+		for j, v := range row {
+			codes[j] = f.binner.Code(j, v)
+		}
+		out[s] = f.probCodes(codes)
+	}
+}
+
 // probAllSerialThreshold is the sample count below which ProbAll stays on
 // the calling goroutine: a sample costs roughly trees × depth node visits
 // (~10⁴ ns), so spawning workers for a small replay window (the common

@@ -63,6 +63,14 @@ type IngestSummary struct {
 	Alarms int `json:"alarms"`
 }
 
+// Flush-group bounds for frame coalescing: a group never exceeds
+// maxIngestGroupBatches points frames or maxIngestGroupPoints decoded points
+// (one maximum-size frame's worth), keeping the arena memory bounded.
+const (
+	maxIngestGroupBatches = 64
+	maxIngestGroupPoints  = 1 << 20
+)
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	br := bufio.NewReaderSize(r.Body, 64<<10)
 	names := make(map[uint64]string)
@@ -71,16 +79,51 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer s.vbufs.Put(bufp)
 	var (
 		payload []byte
-		pts     []engine.Point
+		arena   []engine.Point       // decoded points of the pending group
+		group   []engine.SeriesBatch // pending batches, aliasing arena
 	)
+
+	// flush applies the pending group through the engine's bulk path — one
+	// striped admission handshake and one deadline per group instead of per
+	// frame. Pipelined senders coalesce up to maxIngestGroupBatches frames
+	// per flush; a trickling sender flushes after every frame (the Buffered
+	// check below), so its per-point latency is unchanged. On failure it
+	// writes the error response (everything before the failing batch is
+	// committed and summarized) and reports false.
+	flush := func() bool {
+		if len(group) == 0 {
+			return true
+		}
+		ctx, cancel := opCtx(r, s.timeouts.Append)
+		bsum, vbuf, err := s.eng.AppendBulk(ctx, group, *bufp)
+		cancel()
+		*bufp = vbuf
+		sum.Appended += bsum.Appended
+		sum.Batches += bsum.Batches
+		sum.Alarms += bsum.Alarms
+		group = group[:0]
+		arena = arena[:0]
+		if err != nil {
+			s.failIngest(w, sum, statusOf(err), err)
+			return false
+		}
+		return true
+	}
+	// abort reports a malformed stream: pending complete frames still apply
+	// first, so the summary reflects everything committed.
+	abort := func(code int, err error) {
+		if flush() {
+			s.failIngest(w, sum, code, err)
+		}
+	}
+
 	for {
 		n, err := binary.ReadUvarint(br)
 		if err == io.EOF {
 			break // clean end of stream
 		}
 		if err != nil || n == 0 || n > maxIngestFrame {
-			s.failIngest(w, sum, http.StatusBadRequest,
-				fmt.Errorf("bad ingest frame length (%v)", err))
+			abort(http.StatusBadRequest, fmt.Errorf("bad ingest frame length (%v)", err))
 			return
 		}
 		if uint64(cap(payload)) < n {
@@ -88,73 +131,64 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		payload = payload[:n]
 		if _, err := io.ReadFull(br, payload); err != nil {
-			s.failIngest(w, sum, http.StatusBadRequest,
-				fmt.Errorf("truncated ingest frame: %w", err))
+			abort(http.StatusBadRequest, fmt.Errorf("truncated ingest frame: %w", err))
 			return
 		}
 		op := payload[0]
 		id, vn := binary.Uvarint(payload[1:])
 		if vn <= 0 {
-			s.failIngest(w, sum, http.StatusBadRequest, errors.New("bad ingest stream id"))
+			abort(http.StatusBadRequest, errors.New("bad ingest stream id"))
 			return
 		}
 		body := payload[1+vn:]
 		switch op {
 		case ingestOpBind:
 			if len(body) == 0 {
-				s.failIngest(w, sum, http.StatusBadRequest, errors.New("bind frame without a name"))
+				abort(http.StatusBadRequest, errors.New("bind frame without a name"))
 				return
 			}
 			names[id] = string(body)
 		case ingestOpPoints:
 			name, ok := names[id]
 			if !ok {
-				s.failIngest(w, sum, http.StatusBadRequest,
-					fmt.Errorf("points frame for unbound stream id %d", id))
+				abort(http.StatusBadRequest, fmt.Errorf("points frame for unbound stream id %d", id))
 				return
 			}
 			count, cn := binary.Uvarint(body)
 			if cn <= 0 || uint64(len(body)-cn) != count*8 {
-				s.failIngest(w, sum, http.StatusBadRequest,
+				abort(http.StatusBadRequest,
 					fmt.Errorf("points frame for %q: count %d does not match payload", name, count))
 				return
 			}
+			if len(group) >= maxIngestGroupBatches || len(arena)+int(count) > maxIngestGroupPoints {
+				if !flush() {
+					return
+				}
+			}
 			body = body[cn:]
-			pts = pts[:0]
+			lo := len(arena)
 			for len(body) > 0 {
-				pts = append(pts, engine.Point{
+				arena = append(arena, engine.Point{
 					Value: math.Float64frombits(binary.LittleEndian.Uint64(body)),
 				})
 				body = body[8:]
 			}
-			res, err := s.appendBatch(r, name, pts, bufp)
-			if err != nil {
-				s.failIngest(w, sum, statusOf(err), fmt.Errorf("series %q: %w", name, err))
-				return
-			}
-			sum.Appended += res.Appended
-			sum.Batches++
-			for _, v := range res.Verdicts {
-				if v.Anomalous && !v.Degraded {
-					sum.Alarms++
-				}
-			}
-			*bufp = res.Verdicts
+			group = append(group, engine.SeriesBatch{Name: name, Points: arena[lo:]})
 		default:
-			s.failIngest(w, sum, http.StatusBadRequest,
-				fmt.Errorf("unknown ingest op %#x", op))
+			abort(http.StatusBadRequest, fmt.Errorf("unknown ingest op %#x", op))
+			return
+		}
+		// Nothing more buffered: the next read would block on the network,
+		// so apply what we have instead of sitting on committed-but-unacked
+		// points while the sender trickles.
+		if br.Buffered() == 0 && !flush() {
 			return
 		}
 	}
+	if !flush() {
+		return
+	}
 	writeJSON(w, http.StatusOK, sum)
-}
-
-// appendBatch applies one points frame under the same per-batch deadline as
-// the JSON endpoint.
-func (s *Server) appendBatch(r *http.Request, name string, pts []engine.Point, bufp *[]engine.Verdict) (engine.AppendResult, error) {
-	ctx, cancel := opCtx(r, s.timeouts.Append)
-	defer cancel()
-	return s.eng.Append(ctx, name, pts, *bufp)
 }
 
 // failIngest reports a mid-stream failure: the uniform error body plus the

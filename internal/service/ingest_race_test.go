@@ -1,0 +1,116 @@
+package service
+
+// Streaming ingest racing concurrent retrains. The engine's snapshot → fit →
+// replay+swap protocol promises exactly one verdict per appended point even
+// when the monitor is swapped mid-stream; this drives that seam over the
+// binary /v1/ingest path while synchronous retrains fire from another
+// goroutine. Run under -race via make engine-race, where the interleaving
+// between the ingest flush groups and the swap is varied across -count runs.
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"opprentice/internal/kpigen"
+)
+
+func TestIngestStreamConcurrentRetrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	ts := newTestServer(t)
+	createSeries(t, ts, "pv", 3600)
+
+	// Bootstrap 9 labeled weeks and train once, as in TestFullLifecycle.
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = 9
+	d := kpigen.Generate(p, 52)
+	c := NewClient(ts.URL, nil)
+	boot, err := c.StreamPoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.Send("pv", d.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var windows []LabelWindow
+	for _, win := range d.Labels.Windows() {
+		windows = append(windows, LabelWindow{Start: win.Start, End: win.End, Anomalous: true})
+	}
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/series/pv/labels", LabelsRequest{Windows: windows}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("labels: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/series/pv/train", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d %s", resp.StatusCode, body)
+	}
+
+	// Stream a continuation in small batches while retrains fire
+	// concurrently: every batch lands either on the old monitor, the new
+	// one, or in the mid-train replay window — and must be verdicted
+	// exactly once either way.
+	cont := kpigen.Generate(p, 53).Series.Values[:240]
+	retrains := make(chan error, 1)
+	go func() {
+		defer close(retrains)
+		for i := 0; i < 3; i++ {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/series/pv/train", nil)
+			if err != nil {
+				retrains <- err
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				retrains <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				retrains <- &APIError{StatusCode: resp.StatusCode, Message: "concurrent retrain failed"}
+				return
+			}
+		}
+	}()
+
+	st, err := c.StreamPoints(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, batches := 0, 0
+	for lo := 0; lo < len(cont); lo += 8 {
+		hi := lo + 8
+		if hi > len(cont) {
+			hi = len(cont)
+		}
+		if err := st.Send("pv", cont[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		sent += hi - lo
+		batches++
+	}
+	sum, err := st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-retrains; err != nil {
+		t.Fatal(err)
+	}
+	if sum.Appended != sent || sum.Batches != batches {
+		t.Fatalf("summary = %+v, want %d points / %d batches: a mid-swap batch was lost or double-applied", sum, sent, batches)
+	}
+	status, err := c.Status(context.Background(), "pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.Series.Len() + sent; status.Points != want {
+		t.Fatalf("series has %d points, want %d", status.Points, want)
+	}
+	if !status.Trained {
+		t.Fatal("series lost its trained monitor across concurrent retrains")
+	}
+}

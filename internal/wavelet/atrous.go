@@ -19,11 +19,12 @@ import "fmt"
 // MRA is an incremental à-trous Haar multi-resolution analysis.
 // Create it with NewMRA; the zero value is unusable.
 type MRA struct {
-	levels int
-	rings  [][]float64 // rings[j] holds the lag buffer of A_j (lag 2^j)
-	pos    []int
-	filled []int
-	n      int // points consumed
+	levels  int
+	rings   [][]float64 // rings[j] holds the lag buffer of A_j (lag 2^j)
+	pos     []int
+	filled  []int
+	n       int       // points consumed
+	details []float64 // reused Push output buffer
 }
 
 // NewMRA returns an analysis with the given number of detail levels
@@ -56,8 +57,14 @@ func (m *MRA) WarmUp() int { return 1<<m.levels - 1 }
 // ready is false until the warm-up window has been seen; during warm-up the
 // transform substitutes the current value for missing lagged ones, so the
 // outputs are defined but not yet trustworthy.
+//
+// The returned details slice is owned by the analysis and overwritten by the
+// next Push; callers that retain coefficients across points must copy them.
 func (m *MRA) Push(x float64) (details []float64, approx float64, ready bool) {
-	details = make([]float64, m.levels)
+	if m.details == nil {
+		m.details = make([]float64, m.levels)
+	}
+	details = m.details
 	a := x // A_{j-1}[t], starting at A_0 = x
 	for j := 0; j < m.levels; j++ {
 		ring := m.rings[j]
