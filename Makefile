@@ -39,15 +39,17 @@ sim:
 sim-race:
 	$(GO) test -race -count=1 -run 'TestSim' ./internal/simtest/
 
-# Longer scenarios (more weeks, more faults) on the same seed matrix.
+# Longer scenarios (more weeks, more faults) on the same seed matrix, plus
+# the extra regime-change seeds. The custom flag must come after the package
+# path, or go test falls back to testing the root package.
 sim-long:
-	$(GO) test -count=1 -run 'TestSim' -sim.long ./internal/simtest/
+	$(GO) test -count=1 -run 'TestSim' ./internal/simtest/ -sim.long
 
 # Per-package coverage floor for the layers the simulation is meant to keep
 # honest. The floor is deliberately below current numbers (core ~85%,
 # engine ~75%, registry ~85%) — it catches coverage collapses, not drift.
 COVER_FLOOR ?= 70.0
-COVER_PKGS  ?= internal/core internal/engine internal/registry
+COVER_PKGS  ?= internal/core internal/engine internal/registry internal/active
 
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \
@@ -100,9 +102,10 @@ bench-check: bench-json
 	$(GO) run ./cmd/benchjson -in bench_ingest.txt -check BENCH_baseline.json
 	$(GO) run ./cmd/benchjson -in bench_serve.txt -check BENCH_baseline.json
 
-# Regenerate every paper table/figure (writes results_medium.txt + HTML).
+# Regenerate every paper table/figure (writes the checked-in report under
+# internal/experiments/).
 eval:
-	$(GO) run ./cmd/evalbench -run all -scale medium -o results_medium.txt -html results_medium.html
+	$(GO) run ./cmd/evalbench -run all -scale medium -o internal/experiments/results_medium.txt -html internal/experiments/results_medium.html
 
 # Per-target fuzzing budget; CI shortens it (FUZZTIME=10s) to keep the job
 # inside its time box while still exercising the fuzz harnesses.

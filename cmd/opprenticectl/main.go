@@ -15,6 +15,8 @@
 //	opprenticectl models list                      # series with published models
 //	opprenticectl models inspect pv                # generation index + current
 //	opprenticectl models rollback pv               # serve the previous generation
+//	opprenticectl queries list                     # pending label queries, most uncertain first
+//	opprenticectl queries answer pv -window 120:135 -anomalous
 //
 // The wal subcommand works on a data directory directly (no server needed):
 //
@@ -69,6 +71,8 @@ func main() {
 		err = runAlarms(ctx, client, args[1:])
 	case "models":
 		err = runModels(ctx, client, args[1:])
+	case "queries":
+		err = runQueries(ctx, client, args[1:])
 	case "wal":
 		err = runWAL(args[1:])
 	default:
@@ -82,8 +86,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|ready|alarms|models|wal> [args]")
+	fmt.Fprintln(os.Stderr, "usage: opprenticectl [-server URL] <list|create|ingest|label|train|status|ready|alarms|models|queries|wal> [args]")
 	fmt.Fprintln(os.Stderr, "       opprenticectl models <list|inspect|rollback> [series]")
+	fmt.Fprintln(os.Stderr, "       opprenticectl queries <list [-series NAME]|answer SERIES -window S:E [-anomalous]>")
 	fmt.Fprintln(os.Stderr, "       opprenticectl wal cat -data-dir DIR [-series NAME] [-since SEGMENT]")
 }
 
@@ -320,6 +325,61 @@ func runModels(ctx context.Context, c *service.Client, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("models: unknown subcommand %q (want list|inspect|rollback)", args[0])
+	}
+}
+
+// runQueries surfaces and resolves the active-learning label queue. "list"
+// prints pending queries most-uncertain-first; "answer" turns one into a
+// durable label action, consuming it.
+func runQueries(ctx context.Context, c *service.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("queries: subcommand required (list|answer)")
+	}
+	switch args[0] {
+	case "list":
+		fs := flag.NewFlagSet("queries list", flag.ContinueOnError)
+		series := fs.String("series", "", "only this series' queries")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		qs, err := c.Queries(ctx, *series)
+		if err != nil {
+			return err
+		}
+		for _, q := range qs {
+			fmt.Printf("%s %d:%d  score=%.3f  points=%d  %s..%s\n",
+				q.Series, q.Start, q.End, q.Score, q.Points,
+				q.StartTime.Format(time.RFC3339), q.EndTime.Format(time.RFC3339))
+		}
+		fmt.Printf("%d pending queries\n", len(qs))
+		return nil
+	case "answer":
+		name, rest, err := needName(args[1:])
+		if err != nil {
+			return err
+		}
+		fs := flag.NewFlagSet("queries answer", flag.ContinueOnError)
+		window := fs.String("window", "", "query window start:end (half open), as printed by queries list")
+		anomalous := fs.Bool("anomalous", false, "label the window anomalous (default: normal)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		parts := strings.SplitN(*window, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-window must be start:end")
+		}
+		start, err1 := strconv.Atoi(parts[0])
+		end, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("-window must be numeric start:end")
+		}
+		if err := c.AnswerQuery(ctx, name, start, end, *anomalous); err != nil {
+			return err
+		}
+		fmt.Printf("answered %s %d:%d anomalous=%v\n", name, start, end, *anomalous)
+		return nil
+	default:
+		return fmt.Errorf("queries: unknown subcommand %q (want list|answer)", args[0])
 	}
 }
 

@@ -48,6 +48,10 @@ func main() {
 		walGC     = flag.Duration("wal-group-commit", 0, "how long the WAL appender holds a commit open to batch concurrent writers into one fsync (0 = commit immediately, coalescing only what is already queued)")
 		trainDL   = flag.Duration("train-deadline", 0, "training watchdog deadline per round; stalled rounds are abandoned and retried (0 = default 5m, negative = disabled)")
 		degradedR = flag.Duration("degraded-recovery", 0, "quiet period before a degraded series recovers full serving (0 = default 30s, negative = sticky until restart)")
+		queryBand = flag.Float64("query-band", 0, "uncertainty band around the live cThld within which verdicts become label-query candidates (0 = default 0.1, negative = queries disabled)")
+		queryDep  = flag.Int("query-depth", 0, "label-query queue capacity in windows per series (0 = default 8, negative = queries disabled)")
+		driftThld = flag.Float64("drift-threshold", 0, "PSI level at which a vote-distribution window counts toward drift; two consecutive arm an early retrain (0 = default 0.25, negative = drift detection disabled)")
+		driftWin  = flag.Int("drift-window", 0, "drift histogram window in points (0 = default: one day of the series' points)")
 		pprofAddr = flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled); kept off the serving listener so profiling is never exposed by default")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown budget")
 	)
@@ -66,6 +70,10 @@ func main() {
 		WALDeadline:      *walDL,
 		TrainDeadline:    *trainDL,
 		DegradedRecovery: *degradedR,
+		QueryBand:        *queryBand,
+		QueryDepth:       *queryDep,
+		DriftThreshold:   *driftThld,
+		DriftWindow:      *driftWin,
 	}
 	if *modelDir != "" {
 		models, err := modelreg.Open(modelreg.Config{Dir: *modelDir, Keep: *modelKeep})

@@ -153,6 +153,11 @@ func (e *Engine) appendSeries(ctx context.Context, m *managed, pts []Point, vbuf
 		for i, v := range m.vbatch {
 			idx := base + i
 			vbuf = append(vbuf, Verdict{Index: idx, Probability: v.Probability, Anomalous: v.Anomalous})
+			if m.active != nil {
+				// Allocation-free by contract: uncertainty sampling and the
+				// drift histogram ride every trained verdict.
+				m.active.Observe(idx, v.Probability, v.CThld)
+			}
 			if v.Anomalous {
 				alarmsRaised++
 				m.alarms.push(Alarm{
@@ -182,10 +187,25 @@ func (e *Engine) appendSeries(ctx context.Context, m *managed, pts []Point, vbuf
 		e.walAppend(ctx, m, &res)
 	}
 	// Weekly-style automatic incremental retraining (§3.2), scheduled on the
-	// background workers: ingest never blocks on a training round.
-	if m.retrainEvery > 0 && m.monitor != nil &&
-		m.series.Len()-m.pointsAtTrain >= m.retrainEvery {
-		e.scheduleRetrain(m)
+	// background workers: ingest never blocks on a training round. The drift
+	// detector arms the same trigger early — before the weekly tick — when
+	// the vote-fraction distribution has shifted against the live model's
+	// reference (see internal/active).
+	if m.retrainEvery > 0 && m.monitor != nil && !m.degraded {
+		// Both triggers hold off while degraded: the batch is buffered, not
+		// yet durable, so a retrain here could publish a model claiming
+		// points the WAL would not hold after a crash. The watermark is
+		// untouched, so the first healthy batch after recovery re-arms.
+		switch {
+		case m.series.Len()-m.pointsAtTrain >= m.retrainEvery:
+			e.scheduleRetrain(m)
+		case m.active != nil && m.active.TakeDrift():
+			if e.scheduleRetrain(m) {
+				e.counters.driftRetrains.Add(1)
+				e.log.Info("drift-triggered retrain scheduled",
+					"series", m.name, "psi", m.active.DriftScore())
+			}
+		}
 	}
 	res.Degraded = m.degraded
 	m.mu.Unlock()

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"opprentice/internal/active"
 	"opprentice/internal/alerting"
 	"opprentice/internal/core"
 	"opprentice/internal/detectors"
@@ -199,6 +200,21 @@ type Config struct {
 	// serving, automatic retrains stop, and a successful manual Train
 	// lifts the quarantine.
 	TrainFailLimit int
+
+	// Active-learning knobs (see internal/active). QueryBand is the
+	// uncertainty band around the live cThld within which a trained verdict
+	// becomes a label-query candidate (default 0.1); QueryDepth is the
+	// per-series queue capacity in windows (default 8). Negative values
+	// disable the query queue.
+	QueryBand  float64
+	QueryDepth int
+	// DriftThreshold is the PSI level at which a vote-fraction distribution
+	// window counts toward drift (default 0.25; two consecutive windows at
+	// or above it arm an early retrain). Negative disables drift detection.
+	DriftThreshold float64
+	// DriftWindow is the histogram window in points (default: one day of
+	// the series' points, floored at active.MinDriftWindow).
+	DriftWindow int
 }
 
 // Hooks are optional lifecycle callbacks for observers that need completion
@@ -240,6 +256,10 @@ type Engine struct {
 	// cacheBudget is the shared accounting for all series' feature caches;
 	// nil when caching is disabled.
 	cacheBudget *core.CacheBudget
+
+	// activeCfg templates each series' active-learning state; the per-series
+	// DriftWindow default (one day of points) is resolved at attach time.
+	activeCfg active.Config
 
 	// Resilience knobs. The deadlines are atomic nanosecond values so tests
 	// and operators can retune them at runtime (Set* methods); zero means
@@ -300,6 +320,11 @@ type managed struct {
 	publishedAt  time.Time
 	pubMu        sync.Mutex
 	publishArmed atomic.Bool
+
+	// active is the series' label-query queue and drift detector (guarded
+	// by mu; nil when both are disabled). Its Observe call rides the
+	// trained append path and must stay allocation-free.
+	active *active.State
 
 	// featCache checkpoints extraction state across training rounds so
 	// retrains extract only newly appended points (nil when caching is
@@ -437,6 +462,12 @@ func New(cfg Config) *Engine {
 		pubQ:            make(chan *managed, cfg.RetrainQueue),
 		stop:            make(chan struct{}),
 	}
+	e.activeCfg = active.Config{
+		Band:           cfg.QueryBand,
+		Depth:          cfg.QueryDepth,
+		DriftThreshold: cfg.DriftThreshold,
+		DriftWindow:    cfg.DriftWindow,
+	}
 	e.walDeadline.Store(int64(resolve(cfg.WALDeadline, 2*time.Second)))
 	e.trainDeadline.Store(int64(resolve(cfg.TrainDeadline, 5*time.Minute)))
 	e.degradedRecovery.Store(int64(resolve(cfg.DegradedRecovery, 30*time.Second)))
@@ -544,6 +575,7 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 	if e.cacheBudget != nil {
 		m.featCache = core.NewFeatureCache(e.cacheBudget)
 	}
+	e.attachActive(m)
 	if cfg.WebhookURL != "" {
 		e.attachIncident(m, cfg.WebhookURL)
 	}
@@ -586,6 +618,19 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 	}
 	e.log.Info("series created", "name", name, "interval", interval)
 	return nil
+}
+
+// attachActive builds the series' active-learning state from the engine
+// template, defaulting the drift histogram window to one day of the series'
+// points so the statistic compares like-for-like across sampling intervals.
+func (e *Engine) attachActive(m *managed) {
+	cfg := e.activeCfg
+	if cfg.DriftWindow == 0 {
+		if ppd, err := m.series.PointsPerDay(); err == nil {
+			cfg.DriftWindow = ppd
+		}
+	}
+	m.active = active.NewState(cfg)
 }
 
 // attachIncident wires a webhook URL to an incident manager whose notifier
@@ -815,6 +860,7 @@ func (e *Engine) restoreOne(ctx context.Context, name string) bool {
 	if e.cacheBudget != nil {
 		m.featCache = core.NewFeatureCache(e.cacheBudget)
 	}
+	e.attachActive(m)
 	m.series.Values = loaded.Values
 	m.labels = timeseries.Labels(loaded.Labels)
 	if meta.WebhookURL != "" {

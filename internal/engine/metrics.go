@@ -36,6 +36,10 @@ type counters struct {
 	trainRetriesRun   atomic.Int64 // watchdog-driven retrain retries
 	seriesQuarantined atomic.Int64 // series whose training was quarantined
 	workerPanics      atomic.Int64 // recovered panics in supervised workers
+
+	// Active-learning accounting (see internal/active).
+	queriesAnswered atomic.Int64 // label queries answered via AnswerQuery
+	driftRetrains   atomic.Int64 // retrains armed by the drift detector
 }
 
 // observeTraining records one training round's wall time (failed rounds
@@ -86,6 +90,11 @@ type Counters struct {
 	TrainRetries      int64
 	SeriesQuarantined int64
 	WorkerPanics      int64
+
+	// Active-learning accounting: answered label queries and retrains the
+	// drift detector armed ahead of the weekly tick.
+	QueriesAnswered int64
+	DriftRetrains   int64
 }
 
 // Counters returns the current engine-wide counters.
@@ -115,6 +124,9 @@ func (e *Engine) Counters() Counters {
 		TrainRetries:      e.counters.trainRetriesRun.Load(),
 		SeriesQuarantined: e.counters.seriesQuarantined.Load(),
 		WorkerPanics:      e.counters.workerPanics.Load(),
+
+		QueriesAnswered: e.counters.queriesAnswered.Load(),
+		DriftRetrains:   e.counters.driftRetrains.Load(),
 	}
 	if e.models != nil {
 		c.ModelChecksumFailures = e.models.Stats().ChecksumFailures
@@ -138,7 +150,12 @@ type SeriesMetrics struct {
 	Trained           bool
 	CThld             float64
 	DegradedDetectors int
-	Notify            alerting.Stats
+	// PendingQueries is the label-query queue depth; DriftScore the PSI of
+	// the last completed drift comparison window (both zero when the
+	// active-learning subsystem is disabled).
+	PendingQueries int
+	DriftScore     float64
+	Notify         alerting.Stats
 }
 
 // MetricsSnapshot returns per-series gauges sorted by name. Each series is
@@ -161,6 +178,10 @@ func (e *Engine) MetricsSnapshot() []SeriesMetrics {
 		if sm.Trained {
 			sm.CThld = m.monitor.CThld()
 			sm.DegradedDetectors = m.monitor.DegradedDetectors()
+		}
+		if m.active != nil {
+			sm.PendingQueries = m.active.Depth()
+			sm.DriftScore = m.active.DriftScore()
 		}
 		if m.pipeline != nil {
 			sm.Notify = m.pipeline.Stats()

@@ -262,6 +262,11 @@ func (e *Engine) warmSwap(m *managed) error {
 	// Close's sweep does not re-publish generation N-1 as generation N+1.
 	m.pointsAtTrain = m.series.Len()
 	m.publishedAt = art.TrainedAt
+	if m.active != nil {
+		// The monitor changed hands: queries and drift reference belong to
+		// the outgoing generation.
+		m.active.Reset()
+	}
 	m.mu.Unlock()
 	return nil
 }

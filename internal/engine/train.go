@@ -97,6 +97,11 @@ func (e *Engine) train(ctx context.Context, m *managed) (res TrainResult, err er
 	m.trained = time.Now().UTC()
 	m.pointsAtTrain = m.series.Len()
 	m.pending = m.pending[:0]
+	if m.active != nil {
+		// New model generation: pending queries were scored by the outgoing
+		// monitor and the drift detector needs a fresh reference.
+		m.active.Reset()
+	}
 	res = TrainResult{TrainedAt: m.trained, CThld: next.CThld(), Points: m.series.Len()}
 	m.mu.Unlock()
 
@@ -234,23 +239,25 @@ func (e *Engine) panicHook(name string) func(string, any) {
 	}
 }
 
-// scheduleRetrain arms one asynchronous retrain for m. Callers hold m.mu;
-// only the CAS and a non-blocking channel send happen here. If the queue is
-// saturated the trigger is dropped and re-armed by the next append. A
-// quarantined series is skipped: its old model keeps serving until a
-// manual Train succeeds.
-func (e *Engine) scheduleRetrain(m *managed) {
+// scheduleRetrain arms one asynchronous retrain for m and reports whether a
+// round was actually queued. Callers hold m.mu; only the CAS and a
+// non-blocking channel send happen here. If the queue is saturated the
+// trigger is dropped and re-armed by the next append. A quarantined series
+// is skipped: its old model keeps serving until a manual Train succeeds.
+func (e *Engine) scheduleRetrain(m *managed) bool {
 	if m.quarantined.Load() {
-		return
+		return false
 	}
 	if !m.training.CompareAndSwap(false, true) {
-		return // already queued or running
+		return false // already queued or running
 	}
 	select {
 	case e.trainQ <- m:
+		return true
 	default:
 		m.training.Store(false)
 		e.log.Warn("retrain queue full, trigger dropped", "series", m.name)
+		return false
 	}
 }
 

@@ -303,6 +303,45 @@ func TestFig14TotalsReported(t *testing.T) {
 	}
 }
 
+// TestActiveLabelCostCurve pins the active-learning promise at test scale: a
+// one-query-per-week budget labels well under 40% of the windows full
+// labeling does, while keeping ≥90% of the full-label PC-Score on every KPI
+// (the medium-scale EXPERIMENTS.md run holds ≥95%).
+func TestActiveLabelCostCurve(t *testing.T) {
+	tabs, err := Active(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tabs[0]
+	var fullWindows, activeWindows int
+	for _, row := range tab.Rows {
+		kpi, strategy := row[0], row[1]
+		windows, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad windows cell %q", row[2])
+		}
+		ratio, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			t.Fatalf("bad pc_vs_full cell %q", row[8])
+		}
+		switch strategy {
+		case "full":
+			fullWindows += windows
+		case "active@1":
+			activeWindows += windows
+			if ratio < 0.9 {
+				t.Errorf("%s active@1 keeps only %.1f%% of the full-label PC-Score", kpi, 100*ratio)
+			}
+		}
+	}
+	if fullWindows == 0 {
+		t.Fatal("full strategy labeled no windows")
+	}
+	if frac := float64(activeWindows) / float64(fullWindows); frac > 0.4 {
+		t.Errorf("active@1 labeled %.0f%% of the windows, want ≤ 40%%", 100*frac)
+	}
+}
+
 func TestLagReportsStages(t *testing.T) {
 	tabs, err := Lag(testOptions())
 	if err != nil {

@@ -109,3 +109,94 @@ func (m TimeModel) TotalMinutes(labels timeseries.Labels, pointsPerWeek int) flo
 	}
 	return total
 }
+
+// QueryOracle answers the label queries raised by the active-learning
+// subsystem (internal/active) against ground truth, within a labeling-time
+// budget priced by the Fig. 14 model: each sitting costs BaseMinutes of
+// loading and navigation, and each answered query costs MinutesPerWindow —
+// per *window*, never per point, exactly like the labeling tool of §4.2.
+//
+// The zero value is not usable; construct with NewQueryOracle. Not safe for
+// concurrent use.
+type QueryOracle struct {
+	// Miss is the probability a truly-anomalous query window is answered
+	// "normal" anyway — the operator glances at the chart and misses the
+	// blip. Zero for a perfect oracle.
+	Miss float64
+
+	truth  timeseries.Labels
+	model  TimeModel
+	budget float64 // total minutes; <= 0 means unlimited
+	rng    *rand.Rand
+
+	spent    float64
+	answered int
+	sitting  bool
+}
+
+// NewQueryOracle builds an oracle over ground-truth labels. budgetMinutes
+// caps the total modeled labeling time (<= 0 = unlimited); seed makes miss
+// decisions deterministic.
+func NewQueryOracle(truth timeseries.Labels, model TimeModel, budgetMinutes float64, seed int64) *QueryOracle {
+	return &QueryOracle{
+		truth:  truth,
+		model:  model,
+		budget: budgetMinutes,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// affords reports whether the budget covers cost more minutes.
+func (o *QueryOracle) affords(cost float64) bool {
+	return o.budget <= 0 || o.spent+cost <= o.budget+1e-9
+}
+
+// BeginSitting opens one labeling sitting (e.g. a week's query review),
+// charging the base navigation cost. Returns false — charging nothing — when
+// the remaining budget cannot cover the base cost plus at least one answer;
+// a sitting that could answer nothing would waste the operator's time.
+func (o *QueryOracle) BeginSitting() bool {
+	if o.sitting {
+		return true
+	}
+	if !o.affords(o.model.BaseMinutes + o.model.MinutesPerWindow) {
+		return false
+	}
+	o.spent += o.model.BaseMinutes
+	o.sitting = true
+	return true
+}
+
+// EndSitting closes the current sitting; the next BeginSitting charges the
+// base cost again.
+func (o *QueryOracle) EndSitting() { o.sitting = false }
+
+// Answer resolves one query window [start, end) against ground truth,
+// charging MinutesPerWindow regardless of how many points the window spans.
+// ok is false — and nothing is charged — when no sitting is open or the
+// budget is exhausted. anomalous is true when the window overlaps any
+// ground-truth anomalous point, subject to Miss.
+func (o *QueryOracle) Answer(start, end int) (anomalous, ok bool) {
+	if !o.sitting || !o.affords(o.model.MinutesPerWindow) {
+		return false, false
+	}
+	o.spent += o.model.MinutesPerWindow
+	o.answered++
+	truth := false
+	for i := start; i < end && i < len(o.truth); i++ {
+		if i >= 0 && o.truth[i] {
+			truth = true
+			break
+		}
+	}
+	if truth && o.Miss > 0 && o.rng.Float64() < o.Miss {
+		truth = false
+	}
+	return truth, true
+}
+
+// SpentMinutes returns the modeled labeling time consumed so far.
+func (o *QueryOracle) SpentMinutes() float64 { return o.spent }
+
+// Answered returns how many queries have been answered.
+func (o *QueryOracle) Answered() int { return o.answered }

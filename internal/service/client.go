@@ -284,6 +284,28 @@ func (c *Client) RollbackModel(ctx context.Context, name string) (ModelManifest,
 	return man, err
 }
 
+// Queries fetches the pending label queries, most uncertain first; a
+// non-empty series narrows to that series.
+func (c *Client) Queries(ctx context.Context, series string) ([]Query, error) {
+	path := "/v1/queries"
+	if series != "" {
+		path += "?series=" + url.QueryEscape(series)
+	}
+	var out map[string][]Query
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out["queries"], nil
+}
+
+// AnswerQuery resolves one pending query as a durable label action. Not
+// retried (POST): the first answer consumes the query, so a duplicate would
+// fail with 422 anyway.
+func (c *Client) AnswerQuery(ctx context.Context, series string, start, end int, anomalous bool) error {
+	return c.do(ctx, http.MethodPost, "/v1/queries/"+url.PathEscape(series)+"/answer",
+		AnswerRequest{Start: start, End: end, Anomalous: anomalous}, nil)
+}
+
 // Alarms fetches the alarms raised after since (zero time = all retained).
 func (c *Client) Alarms(ctx context.Context, name string, since time.Time) ([]Alarm, error) {
 	path := "/v1/series/" + url.PathEscape(name) + "/alarms"

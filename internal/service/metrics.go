@@ -70,6 +70,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP opprenticed_extract_cache_bytes Current feature-extraction cache footprint across all series.\n# TYPE opprenticed_extract_cache_bytes gauge\nopprenticed_extract_cache_bytes %d\n", c.ExtractCacheBytes)
 	writeCounter("opprenticed_extract_cache_invalidations_total", "Whole-cache invalidations (prefix mismatch, configuration change, cap overflow).", c.ExtractCacheInvalidated)
 
+	// Active learning (DESIGN.md §14): answered label queries and retrains
+	// armed by the concept-drift detector ahead of the fixed tick.
+	writeCounter("opprenticed_queries_answered_total", "Label queries answered via POST /v1/queries/{series}/answer.", c.QueriesAnswered)
+	writeCounter("opprenticed_drift_retrains_total", "Retrains armed by the concept-drift detector before the retrain tick.", c.DriftRetrains)
+
 	// Per-series gauges + notification pipeline counters.
 	snaps := s.eng.MetricsSnapshot()
 	var notify alerting.Stats
@@ -101,5 +106,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if sn.Trained {
 			fmt.Fprintf(w, "opprenticed_series_degraded_detectors{series=%q} %d\n", sn.Name, sn.DegradedDetectors)
 		}
+	}
+	fmt.Fprintf(w, "# HELP opprenticed_query_queue_depth Pending label queries per series.\n# TYPE opprenticed_query_queue_depth gauge\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "opprenticed_query_queue_depth{series=%q} %d\n", sn.Name, sn.PendingQueries)
+	}
+	fmt.Fprintf(w, "# HELP opprenticed_drift_score PSI of the last completed drift comparison window per series.\n# TYPE opprenticed_drift_score gauge\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "opprenticed_drift_score{series=%q} %.4f\n", sn.Name, sn.DriftScore)
 	}
 }

@@ -27,6 +27,10 @@
 //	GET  /v1/models                     series with published model artifacts
 //	GET  /v1/models/{name}              a series' model manifest (generations)
 //	POST /v1/models/{name}/rollback     roll the served model back one generation
+//	GET  /v1/queries                    pending label queries, most uncertain
+//	                                    first (?series= filters to one series)
+//	POST /v1/queries/{name}/answer      answer one query ({start, end,
+//	                                    anomalous}); applied as a durable label
 //	GET  /v1/metrics                    Prometheus text exposition
 //
 // The /v1/models routes require a model registry (opprenticed -model-dir);
@@ -69,6 +73,16 @@
 //   - opprenticed_train_stalls_total / opprenticed_train_retries_total /
 //     opprenticed_series_quarantined_total / opprenticed_worker_panics_total
 //     — watchdog activity on the training/publish workers.
+//
+// The active-learning subsystem (DESIGN.md §14) adds:
+//
+//   - opprenticed_queries_answered_total — label queries resolved via
+//     POST /v1/queries/{name}/answer.
+//   - opprenticed_drift_retrains_total — retrains the concept-drift detector
+//     armed ahead of the fixed retrain tick.
+//   - opprenticed_query_queue_depth{series=...} — pending label queries.
+//   - opprenticed_drift_score{series=...} — the PSI of the last completed
+//     drift comparison window.
 //
 // A non-zero rate on any of these means a dependency is degrading while the
 // service keeps running; see DESIGN.md's "Failure modes & degradation".
@@ -236,6 +250,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/models/{name}", s.handleModelManifest)
 	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleModelRollback)
+	mux.HandleFunc("GET /v1/queries", s.handleQueries)
+	mux.HandleFunc("POST /v1/queries/{name}/answer", s.handleAnswerQuery)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	return mux
@@ -315,6 +331,19 @@ type ModelGeneration = modelreg.Generation
 
 // Alarm is one anomalous verdict the service raised.
 type Alarm = engine.Alarm
+
+// Query is one pending label query: a window the live forest was least
+// certain about (engine.Query's JSON tags are the wire format).
+type Query = engine.Query
+
+// AnswerRequest is the body of POST /v1/queries/{name}/answer: the queried
+// window being answered (it must exactly match a pending query) and the
+// operator's verdict.
+type AnswerRequest struct {
+	Start     int  `json:"start"`
+	End       int  `json:"end"`
+	Anomalous bool `json:"anomalous"`
+}
 
 // errorResponse is the uniform error body.
 type errorResponse struct {
@@ -488,6 +517,40 @@ func (s *Server) handleModelRollback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, man)
+}
+
+// handleQueries lists pending label queries, most uncertain first; the
+// optional ?series= parameter narrows to one series (404 if unknown).
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := opCtx(r, s.timeouts.Status)
+	defer cancel()
+	qs, err := s.eng.Queries(ctx, r.URL.Query().Get("series"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]Query{"queries": qs})
+}
+
+// handleAnswerQuery resolves one pending query as a durable label action; a
+// window that does not exactly match a pending query answers 422.
+func (s *Server) handleAnswerQuery(w http.ResponseWriter, r *http.Request) {
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countError(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return
+	}
+	ctx, cancel := opCtx(r, s.timeouts.Label)
+	defer cancel()
+	res, err := s.eng.AnswerQuery(ctx, r.PathValue("name"), req.Start, req.End, req.Anomalous)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"anomalous_points": res.AnomalousPoints,
+		"labeled_windows":  res.LabeledWindows,
+	})
 }
 
 // Retry-After guidance, in seconds, for the two transient failure classes:

@@ -232,6 +232,12 @@ func (h *Harness) engineConfig(store engine.Store, models *modelreg.Registry, re
 		DegradedRecovery: recoveryWindow,
 		TrainRetries:     3,
 		TrainFailLimit:   2,
+		// Drift detection is off in the classic matrix: its mirror predicts
+		// retrains from the fixed watermark tick alone, and the fault
+		// schedule (degraded replays, crashes) shifts vote distributions
+		// enough to arm spurious early rounds. The regime-change scenarios
+		// (regime.go) enable it and assert on exactly those early rounds.
+		DriftThreshold: -1,
 		Notify: alerting.PipelineConfig{
 			QueueSize:        1024,
 			MaxAttempts:      10,
