@@ -49,7 +49,7 @@ sim-long:
 # honest. The floor is deliberately below current numbers (core ~85%,
 # engine ~75%, registry ~85%) — it catches coverage collapses, not drift.
 COVER_FLOOR ?= 70.0
-COVER_PKGS  ?= internal/core internal/engine internal/registry internal/active
+COVER_PKGS  ?= internal/core internal/engine internal/registry internal/active internal/stats internal/ml/forest internal/tsdb internal/kpigen
 
 cover:
 	@set -e; for pkg in $(COVER_PKGS); do \

@@ -121,6 +121,8 @@ func runCreate(ctx context.Context, c *service.Client, args []string) error {
 	recall := fs.Float64("recall", 0.66, "preference: minimum recall")
 	precision := fs.Float64("precision", 0.66, "preference: minimum precision")
 	trees := fs.Int("trees", 60, "forest size")
+	predictor := fs.String("cthld-predictor", "", "cThld predictor: ewma (default) or evt")
+	evtQ := fs.Float64("evt-q", 0, "EVT target exceedance risk in (0,1); 0 auto-calibrates weekly")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -134,6 +136,8 @@ func runCreate(ctx context.Context, c *service.Client, args []string) error {
 		Recall:          *recall,
 		Precision:       *precision,
 		Trees:           *trees,
+		CThldPredictor:  *predictor,
+		EVTQ:            *evtQ,
 	}); err != nil {
 		return err
 	}
@@ -216,6 +220,7 @@ func runLabel(ctx context.Context, c *service.Client, args []string) error {
 	fs := flag.NewFlagSet("label", flag.ContinueOnError)
 	window := fs.String("window", "", "index range start:end (half open)")
 	clear := fs.Bool("clear", false, "clear instead of set")
+	atype := fs.String("type", "", "anomaly type (spike|drop|ramp|level_shift|jitter); trains the type head")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -228,7 +233,10 @@ func runLabel(ctx context.Context, c *service.Client, args []string) error {
 	if err1 != nil || err2 != nil {
 		return fmt.Errorf("-window must be numeric start:end")
 	}
-	return c.Label(ctx, name, []service.LabelWindow{{Start: start, End: end, Anomalous: !*clear}})
+	if *atype != "" && *clear {
+		return fmt.Errorf("-type is meaningless with -clear")
+	}
+	return c.Label(ctx, name, []service.LabelWindow{{Start: start, End: end, Anomalous: !*clear, Type: *atype}})
 }
 
 func runTrain(ctx context.Context, c *service.Client, args []string) error {
@@ -257,6 +265,12 @@ func runStatus(ctx context.Context, c *service.Client, args []string) error {
 		st.Name, st.Points, st.IntervalSeconds, st.AnomalousPoints, st.LabeledWindows, st.Trained)
 	if st.Trained {
 		fmt.Printf(" cThld=%.3f", st.CThld)
+	}
+	if st.CThldPredictor != "" && st.CThldPredictor != "ewma" {
+		fmt.Printf(" predictor=%s", st.CThldPredictor)
+	}
+	if st.TypedModel {
+		fmt.Printf(" typed-model")
 	}
 	fmt.Println()
 	return nil
@@ -390,8 +404,9 @@ func printManifest(man service.ModelManifest) {
 		if g.Gen == man.Current {
 			marker = "*"
 		}
-		fmt.Printf("%s gen %d  trained %s  points=%d  cthld=%.3f  %d bytes  crc=%08x  fingerprint=%016x\n",
-			marker, g.Gen, g.TrainedAt.Format(time.RFC3339), g.Points, g.CThld, g.Size, g.CRC, g.Fingerprint)
+		fmt.Printf("%s gen %d  trained %s  points=%d  cthld=%.3f  %d bytes  crc=%08x  fingerprint=%016x  kinds=%s\n",
+			marker, g.Gen, g.TrainedAt.Format(time.RFC3339), g.Points, g.CThld, g.Size, g.CRC, g.Fingerprint,
+			strings.Join(g.Kinds(), ","))
 	}
 }
 
@@ -448,8 +463,11 @@ func runAlarms(ctx context.Context, c *service.Client, args []string) error {
 		return err
 	}
 	for _, a := range alarms {
-		fmt.Printf("%s value=%.4g probability=%.2f cthld=%.2f\n",
-			a.Time.Format(time.RFC3339), a.Value, a.Probability, a.CThld)
+		fmt.Printf("%s value=%.4g probability=%.2f cthld=%.2f", a.Time.Format(time.RFC3339), a.Value, a.Probability, a.CThld)
+		if a.Type != "" {
+			fmt.Printf(" type=%s", a.Type)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("%d alarms\n", len(alarms))
 	return nil

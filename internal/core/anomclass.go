@@ -1,0 +1,54 @@
+package core
+
+// AnomalyClass is the typed-anomaly taxonomy the multi-class head predicts
+// (ROADMAP item 2): operators want to know not just that a KPI misbehaved
+// but how. Class codes are stable wire values — they ride typed label ops in
+// the tsdb log and the multi-model type artifact, so existing codes must
+// never be renumbered.
+type AnomalyClass uint8
+
+// The classes, in wire order. ClassNone is both "not anomalous" and the
+// head's abstain target.
+const (
+	ClassNone AnomalyClass = iota
+	ClassSpike
+	ClassDrop
+	ClassRamp
+	ClassLevelShift
+	ClassJitter
+)
+
+// classNames are the String/ParseClass constant names; indexing by class
+// code keeps String allocation-free on the alarm hot path.
+var classNames = [...]string{"none", "spike", "drop", "ramp", "level_shift", "jitter"}
+
+// String names the class for wire fields and operator tooling.
+func (c AnomalyClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// Wire is the JSON wire form: empty for ClassNone (so omitempty drops the
+// field on non-anomalous verdicts), the class name otherwise.
+func (c AnomalyClass) Wire() string {
+	if c == ClassNone {
+		return ""
+	}
+	return c.String()
+}
+
+// ParseClass parses a class name (as produced by String; "" also maps to
+// ClassNone). ok is false for unknown names.
+func ParseClass(s string) (AnomalyClass, bool) {
+	if s == "" {
+		return ClassNone, true
+	}
+	for i, name := range classNames {
+		if s == name {
+			return AnomalyClass(i), true
+		}
+	}
+	return ClassNone, false
+}

@@ -171,11 +171,20 @@ func (p *CThldPredictor) Predict() float64 {
 // Observe folds in the best cThld of the week that just completed.
 func (p *CThldPredictor) Observe(best float64) { p.ewma.Update(best) }
 
+// ObserveScore is a no-op: the EWMA prediction is static between retrains.
+func (p *CThldPredictor) ObserveScore(float64) {}
+
+// Refit is a no-op: the EWMA prediction depends only on weekly bests.
+func (p *CThldPredictor) Refit([]float64, []bool) {}
+
+// Kind identifies the strategy.
+func (p *CThldPredictor) Kind() PredictorKind { return PredictEWMA }
+
 // Clone returns an independent copy of the predictor. An asynchronous
 // retrain folds the latest weekly observation into the clone and only
 // publishes it when the new monitor is swapped in, so a failed or abandoned
 // training round never disturbs the live predictor's EWMA state.
-func (p *CThldPredictor) Clone() *CThldPredictor {
+func (p *CThldPredictor) Clone() Predictor {
 	c := *p
 	return &c
 }

@@ -19,12 +19,23 @@ type Monitor struct {
 	dets   []detectors.Detector
 	model  *forest.Forest
 	cthld  float64
-	pred   *CThldPredictor
+	pred   Predictor
 	fcfg   forest.Config
 	pref   stats.Preference
 	row    []float64
 	points int
 	filter *DurationFilter
+
+	// dynamic marks a per-point predictor (EVT): finalize feeds it every
+	// vote fraction and refreshes the threshold. False for EWMA, whose
+	// threshold only moves at retrain — that path is bit-identical to the
+	// pre-seam code.
+	dynamic bool
+
+	// typeModel, when non-nil, is the multi-class anomaly-type head trained
+	// on the same feature matrix. Anomalous verdicts are classified; nil
+	// leaves Verdict.Class at ClassNone.
+	typeModel *forest.MultiClass
 
 	// StepBatch scratch, grown on demand and reused across batches: a
 	// row-major feature matrix (batch × detectors) and a probability
@@ -48,6 +59,18 @@ type MonitorConfig struct {
 	Forest     forest.Config
 	// EWMAAlpha smooths cThld updates across retrains (default 0.8).
 	EWMAAlpha float64
+	// Predictor selects the cThld prediction strategy (default PredictEWMA,
+	// the paper's §4.5.2 predictor; PredictEVT is the POT/GPD dynamic one).
+	Predictor PredictorKind
+	// EVTQ pins the EVT predictor's target exceedance risk (0 < q < 1);
+	// 0 selects auto-calibration: the risk is re-selected from a coarse
+	// grid at every refit by the PC-Score of its alarms against the
+	// labeled trailing window. Ignored for PredictEWMA.
+	EVTQ float64
+	// TypeLabels, when non-nil, holds one AnomalyClass code per history
+	// point and trains the multi-class anomaly-type head alongside the
+	// verdict forest. Must match the history length when set.
+	TypeLabels []uint8
 	// Folds for the initial cross-validated cThld (default 5; set
 	// SkipInitialCV to start from 0.5 instead).
 	Folds         int
@@ -78,6 +101,9 @@ func NewMonitor(history *timeseries.Series, labels timeseries.Labels, dets []det
 	if len(labels) != history.Len() {
 		return nil, fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
 	}
+	if cfg.TypeLabels != nil && len(cfg.TypeLabels) != history.Len() {
+		return nil, fmt.Errorf("core: %d type labels for %d points", len(cfg.TypeLabels), history.Len())
+	}
 	if cfg.Preference == (stats.Preference{}) {
 		cfg.Preference = stats.Preference{Recall: 0.66, Precision: 0.66}
 	}
@@ -101,19 +127,31 @@ func NewMonitor(history *timeseries.Series, labels timeseries.Labels, dets []det
 	if !cfg.SkipInitialCV {
 		cthld = CrossValidateCThld(cols, labels, cfg.Folds, 1000, cfg.Forest, cfg.Preference)
 	}
-	pred := NewCThldPredictor(cfg.EWMAAlpha)
+	pred := newPredictor(cfg.Predictor, cfg.EWMAAlpha, cfg.EVTQ, cfg.Preference)
 	pred.Seed(cthld)
+	if pred.Kind() == PredictEVT {
+		// Initial POT fit over held-out vote fractions: each half of the
+		// training window is scored by a forest trained on the other half.
+		// In-sample scores would not do — a forest scores its own normal
+		// training points near 0, understating the served score distribution
+		// and biasing the tail (and so the threshold) far too low.
+		pred.Refit(heldOutScores(model, cols, labels, cfg.Forest), labels)
+	}
 	m := &Monitor{
 		dets:    liveDets,
 		model:   model,
 		cthld:   pred.Predict(),
 		pred:    pred,
+		dynamic: pred.Kind() != PredictEWMA,
 		fcfg:    cfg.Forest,
 		pref:    cfg.Preference,
 		row:     make([]float64, len(dets)),
 		points:  history.Len(),
 		dead:    make([]bool, len(dets)),
 		onPanic: cfg.OnDetectorPanic,
+	}
+	if cfg.TypeLabels != nil {
+		m.typeModel = forest.TrainMulti(cols, cfg.TypeLabels, cfg.Forest)
 	}
 	if cfg.MinDuration > 1 {
 		m.filter = &DurationFilter{MinPoints: cfg.MinDuration}
@@ -153,6 +191,10 @@ type Verdict struct {
 	// duration filter; with one, 0 while a short anomalous run is pending
 	// and > 1 when a pending run resolves.
 	Decided int
+	// Class is the anomaly-type head's prediction for an anomalous verdict
+	// (ClassNone when the point is normal, the head abstains, or no head is
+	// trained).
+	Class AnomalyClass
 }
 
 // Step consumes the next incoming point and classifies it online. A
@@ -168,7 +210,7 @@ func (m *Monitor) Step(v float64) Verdict {
 		m.row[j] = m.stepDetector(j, d, v)
 	}
 	m.points++
-	return m.finalize(m.model.Prob(m.row))
+	return m.finalize(m.model.Prob(m.row), m.row)
 }
 
 // StepBatch consumes a batch of incoming points and appends one verdict per
@@ -205,15 +247,19 @@ func (m *Monitor) StepBatch(values []float64, out []Verdict) []Verdict {
 	}
 	probs := m.probBuf[:n]
 	m.model.ProbRowsInto(rows, d, probs)
-	for _, p := range probs {
-		out = append(out, m.finalize(p))
+	for k, p := range probs {
+		out = append(out, m.finalize(p, rows[k*d:(k+1)*d]))
 	}
 	return out
 }
 
-// finalize turns a vote fraction into a Verdict, applying the cThld and the
-// optional duration filter.
-func (m *Monitor) finalize(p float64) Verdict {
+// finalize turns a vote fraction into a Verdict, applying the cThld, the
+// optional duration filter, and the optional anomaly-type head (row is the
+// point's feature row, consulted only for anomalous verdicts). A dynamic
+// predictor then absorbs the score and refreshes the threshold for the next
+// point — the point is judged against the threshold established before it
+// arrived, streaming-POT style.
+func (m *Monitor) finalize(p float64, row []float64) Verdict {
 	verdict := Verdict{Probability: p, Anomalous: p >= m.cthld, CThld: m.cthld, Decided: 1}
 	if m.filter != nil {
 		decisions := m.filter.Step(verdict.Anomalous)
@@ -223,6 +269,14 @@ func (m *Monitor) finalize(p float64) Verdict {
 			verdict.Decided += d.Count
 			verdict.Anomalous = verdict.Anomalous || d.Anomalous
 		}
+	}
+	if verdict.Anomalous && m.typeModel != nil {
+		c, _ := m.typeModel.PredictRow(row)
+		verdict.Class = AnomalyClass(c)
+	}
+	if m.dynamic {
+		m.pred.ObserveScore(p)
+		m.cthld = m.pred.Predict()
 	}
 	return verdict
 }
@@ -249,6 +303,12 @@ func (m *Monitor) stepDetector(j int, d detectors.Detector, v float64) (sev floa
 
 // CThld returns the threshold currently in force.
 func (m *Monitor) CThld() float64 { return m.cthld }
+
+// PredictorKind reports the cThld prediction strategy in use.
+func (m *Monitor) PredictorKind() PredictorKind { return m.pred.Kind() }
+
+// HasTypeModel reports whether an anomaly-type head is trained.
+func (m *Monitor) HasTypeModel() bool { return m.typeModel != nil }
 
 // DetectorPanics returns how many detector panics this monitor has sandboxed
 // (training extraction and online Steps combined). Not safe for concurrent
@@ -303,15 +363,27 @@ func (m *Monitor) RetrainCached(history *timeseries.Series, labels timeseries.La
 		}
 	}
 	cols := feats.ImputedFull()
-	m.model = forest.Train(cols, labels, m.fcfg)
-
-	// Best cThld of the most recent week, observed into the predictor.
 	ppw, err := history.PointsPerWeek()
 	if err != nil {
 		return err
 	}
-	if lo := history.Len() - ppw; lo > 0 && bothClasses(labels[lo:]) {
-		// Anomaly-free weeks carry no cThld information; skip them.
+	// Threshold update: a dynamic (EVT) predictor re-fits its tail on the
+	// trailing week scored by the OUTGOING model — that week arrived after
+	// the model's last training cut, so these are out-of-sample vote
+	// fractions, the distribution the monitor actually served online. The
+	// incoming model's in-sample scores would sit near 0 on normal points
+	// and collapse the tail.
+	if m.dynamic {
+		lo := history.Len() - ppw
+		if lo < 0 {
+			lo = 0
+		}
+		m.pred.Refit(m.model.ProbAll(featsSlice(cols, lo, history.Len())), labels[lo:])
+	}
+	m.model = forest.Train(cols, labels, m.fcfg)
+	if lo := history.Len() - ppw; !m.dynamic && lo > 0 && bothClasses(labels[lo:]) {
+		// EWMA observes the week's best cThld under the fresh model, as
+		// before. Anomaly-free weeks carry no cThld information; skip them.
 		scores := m.model.ProbAll(featsSlice(cols, lo, history.Len()))
 		best, _ := stats.BestByPCScore(stats.PRCurve(scores, labels[lo:]), m.pref)
 		m.pred.Observe(best.Threshold)
@@ -347,8 +419,21 @@ func (m *Monitor) RetrainSnapshot(history *timeseries.Series, labels timeseries.
 // Rounds against the same cache must be serialized by the caller — the
 // engine's per-series train mutex already does.
 func (m *Monitor) RetrainSnapshotCached(history *timeseries.Series, labels timeseries.Labels, dets []detectors.Detector, cache *FeatureCache) (*Monitor, error) {
+	return m.RetrainSnapshotTyped(history, labels, nil, dets, cache)
+}
+
+// RetrainSnapshotTyped is RetrainSnapshotCached with anomaly-type labels:
+// types, when non-nil, holds one AnomalyClass code per history point and the
+// returned monitor carries a freshly trained multi-class type head. A nil or
+// untrainable types slice (no typed anomalies yet) carries m's existing type
+// head forward unchanged, so typing never regresses across a retrain that
+// gained no new typed windows.
+func (m *Monitor) RetrainSnapshotTyped(history *timeseries.Series, labels timeseries.Labels, types []uint8, dets []detectors.Detector, cache *FeatureCache) (*Monitor, error) {
 	if len(labels) != history.Len() {
 		return nil, fmt.Errorf("core: %d labels for %d points", len(labels), history.Len())
+	}
+	if types != nil && len(types) != history.Len() {
+		return nil, fmt.Errorf("core: %d type labels for %d points", len(types), history.Len())
 	}
 	if !bothClasses(labels) {
 		return nil, fmt.Errorf("core: history must contain labeled anomalies and normal data")
@@ -360,35 +445,79 @@ func (m *Monitor) RetrainSnapshotCached(history *timeseries.Series, labels times
 	cols := feats.ImputedFull()
 	model := forest.Train(cols, labels, m.fcfg)
 
-	// Best cThld of the most recent week, observed into a cloned predictor so
-	// the live monitor is untouched until the swap.
+	// Threshold update into a cloned predictor so the live monitor is
+	// untouched until the swap: the EVT clone re-fits its tail on the
+	// trailing week scored by the live (outgoing) model — out-of-sample
+	// vote fractions, the distribution served online (see RetrainCached) —
+	// while the EWMA clone observes the week's best cThld under the fresh
+	// model.
 	pred := m.pred.Clone()
 	ppw, err := history.PointsPerWeek()
 	if err != nil {
 		return nil, err
 	}
-	if lo := history.Len() - ppw; lo > 0 && bothClasses(labels[lo:]) {
+	if m.dynamic {
+		lo := history.Len() - ppw
+		if lo < 0 {
+			lo = 0
+		}
+		pred.Refit(m.model.ProbAll(featsSlice(cols, lo, history.Len())), labels[lo:])
+	} else if lo := history.Len() - ppw; lo > 0 && bothClasses(labels[lo:]) {
 		scores := model.ProbAll(featsSlice(cols, lo, history.Len()))
 		best, _ := stats.BestByPCScore(stats.PRCurve(scores, labels[lo:]), m.pref)
 		pred.Observe(best.Threshold)
 	}
 	n := &Monitor{
-		dets:    liveDets,
-		model:   model,
-		cthld:   pred.Predict(),
-		pred:    pred,
-		fcfg:    m.fcfg,
-		pref:    m.pref,
-		row:     make([]float64, len(liveDets)),
-		points:  history.Len(),
-		dead:    make([]bool, len(liveDets)),
-		onPanic: m.onPanic,
+		dets:      liveDets,
+		model:     model,
+		cthld:     pred.Predict(),
+		pred:      pred,
+		dynamic:   m.dynamic,
+		typeModel: m.typeModel,
+		fcfg:      m.fcfg,
+		pref:      m.pref,
+		row:       make([]float64, len(liveDets)),
+		points:    history.Len(),
+		dead:      make([]bool, len(liveDets)),
+		onPanic:   m.onPanic,
+	}
+	if types != nil {
+		if tm := forest.TrainMulti(cols, types, m.fcfg); tm != nil {
+			n.typeModel = tm
+		}
 	}
 	if m.filter != nil {
 		n.filter = &DurationFilter{MinPoints: m.filter.MinPoints}
 	}
 	n.markDegraded(feats.Degraded)
 	return n, nil
+}
+
+// heldOutScores scores the training window out-of-sample for the initial POT
+// fit: the window is cut in half and each half is scored by a forest trained
+// on the other half, approximating the score distribution a deployed model
+// produces on data it was not trained on. A half whose complement lacks both
+// label classes (untrainable) falls back to the in-sample model for those
+// rows, keeping the output aligned with labels.
+func heldOutScores(model *forest.Forest, cols [][]float64, labels timeseries.Labels, fcfg forest.Config) []float64 {
+	n := len(labels)
+	out := make([]float64, n)
+	score := func(lo, hi, clo, chi int) {
+		if hi <= lo {
+			return
+		}
+		cl := []bool(labels[clo:chi])
+		if chi <= clo || !bothClasses(cl) {
+			copy(out[lo:hi], model.ProbAll(featsSlice(cols, lo, hi)))
+			return
+		}
+		f := forest.Train(featsSlice(cols, clo, chi), cl, fcfg)
+		copy(out[lo:hi], f.ProbAll(featsSlice(cols, lo, hi)))
+	}
+	mid := n / 2
+	score(0, mid, mid, n)
+	score(mid, n, 0, mid)
+	return out
 }
 
 // featsSlice slices a column-major matrix by rows.

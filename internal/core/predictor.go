@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+
+	"opprentice/internal/stats"
+)
+
+// PredictorKind selects the cThld prediction strategy for a series.
+type PredictorKind uint8
+
+const (
+	// PredictEWMA is the paper's §4.5.2 predictor: EWMA over weekly best
+	// cThlds, seeded by cross-validation. The threshold is constant between
+	// retrains.
+	PredictEWMA PredictorKind = iota
+	// PredictEVT is the POT/GPD dynamic predictor: a generalized Pareto tail
+	// is fit to the vote fractions of the trailing training window at each
+	// retrain, and the threshold is re-evaluated per point from the fitted
+	// tail as the observation counters advance.
+	PredictEVT
+)
+
+// String names the kind as the -cthld-predictor flag spells it.
+func (k PredictorKind) String() string {
+	if k == PredictEVT {
+		return "evt"
+	}
+	return "ewma"
+}
+
+// ParsePredictorKind parses a -cthld-predictor flag value ("" and "ewma"
+// select the paper's predictor, "evt" the POT/GPD one). ok is false for
+// unknown names.
+func ParsePredictorKind(s string) (PredictorKind, bool) {
+	switch s {
+	case "", "ewma":
+		return PredictEWMA, true
+	case "evt":
+		return PredictEVT, true
+	}
+	return PredictEWMA, false
+}
+
+// Predictor is the cThld-predictor seam: the monitor consults it for the
+// threshold in force, feeds it weekly best thresholds at retrain (Observe),
+// and — for dynamic kinds — feeds it every online vote fraction
+// (ObserveScore) and the trailing training-window scores at each retrain
+// (Refit). Static kinds implement ObserveScore and Refit as no-ops, so the
+// paper's EWMA path is bit-identical to the pre-seam code.
+type Predictor interface {
+	// Seed initializes the prediction (the paper seeds with 5-fold CV).
+	Seed(cthld float64)
+	// Predict returns the cThld currently in force.
+	Predict() float64
+	// Observe folds in the best cThld of the week that just completed.
+	Observe(best float64)
+	// ObserveScore feeds one online vote fraction from the trained hot path.
+	// Implementations must not allocate: this runs once per scored point.
+	ObserveScore(p float64)
+	// Refit re-derives the predictor's model at a retrain boundary from the
+	// trailing window's out-of-sample vote fractions and their operator
+	// labels (anomalous may be nil when no labels are known: the whole
+	// sample is then treated as normal).
+	Refit(scores []float64, anomalous []bool)
+	// Clone returns an independent copy for asynchronous retrains: the clone
+	// absorbs the round's observations and only replaces the live predictor
+	// when the new monitor is swapped in.
+	Clone() Predictor
+	// Kind identifies the strategy for serialization and status surfaces.
+	Kind() PredictorKind
+}
+
+// Default EVT tuning. Vote fractions are discrete multiples of 1/trees in
+// [0, 1], so both the peaks quantile and the target risk are far coarser
+// than the raw-value SPOT settings in the EVT literature.
+const (
+	// DefaultEVTQ is the starting target exceedance risk: the score level
+	// exceeded with probability 1% on normal data. An auto-calibrating
+	// predictor (the default) re-selects the risk from evtQGrid at every
+	// refit; a configured q pins it.
+	DefaultEVTQ = 0.01
+	// evtPeaksQuantile is the empirical quantile defining the peaks
+	// threshold u: the top 2% of training scores are the tail sample.
+	evtPeaksQuantile = 0.98
+	// evtFloor / evtCeil clamp the predicted cThld into (0, 1): a fitted
+	// tail can extrapolate past 1 (no alarm would ever fire) or collapse
+	// toward 0 (every point would alarm); both are capped to sane vote
+	// fractions.
+	evtFloor = 0.01
+	evtCeil  = 0.99
+)
+
+// evtQGrid is the candidate risk grid for auto-calibration: log-spaced and
+// deliberately coarse, so the weekly supervised choice is regularized to a
+// handful of operating regimes instead of chasing the window's noise.
+var evtQGrid = [...]float64{0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}
+
+// EVTPredictor predicts the cThld by peaks-over-threshold extreme value
+// theory over the classifier's own vote fractions: at each retrain, normal-
+// labeled scores above the empirical evtPeaksQuantile are excesses fit to a
+// GPD(ξ, σ), and the threshold is the POT zq quantile for risk q. By default
+// the risk itself is auto-calibrated per refit: each candidate in evtQGrid is
+// pushed through the fitted tail and judged by the PC-Score of the resulting
+// alarms against the window's labels — the labels pick the operating regime,
+// the tail supplies the threshold family and the between-retrain dynamics. A
+// configured q pins the risk instead (the SPOT deployment style). Between
+// retrains, ObserveScore advances the observation and peak counters and
+// re-evaluates zq arithmetically from the fitted tail — per-point dynamics
+// with zero allocations. A degenerate tail (constant scores, too few peaks)
+// falls back deterministically to the best labeled threshold of the window,
+// or the empirical 1−q quantile when unlabeled, until the next refit.
+type EVTPredictor struct {
+	q    float64 // target exceedance risk in force (0, 1)
+	auto bool    // re-select q from evtQGrid at each refit
+	u0   float64 // peaks quantile defining u
+	pref stats.Preference
+
+	u      float64   // peaks threshold of the current fit window
+	gpd    stats.GPD // fitted tail (valid only when fitted)
+	fitted bool
+	n      int     // observations since the fit window opened (includes it)
+	nu     int     // excesses over u among them
+	z      float64 // threshold in force, clamped into [evtFloor, evtCeil]
+	seeded bool
+}
+
+// NewEVTPredictor returns an EVT predictor. A q inside (0, 1) pins the
+// exceedance risk; anything else selects auto-calibration starting from
+// DefaultEVTQ. pref is the preference auto-calibration optimizes (zero value:
+// the paper's 0.66/0.66).
+func NewEVTPredictor(q float64, pref stats.Preference) *EVTPredictor {
+	if pref == (stats.Preference{}) {
+		pref = stats.Preference{Recall: 0.66, Precision: 0.66}
+	}
+	p := &EVTPredictor{q: q, u0: evtPeaksQuantile, pref: pref}
+	if !(q > 0 && q < 1) {
+		p.q, p.auto = DefaultEVTQ, true
+	}
+	return p
+}
+
+// Q returns the configured exceedance risk: 0 for an auto-calibrating
+// predictor (so a snapshot round-trip restores auto-calibration, not the
+// risk it happened to hold), the pinned q otherwise.
+func (p *EVTPredictor) Q() float64 {
+	if p.auto {
+		return 0
+	}
+	return p.q
+}
+
+// clampCThld caps a threshold into the sane vote-fraction band, mapping NaN
+// to the ceiling (an unusable tail must fail alarm-quiet, not alarm-always).
+func clampCThld(z float64) float64 {
+	switch {
+	case math.IsNaN(z):
+		return evtCeil
+	case z < evtFloor:
+		return evtFloor
+	case z > evtCeil:
+		return evtCeil
+	}
+	return z
+}
+
+// Seed initializes the threshold (cross-validation, or a restored
+// snapshot's cThld). It never disturbs an established fit.
+func (p *EVTPredictor) Seed(cthld float64) {
+	if p.fitted {
+		return
+	}
+	p.z = clampCThld(cthld)
+	p.seeded = true
+}
+
+// Predict returns the threshold in force (0.5 before any seed or fit).
+func (p *EVTPredictor) Predict() float64 {
+	if !p.seeded && !p.fitted {
+		return 0.5
+	}
+	return p.z
+}
+
+// Observe is a no-op: the EVT predictor derives its threshold from the score
+// tail, not from weekly supervised best thresholds.
+func (p *EVTPredictor) Observe(float64) {}
+
+// ObserveScore feeds one online vote fraction: the observation counter
+// advances, scores over u extend the peak count, and the threshold is
+// re-evaluated from the fitted tail. Following SPOT, scores at or above the
+// threshold in force are alarms, not evidence about the normal tail, and are
+// excluded — an anomalous run must not inflate the exceedance counters and
+// drag the threshold up behind it. Pure arithmetic — no allocations.
+func (p *EVTPredictor) ObserveScore(s float64) {
+	if !p.fitted || s >= p.z {
+		return // unfitted: empirical fallback holds until the next Refit
+	}
+	p.n++
+	if s > p.u {
+		p.nu++
+	}
+	if z := stats.POTThreshold(p.u, p.gpd, p.n, p.nu, p.q); !math.IsNaN(z) {
+		p.z = clampCThld(z)
+	}
+}
+
+// Refit re-derives the tail from the trailing window's out-of-sample vote
+// fractions: u is the empirical evtPeaksQuantile of the normal-labeled
+// scores, the excesses over u are fit to a GPD, and the threshold restarts
+// at the POT zq quantile for the risk in force — re-selected from evtQGrid
+// by labeled PC-Score first when auto-calibrating. When the tail is
+// degenerate (constant scores, too few peaks, failed fit) the predictor
+// falls back to the best labeled threshold of the window (or the empirical
+// 1−q quantile when unlabeled) — a deterministic threshold that holds static
+// until the next refit.
+func (p *EVTPredictor) Refit(scores []float64, anomalous []bool) {
+	if len(scores) == 0 {
+		return
+	}
+	if len(anomalous) != len(scores) {
+		anomalous = nil
+	}
+	// The POT tail models the score distribution on normal data (the risk q
+	// is a false-alarm budget); labeled anomalies — which a forest scores
+	// near 1 — would collapse the tail to a point mass at the ceiling.
+	normal := scores
+	if anomalous != nil {
+		normal = make([]float64, 0, len(scores))
+		for i, s := range scores {
+			if !anomalous[i] {
+				normal = append(normal, s)
+			}
+		}
+		if len(normal) == 0 {
+			return
+		}
+	}
+	p.fitted = false
+	u := stats.Quantile(normal, p.u0)
+	if !math.IsNaN(u) {
+		excesses := make([]float64, 0, len(normal)/8)
+		for _, s := range normal {
+			if s > u {
+				excesses = append(excesses, s-u)
+			}
+		}
+		if g, ok := stats.FitGPD(excesses); ok {
+			if p.auto {
+				p.q = p.calibrateQ(u, g, len(normal), len(excesses), scores, anomalous)
+			}
+			if z := stats.POTThreshold(u, g, len(normal), len(excesses), p.q); !math.IsNaN(z) {
+				p.u, p.gpd, p.fitted = u, g, true
+				p.n, p.nu = len(normal), len(excesses)
+				p.z = clampCThld(z)
+				return
+			}
+		}
+	}
+	if anomalous != nil && bothClasses(anomalous) {
+		best, _ := stats.BestByPCScore(stats.PRCurve(scores, anomalous), p.pref)
+		p.z = clampCThld(best.Threshold)
+		p.seeded = true
+		return
+	}
+	if z := stats.Quantile(normal, 1-p.q); !math.IsNaN(z) {
+		p.z = clampCThld(z)
+		p.seeded = true
+	}
+}
+
+// calibrateQ selects the exceedance risk from evtQGrid: each candidate's POT
+// threshold (through the just-fitted tail with the fit window's counters) is
+// scored by the PC-Score of the alarms it would have raised over the labeled
+// window. Unlabeled or single-class windows keep the risk in force. Ties go
+// to the smaller risk (the quieter alarm budget).
+func (p *EVTPredictor) calibrateQ(u float64, g stats.GPD, n, nu int, scores []float64, anomalous []bool) float64 {
+	if anomalous == nil || !bothClasses(anomalous) {
+		return p.q
+	}
+	bestQ, bestScore := p.q, math.Inf(-1)
+	for _, q := range evtQGrid {
+		z := stats.POTThreshold(u, g, n, nu, q)
+		if math.IsNaN(z) {
+			continue
+		}
+		z = clampCThld(z)
+		var c stats.Confusion
+		for i, s := range scores {
+			switch {
+			case s >= z && anomalous[i]:
+				c.TP++
+			case s >= z:
+				c.FP++
+			case anomalous[i]:
+				c.FN++
+			default:
+				c.TN++
+			}
+		}
+		if sc := stats.PCScore(c.Recall(), c.Precision(), p.pref); sc > bestScore {
+			bestQ, bestScore = q, sc
+		}
+	}
+	return bestQ
+}
+
+// Clone returns an independent copy (value semantics: all fields are plain).
+func (p *EVTPredictor) Clone() Predictor {
+	c := *p
+	return &c
+}
+
+// Kind identifies the strategy.
+func (p *EVTPredictor) Kind() PredictorKind { return PredictEVT }
+
+// newPredictor builds the predictor for a kind: the paper's EWMA predictor
+// (with its α) or the EVT predictor (with its risk q and the preference its
+// auto-calibration optimizes).
+func newPredictor(kind PredictorKind, alpha, q float64, pref stats.Preference) Predictor {
+	if kind == PredictEVT {
+		return NewEVTPredictor(q, pref)
+	}
+	return NewCThldPredictor(alpha)
+}

@@ -1,0 +1,48 @@
+package core
+
+// EVT predictor hot- and cold-path costs. ObserveScore runs once per scored
+// point on the trained hot path (must stay allocation-free — the zero-alloc
+// pin lives in predictor_test.go; this benchmark tracks the ns/op). Refit
+// runs once per weekly retrain off the hot path.
+//
+// Seed policy (see DESIGN.md "Seeds and reproducibility"): bench fixtures use
+// the package's pinned named seed (evtSeed) so runs are comparable across
+// machines; changing the seed is a baseline change.
+
+import (
+	"math/rand"
+	"testing"
+
+	"opprentice/internal/stats"
+)
+
+func BenchmarkEVTObserveScore(b *testing.B) {
+	rng := rand.New(rand.NewSource(evtSeed + 10))
+	p := NewEVTPredictor(0.01, stats.Preference{})
+	p.Refit(evtScores(rng, 1500), nil)
+	// Pre-generate the score stream so the RNG is off the measured path.
+	scores := make([]float64, 4096)
+	for i := range scores {
+		scores[i] = rng.Float64() * 0.6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ObserveScore(scores[i&4095])
+	}
+}
+
+func BenchmarkEVTRefit(b *testing.B) {
+	rng := rand.New(rand.NewSource(evtSeed + 11))
+	scores := evtScores(rng, 1500)
+	anomalous := make([]bool, len(scores))
+	for i := range anomalous {
+		anomalous[i] = scores[i] > 0.9
+	}
+	p := NewEVTPredictor(0, stats.Preference{}) // auto-calibrating: the expensive mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Refit(scores, anomalous)
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"opprentice/internal/kpigen"
+	"opprentice/internal/ml/forest"
+	"opprentice/internal/stats"
+)
+
+// evtSeed pins the RNG of the EVT predictor tests (PR 5 seed policy).
+const evtSeed int64 = 20260811
+
+func TestPredictorKindRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind PredictorKind
+		ok   bool
+	}{
+		{"", PredictEWMA, true},
+		{"ewma", PredictEWMA, true},
+		{"evt", PredictEVT, true},
+		{"EVT", PredictEWMA, false},
+		{"pot", PredictEWMA, false},
+	}
+	for _, c := range cases {
+		kind, ok := ParsePredictorKind(c.in)
+		if kind != c.kind || ok != c.ok {
+			t.Errorf("ParsePredictorKind(%q) = (%v, %v), want (%v, %v)", c.in, kind, ok, c.kind, c.ok)
+		}
+	}
+	for _, kind := range []PredictorKind{PredictEWMA, PredictEVT} {
+		got, ok := ParsePredictorKind(kind.String())
+		if !ok || got != kind {
+			t.Errorf("String round trip broke for %v: got (%v, %v)", kind, got, ok)
+		}
+	}
+}
+
+func TestAnomalyClassRoundTrip(t *testing.T) {
+	all := []AnomalyClass{ClassNone, ClassSpike, ClassDrop, ClassRamp, ClassLevelShift, ClassJitter}
+	for _, c := range all {
+		got, ok := ParseClass(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseClass(%q) = (%v, %v), want (%v, true)", c.String(), got, ok, c)
+		}
+	}
+	if ClassNone.Wire() != "" {
+		t.Errorf("ClassNone.Wire() = %q, want empty", ClassNone.Wire())
+	}
+	if ClassDrop.Wire() != "drop" {
+		t.Errorf("ClassDrop.Wire() = %q", ClassDrop.Wire())
+	}
+	if got, ok := ParseClass(""); !ok || got != ClassNone {
+		t.Errorf("ParseClass(\"\") = (%v, %v)", got, ok)
+	}
+	if _, ok := ParseClass("meltdown"); ok {
+		t.Error("unknown class name accepted")
+	}
+	if AnomalyClass(200).String() != "unknown" {
+		t.Errorf("out-of-range String = %q", AnomalyClass(200).String())
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = ClassSpike.String() }); allocs != 0 {
+		t.Fatalf("AnomalyClass.String allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// evtScores draws a right-skewed vote-fraction sample: mostly low scores
+// with an exponential-ish tail, the shape a trained forest produces.
+func evtScores(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		s := 0.05 + 0.1*math.Abs(rng.NormFloat64()) + 0.3*rng.ExpFloat64()*0.2
+		if s > 1 {
+			s = 1
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestEVTPredictorDefaults(t *testing.T) {
+	p := NewEVTPredictor(0, stats.Preference{})
+	if p.Q() != 0 {
+		t.Errorf("Q() = %v, want 0 (auto-calibration must round-trip through snapshots)", p.Q())
+	}
+	if !p.auto {
+		t.Error("q = 0 did not select auto-calibration")
+	}
+	if NewEVTPredictor(1.5, stats.Preference{}).Q() != 0 {
+		t.Error("out-of-range q not treated as auto")
+	}
+	if fixed := NewEVTPredictor(0.02, stats.Preference{}); fixed.Q() != 0.02 || fixed.auto {
+		t.Errorf("configured q not pinned: Q() = %v, auto = %v", fixed.Q(), fixed.auto)
+	}
+	if got := p.Predict(); got != 0.5 {
+		t.Errorf("unseeded Predict = %v, want 0.5", got)
+	}
+	p.Seed(0.7)
+	if got := p.Predict(); got != 0.7 {
+		t.Errorf("seeded Predict = %v, want 0.7", got)
+	}
+	p.Seed(math.NaN())
+	if got := p.Predict(); math.IsNaN(got) || got < 0.01 || got > 0.99 {
+		t.Errorf("NaN seed produced Predict = %v", got)
+	}
+}
+
+// TestEVTPredictorRefitObserve: after a refit on a realistic score sample,
+// the threshold stays inside the clamp band point after point, and two
+// predictors fed the identical stream agree bitwise (determinism).
+func TestEVTPredictorRefitObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(evtSeed))
+	scores := evtScores(rng, 2000)
+	a := NewEVTPredictor(0.01, stats.Preference{})
+	b := NewEVTPredictor(0.01, stats.Preference{})
+	a.Refit(scores, nil)
+	b.Refit(scores, nil)
+	if a.Predict() != b.Predict() {
+		t.Fatalf("refit not deterministic: %v vs %v", a.Predict(), b.Predict())
+	}
+	online := evtScores(rng, 3000)
+	for i, s := range online {
+		a.ObserveScore(s)
+		b.ObserveScore(s)
+		z := a.Predict()
+		if math.IsNaN(z) || math.IsInf(z, 0) || z < 0.01 || z > 0.99 {
+			t.Fatalf("point %d: threshold %v escaped [0.01, 0.99]", i, z)
+		}
+		if z != b.Predict() {
+			t.Fatalf("point %d: identical streams diverged: %v vs %v", i, z, b.Predict())
+		}
+	}
+}
+
+// TestEVTPredictorDegenerate: constant and tiny samples must never produce a
+// NaN/Inf threshold — the empirical fallback holds the clamp band.
+func TestEVTPredictorDegenerate(t *testing.T) {
+	samples := [][]float64{
+		{},
+		{0.2},
+		{0.3, 0.3, 0.3, 0.3, 0.3},
+		make([]float64, 500), // all zero
+	}
+	for i, s := range samples {
+		p := NewEVTPredictor(0.01, stats.Preference{})
+		p.Seed(0.5)
+		p.Refit(s, nil)
+		for _, x := range []float64{0, 0.3, 0.9, 1} {
+			p.ObserveScore(x)
+			z := p.Predict()
+			if math.IsNaN(z) || math.IsInf(z, 0) || z < 0.01 || z > 0.99 {
+				t.Fatalf("sample %d: degenerate refit produced threshold %v", i, z)
+			}
+		}
+	}
+}
+
+func TestEVTPredictorCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(evtSeed + 1))
+	p := NewEVTPredictor(0.01, stats.Preference{})
+	p.Refit(evtScores(rng, 1500), nil)
+	c := p.Clone()
+	if c.Kind() != PredictEVT {
+		t.Fatalf("clone kind = %v", c.Kind())
+	}
+	if c.Predict() != p.Predict() {
+		t.Fatalf("clone diverged at birth: %v vs %v", c.Predict(), p.Predict())
+	}
+	// Feeding only the clone must not move the original.
+	before := p.Predict()
+	for i := 0; i < 500; i++ {
+		c.ObserveScore(0.95)
+	}
+	if p.Predict() != before {
+		t.Error("observing the clone moved the original")
+	}
+}
+
+func TestEVTPredictorObserveScoreZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(evtSeed + 2))
+	p := NewEVTPredictor(0.01, stats.Preference{})
+	p.Refit(evtScores(rng, 1500), nil)
+	if allocs := testing.AllocsPerRun(200, func() { p.ObserveScore(0.4) }); allocs != 0 {
+		t.Fatalf("ObserveScore allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestMonitorEVTEndToEnd trains an EVT-predictor monitor on seeded KPI data
+// and streams the held-out tail: the per-point threshold must stay in the
+// clamp band throughout and actually move (it is dynamic, unlike EWMA).
+func TestMonitorEVTEndToEnd(t *testing.T) {
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = 10
+	d := kpigen.Generate(p, evtSeed)
+	ppw, err := d.Series.PointsPerWeek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := d.Series.Len() - ppw
+	mon, err := NewMonitor(d.Series.Slice(0, boot), d.Labels[:boot], smallRegistry(t), MonitorConfig{
+		Forest:        forest.Config{Trees: 10, Seed: 1},
+		Predictor:     PredictEVT,
+		EVTQ:          0.02,
+		SkipInitialCV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon.PredictorKind() != PredictEVT {
+		t.Fatalf("PredictorKind = %v", mon.PredictorKind())
+	}
+	seen := map[float64]bool{}
+	for _, v := range d.Series.Values[boot:] {
+		verdict := mon.Step(v)
+		if math.IsNaN(verdict.CThld) || verdict.CThld < 0.01 || verdict.CThld > 0.99 {
+			t.Fatalf("EVT threshold %v escaped the clamp band", verdict.CThld)
+		}
+		seen[verdict.CThld] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("EVT threshold never moved across %d held-out points", ppw)
+	}
+}
+
+// TestMonitorTypeHeadAccuracy is the type-head accuracy floor on a seeded
+// medium KPI: train verdict + type heads on all but the trailing two weeks,
+// stream the rest, and require that among alarmed points inside typed
+// injection windows at least 60% of the head's non-abstaining predictions
+// name the injected class.
+func TestMonitorTypeHeadAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains on a medium KPI")
+	}
+	p := kpigen.PV(kpigen.Medium)
+	d := kpigen.Generate(p, evtSeed)
+	types := kpigen.TypedLabels(d)
+	ppw, err := d.Series.PointsPerWeek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := d.Series.Len() - 2*ppw
+	mon, err := NewMonitor(d.Series.Slice(0, boot), d.Labels[:boot], smallRegistry(t), MonitorConfig{
+		Forest:        forest.Config{Trees: 20, Seed: 1},
+		TypeLabels:    types[:boot],
+		SkipInitialCV: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mon.HasTypeModel() {
+		t.Fatal("typed labels did not train a head")
+	}
+	classified, correct := 0, 0
+	for i, v := range d.Series.Values[boot:] {
+		verdict := mon.Step(v)
+		truth := types[boot+i]
+		if !verdict.Anomalous || truth == 0 || verdict.Class == ClassNone {
+			continue
+		}
+		classified++
+		if uint8(verdict.Class) == truth {
+			correct++
+		}
+	}
+	if classified == 0 {
+		t.Fatal("no alarmed typed points were classified; head always abstained")
+	}
+	acc := float64(correct) / float64(classified)
+	t.Logf("type head: %d classified, accuracy %.3f", classified, acc)
+	if acc < 0.6 {
+		t.Fatalf("type-head accuracy %.3f below the 0.6 floor (%d/%d)", acc, correct, classified)
+	}
+}

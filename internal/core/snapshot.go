@@ -42,6 +42,14 @@ type snapshotDTO struct {
 	EWMAAlpha   float64
 	Preference  stats.Preference
 	MinDuration int
+	// PredKind and EVTQ (added with the EVT predictor) ride without a
+	// version bump: gob decodes a legacy snapshot with both zero, which is
+	// exactly PredictEWMA, and a legacy binary ignores the new fields. The
+	// EVT fit state itself is never serialized — a restored EVT monitor
+	// starts from the saved CThld and re-establishes its tail at the next
+	// retrain, which keeps twin restores bit-identical.
+	PredKind uint8
+	EVTQ     float64
 }
 
 const snapshotVersion = 2
@@ -92,8 +100,14 @@ func (m *Monitor) SaveModel(w io.Writer) error {
 		Forest:      fbuf.Bytes(),
 		ForestCfg:   m.fcfg,
 		CThld:       m.cthld,
-		EWMAAlpha:   m.pred.ewma.Alpha,
 		Preference:  m.pref,
+		PredKind:    uint8(m.pred.Kind()),
+	}
+	switch p := m.pred.(type) {
+	case *CThldPredictor:
+		dto.EWMAAlpha = p.ewma.Alpha
+	case *EVTPredictor:
+		dto.EVTQ = p.Q()
 	}
 	if m.filter != nil {
 		dto.MinDuration = m.filter.MinPoints
@@ -164,14 +178,68 @@ func LoadMonitor(r io.Reader, recent *timeseries.Series, dets []detectors.Detect
 			}
 		}
 	}
-	pred := NewCThldPredictor(dto.EWMAAlpha)
+	pred := newPredictor(PredictorKind(dto.PredKind), dto.EWMAAlpha, dto.EVTQ, dto.Preference)
 	pred.Seed(dto.CThld)
 	m.pred = pred
+	m.dynamic = pred.Kind() != PredictEWMA
 	m.cthld = dto.CThld
 	if dto.MinDuration > 1 {
 		m.filter = &DurationFilter{MinPoints: dto.MinDuration}
 	}
 	return m, nil
+}
+
+// typeDTO is the gob wire form of the anomaly-type head: its own artifact
+// kind in the multi-model manifest, serialized and fingerprint-checked
+// separately from the verdict snapshot so a corrupt type artifact can be
+// quarantined without touching the verdict path.
+type typeDTO struct {
+	Version     int
+	Fingerprint uint64
+	Model       []byte
+}
+
+const typeSnapshotVersion = 1
+
+// SaveTypeModel writes the trained anomaly-type head to w, stamped with the
+// same deployment fingerprint as the verdict snapshot. It errors when no
+// type head is trained; callers gate on HasTypeModel.
+func (m *Monitor) SaveTypeModel(w io.Writer) error {
+	if m.typeModel == nil {
+		return errors.New("core: no anomaly-type head trained")
+	}
+	var buf bytes.Buffer
+	if err := m.typeModel.Save(&buf); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(typeDTO{
+		Version:     typeSnapshotVersion,
+		Fingerprint: m.Fingerprint(),
+		Model:       buf.Bytes(),
+	})
+}
+
+// RestoreTypeModel attaches a SaveTypeModel artifact to a restored monitor.
+// Version and fingerprint mismatches fail with the same typed errors as
+// LoadMonitor, leaving the monitor's existing type head (usually nil)
+// untouched — the verdict path never degrades on the type head's account.
+func (m *Monitor) RestoreTypeModel(r io.Reader) error {
+	var dto typeDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("core: decode type snapshot: %v (%w)", err, ErrSnapshotVersion)
+	}
+	if dto.Version != typeSnapshotVersion {
+		return fmt.Errorf("core: type snapshot version %d, want %d (%w)", dto.Version, typeSnapshotVersion, ErrSnapshotVersion)
+	}
+	if want := m.Fingerprint(); dto.Fingerprint != want {
+		return fmt.Errorf("core: type snapshot fingerprint %016x, deployment is %016x (%w)", dto.Fingerprint, want, ErrSnapshotFingerprint)
+	}
+	tm, err := forest.LoadMulti(bytes.NewReader(dto.Model))
+	if err != nil {
+		return fmt.Errorf("core: %v (%w)", err, ErrSnapshotVersion)
+	}
+	m.typeModel = tm
+	return nil
 }
 
 // rewarm replays history through one detector inside a panic sandbox,

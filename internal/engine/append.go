@@ -22,6 +22,10 @@ type Verdict struct {
 	Probability float64 `json:"probability"`
 	Anomalous   bool    `json:"anomalous"`
 	Degraded    bool    `json:"degraded,omitempty"`
+	// Type is the anomaly-type head's prediction for an anomalous verdict
+	// ("spike", "drop", ...); empty when the point is normal, the head
+	// abstains, or no head is trained.
+	Type string `json:"type,omitempty"`
 }
 
 // Alarm is one anomalous verdict the engine raised. Field tags double as
@@ -31,6 +35,9 @@ type Alarm struct {
 	Value       float64   `json:"value"`
 	Probability float64   `json:"probability"`
 	CThld       float64   `json:"cthld"`
+	// Type is the predicted anomaly class, when a type head is trained and
+	// did not abstain.
+	Type string `json:"type,omitempty"`
 }
 
 // AppendResult reports one Append call.
@@ -124,6 +131,9 @@ func (e *Engine) appendSeries(ctx context.Context, m *managed, pts []Point, vbuf
 	for _, p := range pts {
 		m.series.Append(p.Value)
 		m.labels = append(m.labels, false)
+		if m.typed != nil {
+			m.typed = append(m.typed, 0)
+		}
 	}
 	alarmsRaised := 0
 	switch {
@@ -152,7 +162,9 @@ func (e *Engine) appendSeries(ctx context.Context, m *managed, pts []Point, vbuf
 		m.vbatch = m.monitor.StepBatch(m.series.Values[base:m.series.Len()], m.vbatch[:0])
 		for i, v := range m.vbatch {
 			idx := base + i
-			vbuf = append(vbuf, Verdict{Index: idx, Probability: v.Probability, Anomalous: v.Anomalous})
+			// Class.Wire returns a constant string ("" for none), so the
+			// verdict stays allocation-free.
+			vbuf = append(vbuf, Verdict{Index: idx, Probability: v.Probability, Anomalous: v.Anomalous, Type: v.Class.Wire()})
 			if m.active != nil {
 				// Allocation-free by contract: uncertainty sampling and the
 				// drift histogram ride every trained verdict.
@@ -165,6 +177,7 @@ func (e *Engine) appendSeries(ctx context.Context, m *managed, pts []Point, vbuf
 					Value:       pts[i].Value,
 					Probability: v.Probability,
 					CThld:       v.CThld,
+					Type:        v.Class.Wire(),
 				})
 			}
 			if m.incident != nil {

@@ -297,11 +297,18 @@ type shard struct {
 type managed struct {
 	name string
 
-	mu            sync.Mutex
-	series        *timeseries.Series
-	labels        timeseries.Labels
+	mu     sync.Mutex
+	series *timeseries.Series
+	labels timeseries.Labels
+	// typed is the per-point anomaly-class channel parallel to labels
+	// (core.AnomalyClass wire codes). It stays nil until the first typed
+	// label arrives — mirroring tsdb.Loaded.Types — so untyped series pay
+	// nothing for the feature.
+	typed         []uint8
 	pref          stats.Preference
 	trees         int
+	predKind      core.PredictorKind
+	evtQ          float64
 	monitor       *core.Monitor
 	vbatch        []core.Verdict // reusable StepBatch output (guarded by mu)
 	alarms        alarmRing
@@ -544,6 +551,14 @@ type SeriesConfig struct {
 	// RetrainEvery, when > 0, schedules an asynchronous retrain after that
 	// many new points since the last training.
 	RetrainEvery int
+	// CThldPredictor selects the cThld prediction strategy: "" or "ewma"
+	// for the paper's EWMA predictor (§4.5.2), "evt" for the POT/GPD
+	// dynamic predictor re-fitted at every retrain.
+	CThldPredictor string
+	// EVTQ pins the EVT predictor's target exceedance risk (0 < q < 1);
+	// 0 selects weekly auto-calibration of the risk against the labeled
+	// trailing window. Ignored for the EWMA predictor.
+	EVTQ float64
 }
 
 // Create registers a new series. It returns an ErrInvalid-wrapped error for
@@ -564,11 +579,20 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 	if trees <= 0 {
 		trees = 60
 	}
+	predKind, ok := core.ParsePredictorKind(cfg.CThldPredictor)
+	if !ok {
+		return invalidf("unknown cthld predictor %q (want ewma or evt)", cfg.CThldPredictor)
+	}
+	if cfg.EVTQ < 0 || cfg.EVTQ >= 1 {
+		return invalidf("evt q %g out of range (0, 1)", cfg.EVTQ)
+	}
 	m := &managed{
 		name:         name,
 		series:       timeseries.New(name, cfg.Start.UTC(), interval),
 		pref:         pref,
 		trees:        trees,
+		predKind:     predKind,
+		evtQ:         cfg.EVTQ,
 		retrainEvery: cfg.RetrainEvery,
 		alarms:       alarmRing{max: e.maxAlarms},
 	}
@@ -612,6 +636,8 @@ func (e *Engine) Create(name string, cfg SeriesConfig) error {
 			Trees:           trees,
 			WebhookURL:      cfg.WebhookURL,
 			RetrainEvery:    cfg.RetrainEvery,
+			Predictor:       uint8(predKind),
+			EVTQ:            cfg.EVTQ,
 		}); err != nil {
 			return err
 		}
@@ -678,6 +704,11 @@ type Status struct {
 	// Quarantined reports automatic retraining is suspended after repeated
 	// failures; the last good model keeps serving.
 	Quarantined bool `json:"quarantined,omitempty"`
+	// CThldPredictor names the series' cThld prediction strategy ("ewma"
+	// or "evt").
+	CThldPredictor string `json:"cthld_predictor,omitempty"`
+	// TypedModel reports a trained multi-class anomaly-type head is live.
+	TypedModel bool `json:"typed_model,omitempty"`
 }
 
 // Status reports one series' state.
@@ -702,10 +733,13 @@ func (e *Engine) Status(ctx context.Context, name string) (Status, error) {
 		IntervalSeconds: int(m.series.Interval / time.Second),
 		Degraded:        m.degraded,
 		Quarantined:     m.quarantined.Load(),
+		CThldPredictor:  m.predKind.String(),
 	}
 	if m.monitor != nil {
 		st.CThld = m.monitor.CThld()
 		st.TrainedAt = m.trained
+		st.CThldPredictor = m.monitor.PredictorKind().String()
+		st.TypedModel = m.monitor.HasTypeModel()
 	}
 	return st, nil
 }
@@ -727,6 +761,11 @@ type Window struct {
 	Start     int  `json:"start"`
 	End       int  `json:"end"`
 	Anomalous bool `json:"anomalous"`
+	// Type optionally names the anomaly class of an anomalous window
+	// ("spike", "drop", "ramp", "level_shift", "jitter"); typed windows
+	// train the multi-class anomaly-type head at the next retrain. Empty
+	// leaves the window untyped.
+	Type string `json:"type,omitempty"`
 }
 
 // LabelResult summarizes a series' labels after a Label call.
@@ -748,19 +787,39 @@ func (e *Engine) Label(ctx context.Context, name string, windows []Window) (Labe
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, lw := range windows {
+	classes := make([]core.AnomalyClass, len(windows))
+	for wi, lw := range windows {
 		if lw.Start < 0 || lw.End > m.series.Len() || lw.Start >= lw.End {
 			return LabelResult{}, rejectedf("window [%d, %d) out of range 0..%d", lw.Start, lw.End, m.series.Len())
 		}
+		class, ok := core.ParseClass(lw.Type)
+		if !ok {
+			return LabelResult{}, rejectedf("unknown anomaly type %q", lw.Type)
+		}
+		classes[wi] = class
 	}
-	for _, lw := range windows {
+	for wi, lw := range windows {
+		class := classes[wi]
+		typed := lw.Type != ""
+		if typed && m.typed == nil {
+			m.typed = make([]uint8, len(m.labels))
+		}
 		for i := lw.Start; i < lw.End; i++ {
 			m.labels[i] = lw.Anomalous
+			if m.typed != nil {
+				// Keep the channels consistent: an untyped or un-labeling
+				// action clears the class over its range.
+				code := uint8(0)
+				if lw.Anomalous && typed {
+					code = uint8(class)
+				}
+				m.typed[i] = code
+			}
 		}
 		if m.walw != nil {
 			// The writer owns failure accounting and logging; a write that
 			// blows its deadline flips the series degraded inside.
-			m.walw.appendLabel(ctx, lw.Start, lw.End, lw.Anomalous)
+			m.walw.appendLabel(ctx, lw.Start, lw.End, lw.Anomalous, uint8(class), typed)
 		}
 	}
 	return LabelResult{
@@ -854,6 +913,8 @@ func (e *Engine) restoreOne(ctx context.Context, name string) bool {
 		series:       timeseries.New(meta.Name, meta.Start.UTC(), time.Duration(meta.IntervalSeconds)*time.Second),
 		pref:         stats.Preference{Recall: meta.Recall, Precision: meta.Precision},
 		trees:        meta.Trees,
+		predKind:     core.PredictorKind(meta.Predictor),
+		evtQ:         meta.EVTQ,
 		retrainEvery: meta.RetrainEvery,
 		alarms:       alarmRing{max: e.maxAlarms},
 	}
@@ -863,6 +924,7 @@ func (e *Engine) restoreOne(ctx context.Context, name string) bool {
 	e.attachActive(m)
 	m.series.Values = loaded.Values
 	m.labels = timeseries.Labels(loaded.Labels)
+	m.typed = loaded.Types
 	if meta.WebhookURL != "" {
 		e.attachIncident(m, meta.WebhookURL)
 	}

@@ -104,13 +104,21 @@ func (e *Engine) publishNow(m *managed) (bool, error) {
 		if err := mon.SaveModel(&buf); err != nil {
 			return err
 		}
+		payloads := map[string][]byte{modelreg.KindVerdict: buf.Bytes()}
+		if mon.HasTypeModel() {
+			var tbuf bytes.Buffer
+			if err := mon.SaveTypeModel(&tbuf); err != nil {
+				return err
+			}
+			payloads[modelreg.KindType] = tbuf.Bytes()
+		}
 		var err error
-		g, err = e.models.Publish(m.name, modelreg.Info{
+		g, err = e.models.PublishSet(m.name, modelreg.Info{
 			Fingerprint: mon.Fingerprint(),
 			Points:      points,
 			CThld:       mon.CThld(),
 			TrainedAt:   trained,
-		}, buf.Bytes())
+		}, payloads)
 		return err
 	})
 	if err != nil {
@@ -182,14 +190,17 @@ func warmWindow(s *timeseries.Series) *timeseries.Series {
 	return s
 }
 
-// loadMonitorFromArtifact loads series' newest valid artifact into a monitor,
-// re-warming detectors from the trailing window of snap. An artifact that can
-// never load (snapshot format skew, gob garbage behind a valid CRC) is
-// quarantined; a fingerprint mismatch (trained under a different detector
+// loadMonitorFromArtifact loads series' newest valid artifact set into a
+// monitor, re-warming detectors from the trailing window of snap. An artifact
+// that can never load (snapshot format skew, gob garbage behind a valid CRC)
+// is quarantined; a fingerprint mismatch (trained under a different detector
 // registry, tree count, or preference) is left in place — the operator may
-// revert the deployment change — but still fails the warm rung.
-func (e *Engine) loadMonitorFromArtifact(m *managed, snap *timeseries.Series) (*core.Monitor, *modelreg.Artifact, error) {
-	art, err := e.models.Load(m.name)
+// revert the deployment change — but still fails the warm rung. The verdict
+// head decides the rung: a type-head payload that fails its own restore is
+// quarantined by kind and the monitor serves without it (verdicts keep
+// flowing, predicted types stop until the next publish).
+func (e *Engine) loadMonitorFromArtifact(m *managed, snap *timeseries.Series) (*core.Monitor, *modelreg.LoadedSet, error) {
+	set, err := e.models.LoadSet(m.name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -197,21 +208,34 @@ func (e *Engine) loadMonitorFromArtifact(m *managed, snap *timeseries.Series) (*
 	if err != nil {
 		return nil, nil, err
 	}
-	mon, err := core.LoadMonitor(bytes.NewReader(art.Payload), warmWindow(snap), dets, core.LoadConfig{
+	mon, err := core.LoadMonitor(bytes.NewReader(set.Payloads[modelreg.KindVerdict]), warmWindow(snap), dets, core.LoadConfig{
 		Trees:           m.trees,
 		Preference:      m.pref,
 		OnDetectorPanic: e.panicHook(m.name),
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrSnapshotVersion) {
-			if qErr := e.models.Quarantine(m.name, art.Gen); qErr != nil {
+			if qErr := e.models.Quarantine(m.name, set.Gen); qErr != nil {
 				e.log.Error("artifact unloadable and quarantine failed",
-					"series", m.name, "gen", art.Gen, "err", qErr)
+					"series", m.name, "gen", set.Gen, "err", qErr)
 			}
 		}
 		return nil, nil, err
 	}
-	return mon, art, nil
+	if tp, ok := set.Payloads[modelreg.KindType]; ok {
+		if terr := mon.RestoreTypeModel(bytes.NewReader(tp)); terr != nil {
+			e.log.Warn("type head unloadable; serving verdict head only",
+				"series", m.name, "gen", set.Gen, "err", terr)
+			if qErr := e.models.QuarantineKind(m.name, set.Gen, modelreg.KindType); qErr != nil {
+				e.log.Error("type-head quarantine failed", "series", m.name, "gen", set.Gen, "err", qErr)
+			}
+		}
+	}
+	for _, kind := range set.Unavailable {
+		e.log.Warn("secondary model artifact unavailable", "series", m.name,
+			"gen", set.Gen, "kind", kind)
+	}
+	return mon, set, nil
 }
 
 // warmRestore is the warm rung of the restore ladder for a series not yet

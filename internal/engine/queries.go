@@ -92,9 +92,14 @@ func (e *Engine) AnswerQuery(ctx context.Context, name string, start, end int, a
 	}
 	for i := start; i < end; i++ {
 		m.labels[i] = anomalous
+		// Query answers carry no anomaly type; clear any stale class so the
+		// typed channel never disagrees with the labels.
+		if m.typed != nil {
+			m.typed[i] = 0
+		}
 	}
 	if m.walw != nil {
-		m.walw.appendLabel(ctx, start, end, anomalous)
+		m.walw.appendLabel(ctx, start, end, anomalous, 0, false)
 	}
 	e.counters.queriesAnswered.Add(1)
 	return LabelResult{

@@ -284,8 +284,20 @@ type walOp struct {
 	start     int
 	end       int
 	anomalous bool
+	typed     bool  // the label carries an anomaly class
+	class     uint8 // core.AnomalyClass wire code
 	done      chan error
 }
+
+// TypedLabelStore is the optional store capability for anomaly-class label
+// records. *tsdb.Store implements it; a store without it (test fakes,
+// older stores) silently degrades typed labels to plain ones in the log —
+// the in-memory typed channel is unaffected.
+type TypedLabelStore interface {
+	AppendTypedLabel(ctx context.Context, name string, start, end int, anomalous bool, class uint8) error
+}
+
+var _ TypedLabelStore = (*tsdb.Store)(nil)
 
 // walWriter serializes one series' durable writes on a dedicated
 // goroutine. Ops are enqueued under the series mutex, so queue order is
@@ -377,7 +389,11 @@ func (w *walWriter) exec(op walOp) {
 		// the caller's await has its own deadline.
 		err = w.eng.store.AppendPoints(context.Background(), w.series, op.values)
 	case opLabel:
-		err = w.eng.store.AppendLabel(context.Background(), w.series, op.start, op.end, op.anomalous)
+		if ts, ok := w.eng.store.(TypedLabelStore); ok && op.typed {
+			err = ts.AppendTypedLabel(context.Background(), w.series, op.start, op.end, op.anomalous, op.class)
+		} else {
+			err = w.eng.store.AppendLabel(context.Background(), w.series, op.start, op.end, op.anomalous)
+		}
 	case opBarrier:
 		// Nothing: completing it is the point.
 	}
@@ -435,11 +451,12 @@ func (w *walWriter) createSeries(meta tsdb.Meta) error {
 	return err
 }
 
-// appendLabel routes one label record through the queue. Healthy path:
-// wait up to the WAL deadline, flipping degraded on a miss. Degraded
-// path: enqueue without waiting. Callers hold m.mu.
-func (w *walWriter) appendLabel(ctx context.Context, start, end int, anomalous bool) {
-	op := walOp{kind: opLabel, start: start, end: end, anomalous: anomalous}
+// appendLabel routes one label record through the queue (typed when the
+// action carries an anomaly class). Healthy path: wait up to the WAL
+// deadline, flipping degraded on a miss. Degraded path: enqueue without
+// waiting. Callers hold m.mu.
+func (w *walWriter) appendLabel(ctx context.Context, start, end int, anomalous bool, class uint8, typed bool) {
+	op := walOp{kind: opLabel, start: start, end: end, anomalous: anomalous, class: class, typed: typed}
 	if w.m.degraded {
 		if !w.enqueue(op) {
 			w.eng.log.Error("wal label dropped: writer saturated", "series", w.series)

@@ -75,6 +75,10 @@ func (e *Engine) train(ctx context.Context, m *managed) (res TrainResult, err er
 	m.mu.Lock()
 	snap := m.series.Clone()
 	labels := m.labels.Clone()
+	var typed []uint8
+	if m.typed != nil {
+		typed = append([]uint8(nil), m.typed...)
+	}
 	cur := m.monitor
 	m.mu.Unlock()
 
@@ -83,7 +87,7 @@ func (e *Engine) train(ctx context.Context, m *managed) (res TrainResult, err er
 	if err != nil {
 		return TrainResult{}, rejected(err)
 	}
-	next, err := e.fitSupervised(ctx, m, snap, labels, cur, dets)
+	next, err := e.fitSupervised(ctx, m, snap, labels, typed, cur, dets)
 	if err != nil {
 		return TrainResult{}, err
 	}
@@ -129,7 +133,7 @@ func (e *Engine) train(ctx context.Context, m *managed) (res TrainResult, err er
 // finishes so its budget is returned and its result can never be swapped
 // in. Caller holds m.trainMu, so m.featCache is stable here.
 func (e *Engine) fitSupervised(ctx context.Context, m *managed, snap *timeseries.Series,
-	labels timeseries.Labels, cur *core.Monitor, dets []detectors.Detector) (*core.Monitor, error) {
+	labels timeseries.Labels, typed []uint8, cur *core.Monitor, dets []detectors.Detector) (*core.Monitor, error) {
 
 	deadline := time.Duration(e.trainDeadline.Load())
 	if dl, ok := ctx.Deadline(); ok {
@@ -143,12 +147,15 @@ func (e *Engine) fitSupervised(ctx context.Context, m *managed, snap *timeseries
 			cfg := core.MonitorConfig{
 				Preference:      m.pref,
 				Forest:          forest.Config{Trees: m.trees, Seed: 1},
+				Predictor:       m.predKind,
+				EVTQ:            m.evtQ,
+				TypeLabels:      typed,
 				OnDetectorPanic: e.panicHook(m.name),
 				Cache:           cache,
 			}
 			return core.NewMonitor(snap, labels, dets, cfg)
 		}
-		return cur.RetrainSnapshotCached(snap, labels, dets, cache)
+		return cur.RetrainSnapshotTyped(snap, labels, typed, dets, cache)
 	}
 	if deadline <= 0 && ctx.Done() == nil {
 		// Watchdog disabled and nothing to cancel on: fit inline.

@@ -222,6 +222,7 @@ func Registry() []Meta {
 		{"AblPool", "Ablation: forest accuracy vs configuration-pool size", AblationPool},
 		{"AblNoise", "Sec 4.2: robustness to operator labeling noise", LabelNoise},
 		{"DRIFT", "Sec 3.2: novel anomaly types and incremental retraining", Drift},
+		{"EVT", "EVT/POT dynamic cThld vs EWMA prediction (served path A/B)", EVTvsEWMA},
 		{"ACTIVE", "Active learning: label cost of uncertainty queries vs full labeling", Active},
 		{"IMP", "Forest feature importances per KPI (automated Fig 5)", Importance},
 	}

@@ -1,0 +1,49 @@
+package kpigen
+
+// Wire anomaly-class codes, mirroring core's AnomalyClass constants. kpigen
+// cannot import core (core's own tests generate data with kpigen, which would
+// cycle), so the codes are restated here and pinned equal to core's in
+// typedwire_test.go. They are wire-stable: never renumber.
+const (
+	classNone       uint8 = 0
+	classSpike      uint8 = 1
+	classDrop       uint8 = 2
+	classRamp       uint8 = 3
+	classLevelShift uint8 = 4
+	classJitter     uint8 = 5
+)
+
+// ClassOf maps an injected anomaly shape to the wire anomaly-class code the
+// multi-class head predicts (core.AnomalyClass values).
+func ClassOf(t AnomalyType) uint8 {
+	switch t {
+	case SuddenSpike:
+		return classSpike
+	case SuddenDrop:
+		return classDrop
+	case RampDown:
+		return classRamp
+	case LevelShift:
+		return classLevelShift
+	case Jitter:
+		return classJitter
+	}
+	return classNone
+}
+
+// TypedLabels derives one anomaly-class code per point from the dataset's
+// injected anomaly schedule: points inside a half-open injection window
+// [Start, End) carry that anomaly's class, everything else classNone.
+// Windows never overlap (injection enforces ≥ 1 point of separation), so the
+// derivation is unambiguous and exact at window edges: index Start is typed,
+// index End is not.
+func TypedLabels(d *Dataset) []uint8 {
+	out := make([]uint8, d.Series.Len())
+	for _, a := range d.Anomalies {
+		c := ClassOf(a.Type)
+		for i := a.Window.Start; i < a.Window.End && i < len(out); i++ {
+			out[i] = c
+		}
+	}
+	return out
+}

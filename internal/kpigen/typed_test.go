@@ -1,0 +1,98 @@
+package kpigen
+
+import (
+	"math/rand"
+	"testing"
+
+	"opprentice/internal/core"
+)
+
+// typedSeed pins the typed-label derivation tests (PR 5 seed policy).
+const typedSeed int64 = 20260810
+
+// TestTypedLabelsExactAtWindowEdges: the derivation is half-open [Start,
+// End) with no off-by-one — index Start carries the class, index End (and
+// Start−1) do not, for every injected window across seeded profiles.
+func TestTypedLabelsExactAtWindowEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(typedSeed))
+	for _, p := range Profiles(Small) {
+		for trial := 0; trial < 3; trial++ {
+			d := Generate(p, typedSeed+rng.Int63n(1000))
+			types := TypedLabels(d)
+			if len(types) != d.Series.Len() {
+				t.Fatalf("%s: %d types for %d points", p.Name, len(types), d.Series.Len())
+			}
+			for _, a := range d.Anomalies {
+				want := ClassOf(a.Type)
+				if want == classNone {
+					t.Fatalf("%s: anomaly type %v maps to ClassNone", p.Name, a.Type)
+				}
+				if got := types[a.Window.Start]; got != want {
+					t.Errorf("%s: types[Start=%d] = %d, want %d", p.Name, a.Window.Start, got, want)
+				}
+				if got := types[a.Window.End-1]; got != want {
+					t.Errorf("%s: types[End-1=%d] = %d, want %d", p.Name, a.Window.End-1, got, want)
+				}
+				if a.Window.End < len(types) && types[a.Window.End] == want && !d.Labels[a.Window.End] {
+					t.Errorf("%s: types[End=%d] typed beyond the half-open window", p.Name, a.Window.End)
+				}
+			}
+		}
+	}
+}
+
+// TestTypedLabelsAgreeWithLabels: a point is typed exactly when it is
+// labeled anomalous — the class channel never disagrees with ground truth.
+func TestTypedLabelsAgreeWithLabels(t *testing.T) {
+	for _, p := range Profiles(Small) {
+		d := Generate(p, typedSeed+7)
+		types := TypedLabels(d)
+		for i, typed := range types {
+			if (typed != classNone) != bool(d.Labels[i]) {
+				t.Fatalf("%s: point %d typed=%d labeled=%v", p.Name, i, typed, d.Labels[i])
+			}
+		}
+	}
+}
+
+// TestClassOfCoversAllShapes pins the injected-shape → wire-class mapping.
+func TestClassOfCoversAllShapes(t *testing.T) {
+	want := map[AnomalyType]uint8{
+		SuddenSpike: classSpike,
+		SuddenDrop:  classDrop,
+		RampDown:    classRamp,
+		LevelShift:  classLevelShift,
+		Jitter:      classJitter,
+	}
+	for typ, class := range want {
+		if got := ClassOf(typ); got != class {
+			t.Errorf("ClassOf(%v) = %v, want %v", typ, got, class)
+		}
+	}
+	if got := ClassOf(AnomalyType(99)); got != classNone {
+		t.Errorf("ClassOf(unknown) = %v, want classNone", got)
+	}
+}
+
+// TestWireCodesMatchCore pins kpigen's restated class codes to core's
+// AnomalyClass constants — the two packages cannot import each other in
+// non-test code, so this is the guard against drift.
+func TestWireCodesMatchCore(t *testing.T) {
+	pins := []struct {
+		name string
+		ours uint8
+		core core.AnomalyClass
+	}{
+		{"none", classNone, core.ClassNone},
+		{"spike", classSpike, core.ClassSpike},
+		{"drop", classDrop, core.ClassDrop},
+		{"ramp", classRamp, core.ClassRamp},
+		{"level_shift", classLevelShift, core.ClassLevelShift},
+		{"jitter", classJitter, core.ClassJitter},
+	}
+	for _, p := range pins {
+		if p.ours != uint8(p.core) {
+			t.Errorf("%s: kpigen code %d != core code %d", p.name, p.ours, uint8(p.core))
+		}
+	}
+}

@@ -156,6 +156,14 @@ type Generation struct {
 	CThld float64 `json:"cthld"`
 	// TrainedAt is when the model finished training.
 	TrainedAt time.Time `json:"trained_at"`
+	// Artifacts is the multi-model artifact set: one kind-tagged entry per
+	// model kind published under this generation (the verdict classifier,
+	// the anomaly-type head, ...). Legacy single-model manifests omit it —
+	// the top-level File/CRC/Size/Fingerprint fields then describe the
+	// verdict artifact alone, and refs() synthesizes the equivalent set. In
+	// the multi-model form the top-level fields mirror the verdict entry so
+	// legacy readers keep working.
+	Artifacts []ArtifactRef `json:"artifacts,omitempty"`
 }
 
 // Manifest is a series' generation index. The JSON tags double as the
@@ -219,67 +227,15 @@ func genFileName(gen uint64) string { return fmt.Sprintf("%012d.model", gen) }
 // discipline). If anything fails before the manifest rename, the previous
 // generation remains current and loadable; the orphaned artifact is swept by
 // a later publish. Old generations beyond Keep are pruned after the manifest
-// is durable.
+// is durable. It is PublishSet with a verdict-only artifact set.
 func (r *Registry) Publish(series string, info Info, payload []byte) (Generation, error) {
-	l := r.lockFor(series)
-	l.Lock()
-	defer l.Unlock()
-
-	dir, err := r.seriesDir(series)
-	if err != nil {
-		return Generation{}, err
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return Generation{}, fmt.Errorf("registry: %w", err)
-	}
-
-	man, err := r.readManifest(series)
-	switch {
-	case err == nil:
-	case errors.Is(err, ErrUnknownSeries):
-		man = &Manifest{Series: series}
-	case errors.Is(err, ErrCorruptManifest):
-		// readManifest already quarantined it; start a fresh index. The old
-		// artifacts stay on disk for offline inspection but are orphaned.
-		man = &Manifest{Series: series}
-	default:
-		return Generation{}, err
-	}
-
-	gen := nextGen(man, dir)
-	r.sweepStray(dir, man)
-
-	g := Generation{
-		Gen:         gen,
-		File:        genFileName(gen),
-		CRC:         crc32.Checksum(payload, crcTable),
-		Size:        int64(len(payload)),
-		Fingerprint: info.Fingerprint,
-		Points:      info.Points,
-		CThld:       info.CThld,
-		TrainedAt:   info.TrainedAt.UTC(),
-	}
-	if err := r.writeAtomic(dir, g.File, frame(payload)); err != nil {
-		return Generation{}, fmt.Errorf("registry: publish %s gen %d: %w", series, gen, err)
-	}
-
-	man.Generations = append(man.Generations, g)
-	man.Current = gen
-	pruned := pruneManifest(man, r.keep)
-	if err := r.writeManifest(dir, man); err != nil {
-		return Generation{}, fmt.Errorf("registry: publish %s gen %d manifest: %w", series, gen, err)
-	}
-	// Only after the manifest is durable do the pruned artifacts go away; a
-	// crash in between leaves orphans that the next publish sweeps.
-	for _, p := range pruned {
-		_ = os.Remove(filepath.Join(dir, p.File))
-	}
-	return g, nil
+	return r.PublishSet(series, info, map[string][]byte{KindVerdict: payload})
 }
 
 // nextGen picks the next generation number: one past both the manifest's
 // maximum and any stray artifact files on disk (from a crash between
-// artifact rename and manifest write).
+// artifact rename and manifest write), in either the legacy or the
+// kind-tagged file form.
 func nextGen(man *Manifest, dir string) uint64 {
 	var max uint64
 	for _, g := range man.Generations {
@@ -290,17 +246,33 @@ func nextGen(man *Manifest, dir string) uint64 {
 	entries, err := os.ReadDir(dir)
 	if err == nil {
 		for _, e := range entries {
-			base, ok := strings.CutSuffix(e.Name(), ".model")
-			if !ok {
-				continue
-			}
-			gen, err := strconv.ParseUint(base, 10, 64)
-			if err == nil && e.Name() == genFileName(gen) && gen > max {
+			if gen, ok := genOfArtifact(e.Name()); ok && gen > max {
 				max = gen
 			}
 		}
 	}
 	return max + 1
+}
+
+// genOfArtifact parses the generation of an artifact file name, accepting
+// the legacy verdict form 000000000001.model and the kind-tagged form
+// 000000000001.<kind>.model. Quarantined files (*.corrupt) do not match.
+func genOfArtifact(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".model")
+	if !ok {
+		return 0, false
+	}
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	if len(base) != 12 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
 }
 
 // sweepStray removes temp files and unreferenced artifact files left behind
@@ -309,7 +281,9 @@ func nextGen(man *Manifest, dir string) uint64 {
 func (r *Registry) sweepStray(dir string, man *Manifest) {
 	referenced := make(map[string]bool, len(man.Generations))
 	for _, g := range man.Generations {
-		referenced[g.File] = true
+		for _, ref := range g.refs() {
+			referenced[ref.File] = true
+		}
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -473,6 +447,37 @@ func ParseManifest(data []byte) (*Manifest, error) {
 		if g.Size < 0 || g.Points < 0 {
 			return nil, fmt.Errorf("generation %d has negative size or points (%w)", g.Gen, ErrCorruptManifest)
 		}
+		// Multi-model entries: validated only when present, so legacy
+		// single-model manifests parse forever.
+		if len(g.Artifacts) > 0 {
+			kinds := make(map[string]bool, len(g.Artifacts))
+			var vref *ArtifactRef
+			for j := range g.Artifacts {
+				ref := &g.Artifacts[j]
+				if !validKind(ref.Kind) {
+					return nil, fmt.Errorf("generation %d artifact %d has invalid kind %q (%w)", g.Gen, j, ref.Kind, ErrCorruptManifest)
+				}
+				if kinds[ref.Kind] {
+					return nil, fmt.Errorf("generation %d has duplicate %q artifacts (%w)", g.Gen, ref.Kind, ErrCorruptManifest)
+				}
+				kinds[ref.Kind] = true
+				if ref.File == "" || strings.ContainsAny(ref.File, "/\\") || strings.Contains(ref.File, "..") {
+					return nil, fmt.Errorf("generation %d artifact %q has invalid file %q (%w)", g.Gen, ref.Kind, ref.File, ErrCorruptManifest)
+				}
+				if ref.Size < 0 {
+					return nil, fmt.Errorf("generation %d artifact %q has negative size (%w)", g.Gen, ref.Kind, ErrCorruptManifest)
+				}
+				if ref.Kind == KindVerdict {
+					vref = ref
+				}
+			}
+			if vref == nil {
+				return nil, fmt.Errorf("generation %d has artifacts but no %q entry (%w)", g.Gen, KindVerdict, ErrCorruptManifest)
+			}
+			if vref.File != g.File || vref.CRC != g.CRC || vref.Size != g.Size || vref.Fingerprint != g.Fingerprint {
+				return nil, fmt.Errorf("generation %d verdict artifact does not mirror the legacy fields (%w)", g.Gen, ErrCorruptManifest)
+			}
+		}
 	}
 	if len(man.Generations) > 0 && !seen[man.Current] {
 		return nil, fmt.Errorf("current gen %d not in generation list (%w)", man.Current, ErrCorruptManifest)
@@ -485,64 +490,15 @@ func ParseManifest(data []byte) (*Manifest, error) {
 // quarantines each damaged artifact (renames it to *.corrupt, counts a
 // checksum failure) and tries the next older generation — a crash or bit
 // flip costs one generation, never the series. Generations newer than
-// current (rolled back from) are not considered.
+// current (rolled back from) are not considered. It is LoadSet reduced to
+// the verdict artifact; secondary kinds are still validated (and damaged
+// ones quarantined) along the way.
 func (r *Registry) Load(series string) (*Artifact, error) {
-	l := r.lockFor(series)
-	l.Lock()
-	defer l.Unlock()
-
-	man, err := r.readManifest(series)
+	set, err := r.LoadSet(series)
 	if err != nil {
 		return nil, err
 	}
-	dir, err := r.seriesDir(series)
-	if err != nil {
-		return nil, err
-	}
-	if len(man.Generations) == 0 {
-		return nil, fmt.Errorf("registry: %s: %w", series, ErrNoArtifact)
-	}
-
-	// Candidates: current first, then strictly older, newest first.
-	var candidates []Generation
-	for i := len(man.Generations) - 1; i >= 0; i-- {
-		if g := man.Generations[i]; g.Gen <= man.Current {
-			candidates = append(candidates, g)
-		}
-	}
-	changed := false
-	var lastErr error
-	for _, g := range candidates {
-		path := filepath.Join(dir, g.File)
-		data, err := os.ReadFile(path)
-		if err != nil {
-			if !errors.Is(err, fs.ErrNotExist) {
-				lastErr = err
-			}
-			continue
-		}
-		payload, crc, err := unframe(data)
-		if err == nil && crc != g.CRC {
-			err = fmt.Errorf("frame checksum %08x does not match manifest %08x (%w)", crc, g.CRC, ErrCorruptArtifact)
-		}
-		if err != nil {
-			r.checksumFailures.Add(1)
-			_ = os.Rename(path, path+".corrupt")
-			changed = true
-			lastErr = fmt.Errorf("gen %d: %w", g.Gen, err)
-			continue
-		}
-		if changed && g.Gen != man.Current {
-			// Persist the fallback so operators see what is actually served.
-			man.Current = g.Gen
-			_ = r.writeManifest(dir, man)
-		}
-		return &Artifact{Generation: g, Payload: payload}, nil
-	}
-	if lastErr != nil {
-		return nil, fmt.Errorf("registry: %s: %w (%w)", series, lastErr, ErrNoArtifact)
-	}
-	return nil, fmt.Errorf("registry: %s: %w", series, ErrNoArtifact)
+	return &Artifact{Generation: set.Generation, Payload: set.Payloads[KindVerdict]}, nil
 }
 
 // Manifest returns a copy of the series' manifest.
@@ -636,11 +592,20 @@ func (r *Registry) Quarantine(series string, gen uint64) error {
 		if g.Gen != gen {
 			continue
 		}
-		path := filepath.Join(dir, g.File)
-		if err := os.Rename(path, path+".corrupt"); err != nil {
-			return fmt.Errorf("registry: quarantine %s gen %d: %w", series, gen, err)
+		// Every kind of the generation is set aside: damage the frame cannot
+		// see (a decodable-but-unloadable snapshot) discredits the whole
+		// trained set. A secondary kind already missing is fine; a verdict
+		// rename failure is not.
+		for _, ref := range g.refs() {
+			path := filepath.Join(dir, ref.File)
+			if err := os.Rename(path, path+".corrupt"); err != nil {
+				if ref.Kind == KindVerdict {
+					return fmt.Errorf("registry: quarantine %s gen %d: %w", series, gen, err)
+				}
+				continue
+			}
+			r.checksumFailures.Add(1)
 		}
-		r.checksumFailures.Add(1)
 		return nil
 	}
 	return fmt.Errorf("registry: quarantine %s: no generation %d", series, gen)

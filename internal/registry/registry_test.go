@@ -312,6 +312,22 @@ func FuzzParseManifest(f *testing.F) {
 	f.Add([]byte(`{"generations":[{"gen":2},{"gen":1}]}`))
 	valid, _ := json.Marshal(Manifest{Series: "pv", Current: 1, Generations: []Generation{{Gen: 1, File: "000000000001.model"}}})
 	f.Add(valid)
+	// Multi-model era seeds: a valid kind-tagged set (verdict mirrored into
+	// the legacy fields), a duplicate kind, a missing verdict entry, a path
+	// escape in a secondary kind, and a broken legacy mirror.
+	multi := Manifest{Series: "pv", Current: 1, Generations: []Generation{{
+		Gen: 1, File: "000000000001.model", CRC: 7, Size: 3,
+		Artifacts: []ArtifactRef{
+			{Kind: KindVerdict, File: "000000000001.model", CRC: 7, Size: 3},
+			{Kind: KindType, File: "000000000001.atype.model", CRC: 9, Size: 5},
+		},
+	}}}
+	validMulti, _ := json.Marshal(multi)
+	f.Add(validMulti)
+	f.Add([]byte(`{"current":1,"generations":[{"gen":1,"file":"a","artifacts":[{"kind":"atype","file":"a"},{"kind":"atype","file":"b"}]}]}`))
+	f.Add([]byte(`{"current":1,"generations":[{"gen":1,"file":"a","artifacts":[{"kind":"atype","file":"b"}]}]}`))
+	f.Add([]byte(`{"current":1,"generations":[{"gen":1,"file":"a","artifacts":[{"kind":"verdict","file":"a"},{"kind":"atype","file":"../x"}]}]}`))
+	f.Add([]byte(`{"current":1,"generations":[{"gen":1,"file":"a","crc":1,"artifacts":[{"kind":"verdict","file":"a","crc":2}]}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		man, err := ParseManifest(data)
 		if err != nil {

@@ -282,6 +282,14 @@ type CreateRequest struct {
 	// retrain runs asynchronously on the engine's background workers; the
 	// triggering points request returns immediately.
 	RetrainEvery int `json:"retrain_every,omitempty"`
+	// CThldPredictor selects the dynamic-threshold predictor: "ewma" (the
+	// paper's default, also the empty string) or "evt" (POT/GPD extreme-value
+	// thresholds).
+	CThldPredictor string `json:"cthld_predictor,omitempty"`
+	// EVTQ pins the EVT predictor's target exceedance probability per
+	// point (0 < q < 1); 0 selects weekly auto-calibration of the risk
+	// against the labeled trailing window. Ignored for "ewma".
+	EVTQ float64 `json:"evt_q,omitempty"`
 }
 
 // Point is one (timestamp, value) observation; Timestamp is optional and,
@@ -386,6 +394,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Trees:           req.Trees,
 		WebhookURL:      req.WebhookURL,
 		RetrainEvery:    req.RetrainEvery,
+		CThldPredictor:  req.CThldPredictor,
+		EVTQ:            req.EVTQ,
 	}); err != nil {
 		s.fail(w, err)
 		return

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"opprentice/internal/core"
+	"opprentice/internal/kpigen"
+)
+
+// TestClientTypedLifecycle drives the EVT predictor and the anomaly-type head
+// through the HTTP wire: a series created with cthld_predictor=evt, labeled
+// with typed windows, trained, and hit with a blatant sustained drop must
+// surface the predicted type on /v1/alarms — and the label/alarm Type fields
+// must survive the client round trip verbatim.
+func TestClientTypedLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	c := newClientPair(t)
+	ctx := context.Background()
+
+	if err := c.Create(ctx, "pv", CreateRequest{
+		IntervalSeconds: 3600,
+		Start:           testStart,
+		Trees:           10,
+		CThldPredictor:  "evt",
+		EVTQ:            0.02,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown predictor names are rejected at create time.
+	if err := c.Create(ctx, "bad", CreateRequest{
+		IntervalSeconds: 3600, Start: testStart, CThldPredictor: "pot",
+	}); err == nil {
+		t.Error("unknown cthld_predictor accepted")
+	}
+
+	p := kpigen.PV(kpigen.Small)
+	p.Interval = time.Hour
+	p.Weeks = 9
+	d := kpigen.Generate(p, 71)
+	pts := make([]Point, len(d.Series.Values))
+	for i, v := range d.Series.Values {
+		pts[i] = Point{Value: v}
+	}
+	if _, err := c.Append(ctx, "pv", pts); err != nil {
+		t.Fatal(err)
+	}
+	var windows []LabelWindow
+	for _, a := range d.Anomalies {
+		windows = append(windows, LabelWindow{
+			Start:     a.Window.Start,
+			End:       a.Window.End,
+			Anomalous: true,
+			Type:      core.AnomalyClass(kpigen.ClassOf(a.Type)).Wire(),
+		})
+	}
+	if err := c.Label(ctx, "pv", windows); err != nil {
+		t.Fatal(err)
+	}
+	// An unknown type name is rejected wholesale.
+	if err := c.Label(ctx, "pv", []LabelWindow{{Start: 0, End: 1, Anomalous: true, Type: "meltdown"}}); err == nil {
+		t.Error("unknown anomaly type accepted")
+	}
+	if _, err := c.Train(ctx, "pv"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx, "pv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CThldPredictor != "evt" {
+		t.Errorf("status cthld_predictor = %q, want evt", st.CThldPredictor)
+	}
+	if !st.TypedModel {
+		t.Error("status should report a trained type head")
+	}
+
+	// A sustained 95% drop must alarm, and the alarms must carry a valid
+	// predicted type through JSON and back.
+	last := d.Series.Values[len(d.Series.Values)-1]
+	drop := make([]Point, 6)
+	for i := range drop {
+		drop[i] = Point{Value: last * 0.05}
+	}
+	if _, err := c.Append(ctx, "pv", drop); err != nil {
+		t.Fatal(err)
+	}
+	alarms, err := c.Alarms(ctx, "pv", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("no alarms after a 95% drop")
+	}
+	typedSeen := false
+	for _, a := range alarms {
+		cls, ok := core.ParseClass(a.Type)
+		if !ok {
+			t.Fatalf("alarm carries unparsable type %q", a.Type)
+		}
+		if cls != core.ClassNone {
+			typedSeen = true
+		}
+	}
+	if !typedSeen {
+		t.Error("no alarm carried a predicted type; head abstained on a blatant drop")
+	}
+}

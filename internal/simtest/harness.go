@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"opprentice/internal/alerting"
+	"opprentice/internal/core"
 	"opprentice/internal/detectors"
 	"opprentice/internal/engine"
 	"opprentice/internal/faultinject"
@@ -43,13 +44,19 @@ type pubRecord struct {
 // seriesState is the mirror model of one simulated series: everything the
 // engine should believe, derived independently from the scenario.
 type seriesState struct {
-	spec SeriesSpec
-	data *kpigen.Dataset
-	ppw  int
+	spec  SeriesSpec
+	data  *kpigen.Dataset
+	ppw   int
+	truth []uint8 // per-point injected anomaly class (wire codes)
 
-	total            int    // points appended so far
-	labeledTo        int    // labeling high-water mark (index)
-	labels           []bool // mirror of the engine's label state
+	total     int     // points appended so far
+	labeledTo int     // labeling high-water mark (index)
+	labels    []bool  // mirror of the engine's label state
+	types     []uint8 // mirror of the engine's typed-label channel
+	// typedSeen records that a typed window was issued: from then on the
+	// engine and the WAL materialize the class channel (before it they must
+	// not, so legacy byte streams stay legacy).
+	typedSeen        bool
 	trained          bool
 	pointsAtTrain    int // mirror of the engine's retrain watermark
 	pubs             []pubRecord
@@ -120,6 +127,12 @@ type Harness struct {
 	twin       *twinState
 	tornSeries string
 	tornPubLen int
+	// Torn-type bookkeeping, parallel to tornSeries: the series whose current
+	// anomaly-type artifact was torn, and its publication count at the fault
+	// (a later publish makes the torn generation non-current and voids the
+	// expectation).
+	tornTypeSeries string
+	tornTypePubLen int
 
 	trace []string
 
@@ -132,6 +145,11 @@ type Harness struct {
 	// prove the stall invariant bites: with no watchdog the gated round
 	// never completes and the harness must report a watchdog violation.
 	DisableWatchdog bool
+	// MutatePartialPublish, when set, is invoked right after every awaited
+	// publication with the series' artifact directory. The mutation self-test
+	// uses it to emulate a non-atomic multi-kind publish (deleting one kind's
+	// file behind the manifest) and assert the manifest invariant catches it.
+	MutatePartialPublish func(series string, gen uint64, seriesDir string)
 }
 
 // Result summarizes a passing run.
@@ -178,7 +196,7 @@ func NewHarness(scen Scenario, baseDir string, long bool) (*Harness, error) {
 			return nil, err
 		}
 		h.names = append(h.names, spec.Name)
-		h.mirror[spec.Name] = &seriesState{spec: spec, data: data, ppw: ppw}
+		h.mirror[spec.Name] = &seriesState{spec: spec, data: data, ppw: ppw, truth: kpigen.TypedLabels(data)}
 	}
 	return h, nil
 }
@@ -335,6 +353,12 @@ func (h *Harness) boot() error {
 	h.step = -1
 	for _, name := range h.names {
 		st := h.mirror[name]
+		// The sim deliberately keeps the default EWMA cThld predictor: the
+		// manifest invariant pins the live threshold bitwise against the
+		// published one after rollbacks and warm restores, and the EVT
+		// predictor moves its threshold on every served point by design —
+		// that pin would no longer hold. EVT's own behavior is locked down by
+		// core's predictor tests and the engine's zero-alloc pins.
 		if err := h.eng.Create(name, engine.SeriesConfig{
 			IntervalSeconds: int(st.spec.Profile.Interval / time.Second),
 			Start:           st.data.Series.Start,
@@ -430,6 +454,15 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 			if math.IsNaN(v.Probability) || v.Probability < 0 || v.Probability > 1 {
 				return h.fail("verdicts", "series %s: verdict at %d has probability %v outside [0,1]", name, v.Index, v.Probability)
 			}
+			// The predicted-type field is constrained, not pinned: a valid
+			// class name on anomalous verdicts only (abstain and no-head are
+			// empty), never on normal ones.
+			if _, ok := core.ParseClass(v.Type); !ok {
+				return h.fail("verdicts", "series %s: verdict at %d carries unparsable type %q", name, v.Index, v.Type)
+			}
+			if !v.Anomalous && v.Type != "" {
+				return h.fail("verdicts", "series %s: normal verdict at %d carries type %q", name, v.Index, v.Type)
+			}
 			if v.Anomalous {
 				st.anomSinceRestore++
 			}
@@ -452,7 +485,8 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 		for i := range res.Verdicts {
 			a, b := res.Verdicts[i], tres.Verdicts[i]
 			if a.Index != b.Index || a.Anomalous != b.Anomalous ||
-				math.Float64bits(a.Probability) != math.Float64bits(b.Probability) {
+				math.Float64bits(a.Probability) != math.Float64bits(b.Probability) ||
+				a.Type != b.Type {
 				return h.fail("restore_determinism", "series %s: verdict %d diverges between identically restored engines: live %+v vs twin %+v",
 					name, i, a, b)
 			}
@@ -463,6 +497,7 @@ func (h *Harness) appendChecked(st *seriesState, n int) error {
 	h.ingestSinceRestore += n
 	for i := 0; i < n; i++ {
 		st.labels = append(st.labels, false)
+		st.types = append(st.types, 0)
 	}
 
 	if expectTrain {
@@ -534,16 +569,23 @@ func (h *Harness) awaitPublishInto(st *seriesState, res engine.TrainResult) erro
 		return h.fail("publish", "series %s: model publication failed: %v", name, pub.err)
 	}
 	st.pubs = append(st.pubs, pubRecord{gen: pub.gen, trainedAt: res.TrainedAt, points: res.Points, cthld: res.CThld})
+	if h.MutatePartialPublish != nil {
+		h.MutatePartialPublish(name, pub.gen, filepath.Join(h.modelDir, name))
+	}
 	return nil
 }
 
 // labelRange pushes the simulated operator's (noisy) labels for truth range
 // [lo, hi) and cross-checks the engine's anomalous-point count against the
-// mirror.
+// mirror. On a typed series the operator also names each window's anomaly
+// class — the dominant injected class under the (jittered) window, the way a
+// real operator recognizes the shape rather than the exact boundaries; a
+// noisy window overlapping no injection stays untyped.
 func (h *Harness) labelRange(st *seriesState, lo, hi int) error {
 	name := st.spec.Name
 	noisy := st.spec.Operator.Label(st.data.Labels[lo:hi])
 	var windows []engine.Window
+	var classes []uint8
 	for _, w := range noisy.Windows() {
 		start, end := w.Start+lo, w.End+lo
 		if start < 0 {
@@ -555,7 +597,16 @@ func (h *Harness) labelRange(st *seriesState, lo, hi int) error {
 		if start >= end {
 			continue
 		}
-		windows = append(windows, engine.Window{Start: start, End: end, Anomalous: true})
+		ew := engine.Window{Start: start, End: end, Anomalous: true}
+		var class uint8
+		if st.spec.Typed {
+			class = dominantClass(st.truth, start, end)
+			if class != 0 {
+				ew.Type = core.AnomalyClass(class).Wire()
+			}
+		}
+		windows = append(windows, ew)
+		classes = append(classes, class)
 	}
 	st.labeledTo = hi
 	if len(windows) == 0 {
@@ -565,15 +616,40 @@ func (h *Harness) labelRange(st *seriesState, lo, hi int) error {
 	if err != nil {
 		return h.fail("label", "series %s: labeling [%d,%d) rejected: %v", name, lo, hi, err)
 	}
-	for _, w := range windows {
+	for wi, w := range windows {
+		if w.Type != "" {
+			st.typedSeen = true
+		}
 		for i := w.Start; i < w.End; i++ {
 			st.labels[i] = true
+			// An untyped anomalous window writes class 0, which matches the
+			// engine's clear-on-plain-label rule because every labeled range
+			// here is fresh (labels trail the appends, windows are disjoint).
+			st.types[i] = classes[wi]
 		}
 	}
 	if want := countTrue(st.labels); res.AnomalousPoints != want {
 		return h.fail("label", "series %s: engine reports %d anomalous points, mirror %d", name, res.AnomalousPoints, want)
 	}
 	return nil
+}
+
+// dominantClass returns the most frequent nonzero injected class over
+// truth[start:end), or 0 when the range overlaps no typed injection.
+func dominantClass(truth []uint8, start, end int) uint8 {
+	var counts [6]int
+	for i := start; i < end && i < len(truth); i++ {
+		if c := truth[i]; int(c) < len(counts) {
+			counts[c]++
+		}
+	}
+	best, n := uint8(0), 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > n {
+			best, n = uint8(c), counts[c]
+		}
+	}
+	return best
 }
 
 // applyFault dispatches one scheduled fault.
@@ -583,6 +659,8 @@ func (h *Harness) applyFault(f FaultEvent) error {
 		return h.faultWALCorrupt(f.Series)
 	case FaultTornArtifact:
 		return h.faultTornArtifact()
+	case FaultTornTypeArtifact:
+		return h.faultTornTypeArtifact()
 	case FaultRollback:
 		return h.faultRollback()
 	case FaultCrashRestore:
@@ -660,6 +738,40 @@ func (h *Harness) faultTornArtifact() error {
 	return nil
 }
 
+// faultTornTypeArtifact flips a byte in the current anomaly-type artifact of
+// the first healthy series that has one. The next restore must quarantine
+// only that kind: the generation keeps serving verdicts warm, with the type
+// head gone until the next publish.
+func (h *Harness) faultTornTypeArtifact() error {
+	for _, name := range h.names {
+		st := h.mirror[name]
+		if st.dead || st.corrupted || len(st.pubs) == 0 {
+			continue
+		}
+		man, err := h.eng.ModelManifest(name)
+		if err != nil {
+			return h.fail("manifest", "series %s: manifest unreadable before torn-type fault: %v", name, err)
+		}
+		cur := manifestCurrent(man)
+		if cur == nil {
+			return h.fail("manifest", "series %s: current generation %d missing from manifest", name, man.Current)
+		}
+		ref := cur.Ref(modelreg.KindType)
+		if ref == nil {
+			continue // untyped series publish verdict-only generations
+		}
+		path := filepath.Join(h.modelDir, name, ref.File)
+		if err := faultinject.FlipByte(path, -3); err != nil {
+			return fmt.Errorf("simtest: tear %s: %w", path, err)
+		}
+		h.tornTypeSeries, h.tornTypePubLen = name, len(st.pubs)
+		h.tracef("step %d: torn_type_artifact %s gen %d", h.step, name, man.Current)
+		return nil
+	}
+	h.tracef("step %d: torn_type_artifact skipped (no healthy series with a type artifact)", h.step)
+	return nil
+}
+
 // faultRollback rolls the first eligible series back one generation and
 // checks the live hot-swap took effect (manifest and live cThld agree).
 func (h *Harness) faultRollback() error {
@@ -687,6 +799,12 @@ func (h *Harness) faultRollback() error {
 		}
 		if !status.TrainedAt.Equal(cur.TrainedAt) {
 			return h.fail("rollback", "series %s: live model trained at %v, rolled-back generation at %v", name, status.TrainedAt, cur.TrainedAt)
+		}
+		// Both heads must follow the rollback: the type head serves exactly
+		// when the rolled-back generation has a loadable type artifact.
+		if wantTyped := typeArtifactLoadable(h.modelDir, name, cur); status.TypedModel != wantTyped {
+			return h.fail("rollback", "series %s: live type head %v but rolled-back generation %d has type artifact %v — the hot-swap moved only one head",
+				name, status.TypedModel, cur.Gen, wantTyped)
 		}
 		// The engine pins the retrain watermark to the stream head so the
 		// rollback is not immediately republished over.
@@ -750,6 +868,17 @@ func countTrue(bs []bool) int {
 		}
 	}
 	return n
+}
+
+// typeArtifactLoadable reports whether the generation names a type artifact
+// whose file is still on disk (not quarantined to *.corrupt).
+func typeArtifactLoadable(modelDir, series string, g *modelreg.Generation) bool {
+	ref := g.Ref(modelreg.KindType)
+	if ref == nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(modelDir, series, ref.File))
+	return err == nil
 }
 
 // manifestCurrent returns the manifest entry Current points at, or nil.

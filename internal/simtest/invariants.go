@@ -127,10 +127,14 @@ func (h *Harness) awaitPub(name string) (pubEvent, error) {
 }
 
 // checkManifest re-reads the series' manifest bytes from disk, asserts they
-// parse and that the current generation has an intact entry. With checkCThld
-// the current entry must also record exactly the given threshold and the
-// mirror's training watermark — the manifest and the live monitor may never
-// disagree about what is deployed.
+// parse, that the current generation has an intact entry, and that every
+// artifact kind the entry names is on disk and not truncated — the
+// multi-kind publish commits atomically, so a manifest may never name a
+// kind whose artifact did not land. With checkCThld the current entry must
+// also record exactly the given threshold and the mirror's training
+// watermark, and the live monitor must agree with the manifest about the
+// type head — the manifest and the live monitor may never disagree about
+// what is deployed.
 func (h *Harness) checkManifest(st *seriesState, cthld float64, checkCThld bool) error {
 	name := st.spec.Name
 	path := filepath.Join(h.modelDir, name, "manifest.json")
@@ -146,8 +150,20 @@ func (h *Harness) checkManifest(st *seriesState, cthld float64, checkCThld bool)
 	if cur == nil {
 		return h.fail("manifest", "series %s: current generation %d has no manifest entry", name, man.Current)
 	}
-	if _, err := os.Stat(filepath.Join(h.modelDir, name, cur.File)); err != nil {
-		return h.fail("manifest", "series %s: current generation %d artifact %s missing: %v", name, cur.Gen, cur.File, err)
+	for _, kind := range cur.Kinds() {
+		ref := cur.Ref(kind)
+		if ref == nil {
+			return h.fail("manifest", "series %s: current generation %d lists kind %q without an artifact ref", name, cur.Gen, kind)
+		}
+		fi, err := os.Stat(filepath.Join(h.modelDir, name, ref.File))
+		if err != nil {
+			return h.fail("manifest", "series %s: current generation %d kind %q artifact %s missing — the kind set did not publish atomically: %v",
+				name, cur.Gen, kind, ref.File, err)
+		}
+		if fi.Size() < ref.Size {
+			return h.fail("manifest", "series %s: current generation %d kind %q artifact %s truncated: %d bytes on disk for a %d-byte payload",
+				name, cur.Gen, kind, ref.File, fi.Size(), ref.Size)
+		}
 	}
 	if checkCThld {
 		if math.Float64bits(cur.CThld) != math.Float64bits(cthld) {
@@ -155,6 +171,14 @@ func (h *Harness) checkManifest(st *seriesState, cthld float64, checkCThld bool)
 		}
 		if cur.Points != st.pointsAtTrain {
 			return h.fail("manifest", "series %s: manifest gen %d published at %d points, mirror watermark %d", name, cur.Gen, cur.Points, st.pointsAtTrain)
+		}
+		status, serr := h.eng.Status(context.Background(), name)
+		if serr != nil {
+			return h.fail("manifest", "series %s: status after publish: %v", name, serr)
+		}
+		if hasType := cur.Ref(modelreg.KindType) != nil; status.TypedModel != hasType {
+			return h.fail("manifest", "series %s: live type head %v but just-published generation %d has a type artifact %v — both heads must publish and swap together",
+				name, status.TypedModel, cur.Gen, hasType)
 		}
 	}
 	return nil
@@ -196,12 +220,17 @@ func (h *Harness) crashRestore() error {
 		return fmt.Errorf("simtest: snapshot model dir: %w", err)
 	}
 
-	// Evaluate the torn-artifact expectation against the mirror before any
+	// Evaluate the torn-artifact expectations against the mirror before any
 	// restore-driven publication can move the generation count.
 	tornPending := false
 	if h.tornSeries != "" {
 		st := h.mirror[h.tornSeries]
 		tornPending = !st.dead && !st.corrupted && h.tornPubLen == len(st.pubs)
+	}
+	tornTypePending := false
+	if h.tornTypeSeries != "" {
+		st := h.mirror[h.tornTypeSeries]
+		tornTypePending = !st.dead && !st.corrupted && h.tornTypePubLen == len(st.pubs)
 	}
 
 	// Restore the live engine.
@@ -254,7 +283,7 @@ func (h *Harness) crashRestore() error {
 		}
 		h.tracef("step %d: torn artifact on %s detected by restore (checksum failures %d)", h.step, h.tornSeries, c.ModelChecksumFailures)
 		h.tornSeries, h.tornPubLen = "", 0
-	} else if c.ModelChecksumFailures != 0 {
+	} else if h.tornTypeSeries == "" && c.ModelChecksumFailures != 0 {
 		return h.fail("torn_artifact", "restore reported %d artifact checksum failures with no torn-artifact fault scheduled", c.ModelChecksumFailures)
 	}
 
@@ -302,6 +331,31 @@ drained:
 		return h.fail("restore", "engine counted %d warm restores, mirror expected %d", c.ModelRestoreWarm, alive-len(cold))
 	}
 
+	// Torn type artifact: one torn secondary kind must cost exactly that kind.
+	// The registry quarantines it (a checksum failure), the generation stays
+	// current and serves verdicts warm, and the restored engine runs without
+	// a type head until the next publish.
+	if h.tornTypeSeries != "" {
+		name := h.tornTypeSeries
+		if tornTypePending {
+			if c.ModelChecksumFailures == 0 {
+				return h.fail("torn_artifact", "series %s: type artifact torn before the crash but the registry reported no checksum failure — the damaged head was served", name)
+			}
+			if _, isCold := cold[name]; isCold {
+				return h.fail("torn_artifact", "series %s: one torn secondary kind forced a cold restore — the verdict head must keep the generation serving warm", name)
+			}
+			status, serr := h.eng.Status(context.Background(), name)
+			if serr != nil {
+				return h.fail("torn_artifact", "series %s: status after torn-type restore: %v", name, serr)
+			}
+			if status.TypedModel {
+				return h.fail("torn_artifact", "series %s: type artifact torn and quarantined but the restored engine still serves a type head", name)
+			}
+			h.tracef("step %d: torn type artifact on %s quarantined by restore (checksum failures %d)", h.step, name, c.ModelChecksumFailures)
+		}
+		h.tornTypeSeries, h.tornTypePubLen = "", 0
+	}
+
 	// Per-series state checks against the mirror, and the warm-path pin: a
 	// warm series serves the manifest's current generation, bit for bit.
 	for _, name := range h.names {
@@ -338,6 +392,10 @@ drained:
 			if !status.TrainedAt.Equal(cur.TrainedAt) {
 				return h.fail("restore", "series %s: warm restore serves a model trained at %v, manifest gen %d records %v",
 					name, status.TrainedAt, cur.Gen, cur.TrainedAt)
+			}
+			if wantTyped := typeArtifactLoadable(h.modelDir, name, cur); status.TypedModel != wantTyped {
+				return h.fail("restore", "series %s: warm restore serves type head %v but manifest gen %d has a loadable type artifact %v",
+					name, status.TypedModel, cur.Gen, wantTyped)
 			}
 			st.pointsAtTrain = cur.Points
 			h.tracef("step %d: %s restored warm (gen %d, %d points)", h.step, name, cur.Gen, cur.Points)
@@ -382,6 +440,7 @@ drained:
 		}
 		if live.Points != twin.Points || live.AnomalousPoints != twin.AnomalousPoints ||
 			live.LabeledWindows != twin.LabeledWindows || live.Trained != twin.Trained ||
+			live.TypedModel != twin.TypedModel ||
 			math.Float64bits(live.CThld) != math.Float64bits(twin.CThld) {
 			return h.fail("restore_determinism", "series %s: two engines restored from identical disk state diverge: live %+v vs twin %+v",
 				name, live, twin)
@@ -535,6 +594,23 @@ func (h *Harness) checkWALs() error {
 			for i, l := range loaded.Labels {
 				if l != st.labels[i] {
 					return h.fail("wal", "series %s: replayed label at %d is %v, mirror holds %v", name, i, l, st.labels[i])
+				}
+			}
+			// The typed anomaly-class channel materializes exactly when a
+			// typed label was issued (legacy byte streams stay legacy) and
+			// then replays bit for bit against the mirror.
+			if !st.typedSeen {
+				if loaded.Types != nil {
+					return h.fail("wal", "series %s: replay materialized a typed channel (%d entries) but no typed label was ever issued", name, len(loaded.Types))
+				}
+			} else {
+				if len(loaded.Types) != st.total {
+					return h.fail("wal", "series %s: replayed %d typed-class entries, mirror holds %d", name, len(loaded.Types), st.total)
+				}
+				for i, cl := range loaded.Types {
+					if cl != st.types[i] {
+						return h.fail("wal", "series %s: replayed anomaly class at %d is %d, mirror holds %d", name, i, cl, st.types[i])
+					}
 				}
 			}
 		}

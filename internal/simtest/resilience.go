@@ -63,6 +63,18 @@ func (g *gatedStore) AppendLabel(ctx context.Context, name string, start, end in
 	return g.Store.AppendLabel(ctx, name, start, end, anomalous)
 }
 
+// AppendTypedLabel forwards the optional anomaly-class capability through the
+// gate. The embedded interface would hide it (it is not part of engine.Store),
+// and the engine's contract for a store without it is to silently degrade
+// typed labels to plain records — which the WAL-replay invariant rejects.
+func (g *gatedStore) AppendTypedLabel(ctx context.Context, name string, start, end int, anomalous bool, class uint8) error {
+	g.gate.Wait()
+	if ts, ok := g.Store.(engine.TypedLabelStore); ok {
+		return ts.AppendTypedLabel(ctx, name, start, end, anomalous, class)
+	}
+	return g.Store.AppendLabel(ctx, name, start, end, anomalous)
+}
+
 // chooseHungTarget picks the series whose next batch will cross the retrain
 // watermark (so the wedged round is a scheduled retrain, not a manual one),
 // preferring the scenario's choice. Empty when no series qualifies this
@@ -417,6 +429,7 @@ func (h *Harness) appendRaw(st *seriesState, n int) (engine.AppendResult, error)
 	h.ingestSinceRestore += n
 	for i := 0; i < n; i++ {
 		st.labels = append(st.labels, false)
+		st.types = append(st.types, 0)
 	}
 	return res, nil
 }

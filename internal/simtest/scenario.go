@@ -9,9 +9,14 @@
 //
 //   - exactly one verdict per appended point, with contiguous indices,
 //     across retrain, restore and rollback monitor swaps;
-//   - WAL replay bit-identical to the mirror (values and labels), with
-//     strictly monotonic derived timestamps, and corrupt logs quarantined
-//     rather than served;
+//   - WAL replay bit-identical to the mirror (values, labels, and the typed
+//     anomaly-class channel), with strictly monotonic derived timestamps,
+//     and corrupt logs quarantined rather than served;
+//   - multi-kind manifests atomic: every artifact kind the current
+//     generation names is on disk after a publish, the manifest and the live
+//     monitor agree about the type head, and a torn secondary kind costs
+//     only that kind (quarantined; the generation keeps serving verdicts
+//     warm) while a torn verdict falls the whole generation back;
 //   - incremental feature extraction bit-identical to a cold Extract
 //     (core.FeatureCache.VerifyAgainstCold after every retrain);
 //   - restore deterministic: two engines restored from identical disk state
@@ -56,11 +61,17 @@ const (
 	// live engine keeps serving from memory; the next restore must fail the
 	// log's checksum, quarantine it, and carry on with the other series.
 	FaultWALCorrupt FaultKind = iota
-	// FaultTornArtifact flips a byte inside the current model artifact of one
-	// series, simulating torn storage under the registry. The next restore
+	// FaultTornArtifact flips a byte inside the current verdict artifact of
+	// one series, simulating torn storage under the registry. The next restore
 	// must detect the bad frame and fall back (previous generation or cold
 	// retrain) without serving the damaged model.
 	FaultTornArtifact
+	// FaultTornTypeArtifact flips a byte inside the current anomaly-type
+	// artifact of one typed series. Unlike a torn verdict, one torn secondary
+	// kind costs only that kind: the next restore must quarantine it, keep the
+	// generation current, and serve the verdict head warm with the type head
+	// gone (Status.TypedModel false) until the next publish.
+	FaultTornTypeArtifact
 	// FaultRollback rolls one series' model back a generation through the
 	// public API and expects the live monitor to hot-swap to it.
 	FaultRollback
@@ -92,6 +103,8 @@ func (k FaultKind) String() string {
 		return "wal_corrupt"
 	case FaultTornArtifact:
 		return "torn_artifact"
+	case FaultTornTypeArtifact:
+		return "torn_type_artifact"
 	case FaultRollback:
 		return "rollback"
 	case FaultCrashRestore:
@@ -123,6 +136,11 @@ type SeriesSpec struct {
 	Profile  kpigen.Profile
 	GenSeed  int64
 	Operator labelsim.Operator
+	// Typed makes the simulated operator attach anomaly-type names to its
+	// label windows (derived from the injection schedule), so the series
+	// trains a multi-class type head and publishes two-kind manifests.
+	// Untyped series keep exercising the single-kind manifest shape.
+	Typed bool
 }
 
 // Scenario is one reproducible simulation: everything the harness does is a
@@ -158,10 +176,10 @@ func (s Scenario) stepsPerWeek() int {
 }
 
 // GenScenario derives a scenario from a seed. Every scenario includes at
-// least one crash+restore and one rollback (the acceptance floor); WAL
-// corruption, torn artifacts, an extra early crash, and a panicking detector
-// ride along pseudo-randomly. long roughly doubles the driven length for
-// soak runs.
+// least one crash+restore, one rollback, and one torn artifact (verdict or
+// type head, 50/50 — the acceptance floor); WAL corruption, an extra early
+// crash, and a panicking detector ride along pseudo-randomly. long roughly
+// doubles the driven length for soak runs.
 func GenScenario(seed int64, long bool) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	driveWeeks := 2
@@ -193,6 +211,10 @@ func GenScenario(seed int64, long bool) Scenario {
 				MissProb:       0.1,
 				Seed:           rng.Int63(),
 			},
+			// Series 0 stays untyped so every scenario drives both manifest
+			// shapes: legacy single-kind (verdict only) and multi-kind
+			// (verdict + atype) side by side.
+			Typed: i != 0,
 		})
 	}
 
@@ -244,12 +266,16 @@ func GenScenario(seed int64, long bool) Scenario {
 	// first weekly retrain, i.e. from the second driven week on).
 	rollback := spw + rng.Intn(spw-3)
 	faults = append(faults, FaultEvent{Step: rollback, Kind: FaultRollback})
-	// Optional torn artifact after the rollback, then the mandatory crash in
-	// the same driven week (so the torn generation is still current when the
-	// restore walks the registry).
+	// Mandatory torn artifact after the rollback — one of the two kinds, so
+	// the matrix covers both the whole-generation fallback (torn verdict) and
+	// the single-kind quarantine (torn type head) — then the mandatory crash
+	// in the same driven week (so the torn generation is still current when
+	// the restore walks the registry).
 	torn := rollback + 1
-	if rng.Float64() < 0.6 {
+	if rng.Float64() < 0.5 {
 		faults = append(faults, FaultEvent{Step: torn, Kind: FaultTornArtifact})
+	} else {
+		faults = append(faults, FaultEvent{Step: torn, Kind: FaultTornTypeArtifact})
 	}
 	crash := torn + 1 + rng.Intn(steps-torn-2)
 	faults = append(faults, FaultEvent{Step: crash, Kind: FaultCrashRestore})

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -16,10 +18,11 @@ var (
 )
 
 // matrixSeeds are the fixed seeds `make sim` runs. Every generated scenario
-// contains at least one crash+restore, one rollback, one ingest flood, one
-// slow-disk stall and one hung trainer; the optional faults (WAL corruption,
-// torn artifacts, early crashes, panicking detectors) vary across the seeds,
-// so the matrix as a whole covers every fault kind.
+// contains at least one crash+restore, one rollback, one torn artifact
+// (verdict or type head), one ingest flood, one slow-disk stall and one hung
+// trainer; the optional faults (WAL corruption, early crashes, panicking
+// detectors, and which artifact kind is torn) vary across the seeds, so the
+// matrix as a whole covers every fault kind.
 var matrixSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
 
 // runScenario executes one scenario to completion and fails the test with
@@ -95,6 +98,48 @@ func TestSimCatchesVerdictLoss(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "go test ./internal/simtest -run TestSimSeed -seed=1") {
 		t.Fatalf("violation report lacks the reproduction command:\n%v", err)
+	}
+}
+
+// TestSimCatchesPartialPublish is the multi-kind manifest invariant's
+// self-test: a publish that loses one kind's artifact behind the manifest
+// (emulated by deleting a generation's anomaly-type file right after its
+// publication) must be caught as a seed-reproducible manifest violation
+// naming the missing kind, not silently absorbed.
+func TestSimCatchesPartialPublish(t *testing.T) {
+	scen := GenScenario(1, false)
+	h, err := NewHarness(scen, t.TempDir(), false)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	deleted := false
+	h.MutatePartialPublish = func(series string, gen uint64, dir string) {
+		if deleted {
+			return
+		}
+		// Untyped series publish no atype artifact; the first typed series'
+		// publication is the one this mutation tears apart.
+		path := filepath.Join(dir, fmt.Sprintf("%012d.atype.model", gen))
+		if os.Remove(path) == nil {
+			deleted = true
+		}
+	}
+	_, err = h.Run()
+	if err == nil {
+		t.Fatalf("harness absorbed a partial multi-kind publish without a violation")
+	}
+	if !deleted {
+		t.Fatal("mutation never found an anomaly-type artifact to delete")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("partial publish reported as %T, want *Violation: %v", err, err)
+	}
+	if v.Invariant != "manifest" {
+		t.Fatalf("partial publish blamed on invariant %q, want %q: %v", v.Invariant, "manifest", err)
+	}
+	if !strings.Contains(v.Detail, "atype") {
+		t.Fatalf("violation does not name the missing kind:\n%v", err)
 	}
 }
 

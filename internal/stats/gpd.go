@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements peaks-over-threshold (POT) dynamic thresholding via
+// the generalized Pareto distribution, following the EVT approach the
+// Ensemble2 line of work applies to ensembled anomaly scores: excesses over
+// a high empirical threshold u are fit to a GPD(ξ, σ), and the zq quantile
+//
+//	zq = u + σ/ξ · ((q·n/Nu)^(−ξ) − 1)        (ξ ≠ 0)
+//	zq = u − σ · ln(q·n/Nu)                   (ξ → 0 exponential limit)
+//
+// bounds the score exceeded with probability q, where n is the number of
+// observations and Nu the number of excesses. Every entry point is total:
+// degenerate samples (constant, too few peaks, NaN-holed) fail the fit
+// cleanly and the caller falls back to an empirical quantile.
+
+// GPD is a fitted generalized Pareto distribution over threshold excesses.
+type GPD struct {
+	// Xi is the shape: > 0 heavy tail, < 0 bounded tail, 0 exponential.
+	Xi float64
+	// Sigma is the scale (> 0 for any valid fit).
+	Sigma float64
+}
+
+// xiClamp bounds the fitted shape. Method-of-moments and PWM estimates blow
+// up on tiny or pathological excess samples; thresholds stay finite and
+// numerically sane for |ξ| ≤ 5 at any realistic q.
+const xiClamp = 5.0
+
+// valid reports whether the fit is usable for thresholding.
+func (g GPD) valid() bool {
+	return !math.IsNaN(g.Xi) && !math.IsInf(g.Xi, 0) &&
+		g.Sigma > 0 && !math.IsInf(g.Sigma, 0) &&
+		math.Abs(g.Xi) <= xiClamp
+}
+
+// cleanExcesses drops NaN/Inf/negative values and returns the usable
+// excesses (the fit's sufficient statistics tolerate holes in the sample).
+func cleanExcesses(excesses []float64) []float64 {
+	out := make([]float64, 0, len(excesses))
+	for _, x := range excesses {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// FitGPDMoments fits a GPD to threshold excesses by the method of moments:
+// ξ = (1 − mean²/var)/2, σ = mean·(mean²/var + 1)/2. ok is false when the
+// sample is degenerate (fewer than 2 usable excesses, zero variance, or an
+// out-of-range shape).
+func FitGPDMoments(excesses []float64) (GPD, bool) {
+	xs := cleanExcesses(excesses)
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return GPD{}, false
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var varsum float64
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	variance := varsum / (n - 1)
+	if variance <= 0 || mean <= 0 {
+		return GPD{}, false
+	}
+	r := mean * mean / variance
+	g := GPD{Xi: 0.5 * (1 - r), Sigma: 0.5 * mean * (r + 1)}
+	if !g.valid() {
+		return GPD{}, false
+	}
+	return g, true
+}
+
+// FitGPDPWM fits a GPD to threshold excesses by probability-weighted
+// moments (Hosking & Wallis): with ascending order statistics x_(i),
+// b0 = mean, b1 = Σ (i/(n−1))·x_(i) / n, then ξ = 2 − b0/(b0 − 2·b1) and
+// σ = 2·b0·b1/(b0 − 2·b1). ok is false on degenerate samples.
+func FitGPDPWM(excesses []float64) (GPD, bool) {
+	xs := cleanExcesses(excesses)
+	if len(xs) < 2 {
+		return GPD{}, false
+	}
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var b0, b1 float64
+	for i, x := range xs {
+		b0 += x
+		b1 += float64(i) / (n - 1) * x
+	}
+	b0 /= n
+	b1 /= n
+	den := b0 - 2*b1
+	if b0 <= 0 || den == 0 {
+		return GPD{}, false
+	}
+	g := GPD{Xi: 2 - b0/den, Sigma: 2 * b0 * b1 / den}
+	if !g.valid() {
+		return GPD{}, false
+	}
+	return g, true
+}
+
+// FitGPD fits a GPD to threshold excesses, preferring the PWM estimate
+// (more robust on the small peak sets of a weekly retrain window) and
+// falling back to the method of moments. ok is false when both estimators
+// reject the sample; the caller should then use an empirical quantile.
+func FitGPD(excesses []float64) (GPD, bool) {
+	if g, ok := FitGPDPWM(excesses); ok {
+		return g, ok
+	}
+	return FitGPDMoments(excesses)
+}
+
+// POTThreshold evaluates the POT quantile zq for a fitted GPD: the level
+// exceeded with probability q given n observations of which nu exceeded the
+// peaks threshold u. It returns NaN when the inputs cannot produce a finite
+// threshold (invalid fit, q outside (0, 1), or no peaks); any non-NaN
+// result is finite and ≥ u whenever q·n ≤ nu. The threshold is monotone
+// non-increasing in q: dz/dq = −σ·(qn/nu)^(−ξ−1)·(n/nu) < 0 for every ξ.
+func POTThreshold(u float64, g GPD, n, nu int, q float64) float64 {
+	if !g.valid() || n <= 0 || nu <= 0 || q <= 0 || q >= 1 ||
+		math.IsNaN(u) || math.IsInf(u, 0) {
+		return math.NaN()
+	}
+	ratio := q * float64(n) / float64(nu)
+	var z float64
+	if math.Abs(g.Xi) < 1e-9 {
+		z = u - g.Sigma*math.Log(ratio)
+	} else {
+		z = u + g.Sigma/g.Xi*(math.Pow(ratio, -g.Xi)-1)
+	}
+	if math.IsNaN(z) || math.IsInf(z, 0) {
+		return math.NaN()
+	}
+	return z
+}

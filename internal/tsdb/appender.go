@@ -21,6 +21,7 @@ const (
 	reqLabel
 	reqTombstone
 	reqImport // legacy-log migration: meta + points + labels in one frame
+	reqTypedLabel
 )
 
 type request struct {
@@ -28,8 +29,9 @@ type request struct {
 	name       string
 	meta       Meta      // reqCreate, reqImport
 	values     []float64 // reqPoints, reqImport
-	start, end int       // reqLabel
-	anomalous  bool      // reqLabel
+	start, end int       // reqLabel, reqTypedLabel
+	anomalous  bool      // reqLabel, reqTypedLabel
+	class      byte      // reqTypedLabel
 	labels     []bool    // reqImport
 	resp       chan error
 	err        error // per-request rejection inside an otherwise good batch
@@ -360,8 +362,12 @@ func (e *commitEncoder) add(req *request) error {
 		}
 		ps := e.intern(req.name)
 		scratch := e.internSub(nil, ps)
-		scratch = e.encodeSub(scratch, opMeta, ps.id, func(b []byte) []byte {
-			return appendMeta(b, req.meta)
+		metaOp, encMeta := byte(opMeta), appendMeta
+		if req.meta.Predictor != 0 || req.meta.EVTQ != 0 {
+			metaOp, encMeta = opMetaV2, appendMetaV2
+		}
+		scratch = e.encodeSub(scratch, metaOp, ps.id, func(b []byte) []byte {
+			return encMeta(b, req.meta)
 		})
 		if req.op == reqImport {
 			scratch = e.encodePoints(scratch, ps, req.values)
@@ -409,14 +415,18 @@ func (e *commitEncoder) add(req *request) error {
 		}
 		ps.wrotePoints = true
 		return nil
-	case reqLabel:
+	case reqLabel, reqTypedLabel:
 		ps := e.lookup(req.name)
 		var scratch []byte
 		if ps == nil {
 			ps = e.intern(req.name)
 			scratch = e.internSub(nil, ps)
 		}
-		scratch = e.encodeLabel(scratch, ps.id, req.start, req.end, req.anomalous)
+		if req.op == reqTypedLabel {
+			scratch = e.encodeTypedLabel(scratch, ps.id, req.start, req.end, req.anomalous, req.class)
+		} else {
+			scratch = e.encodeLabel(scratch, ps.id, req.start, req.end, req.anomalous)
+		}
 		if err := e.emit(req.name, ps, scratch); err != nil {
 			if ps.created {
 				e.unstage(req.name, ps)
@@ -578,6 +588,18 @@ func (e *commitEncoder) encodeLabel(b []byte, id uint64, start, end int, anomalo
 			flag = 1
 		}
 		return append(b, flag)
+	})
+}
+
+func (e *commitEncoder) encodeTypedLabel(b []byte, id uint64, start, end int, anomalous bool, class byte) []byte {
+	return e.encodeSub(b, opTypedLabel, id, func(b []byte) []byte {
+		b = appendUvarint(b, uint64(start))
+		b = appendUvarint(b, uint64(end))
+		flag := byte(0)
+		if anomalous {
+			flag = 1
+		}
+		return append(b, flag, class)
 	})
 }
 

@@ -154,10 +154,14 @@ func dumpFrame(w io.Writer, rel string, fr *frameInfo, opts DumpOptions,
 		switch sub.op {
 		case opSeries:
 			line("  series id=%d %q", sub.id, sub.name)
-		case opMeta:
-			line("  meta id=%d %q start=%s interval=%ds trees=%d recall=%g precision=%g retrain=%d",
+		case opMeta, opMetaV2:
+			suffix := ""
+			if sub.op == opMetaV2 {
+				suffix = fmt.Sprintf(" predictor=%d evtq=%g", sub.meta.Predictor, sub.meta.EVTQ)
+			}
+			line("  meta id=%d %q start=%s interval=%ds trees=%d recall=%g precision=%g retrain=%d%s",
 				sub.id, name, sub.meta.Start.Format(time.RFC3339), sub.meta.IntervalSeconds,
-				sub.meta.Trees, sub.meta.Recall, sub.meta.Precision, sub.meta.RetrainEvery)
+				sub.meta.Trees, sub.meta.Recall, sub.meta.Precision, sub.meta.RetrainEvery, suffix)
 		case opPoints:
 			if broken[sub.id] {
 				line("  points id=%d %q count=%d <chain broken upstream>", sub.id, name, sub.count)
@@ -177,6 +181,8 @@ func dumpFrame(w io.Writer, rel string, fr *frameInfo, opts DumpOptions,
 			line("  points id=%d %q count=%d %v", sub.id, name, sub.count, values)
 		case opLabel:
 			line("  label id=%d %q [%d,%d) anomalous=%v", sub.id, name, sub.start, sub.end, sub.anomalous)
+		case opTypedLabel:
+			line("  typedlabel id=%d %q [%d,%d) anomalous=%v class=%d", sub.id, name, sub.start, sub.end, sub.anomalous, sub.class)
 		case opTombstone:
 			line("  tombstone id=%d %q", sub.id, name)
 		}
@@ -206,6 +212,10 @@ func opName(op byte) string {
 		return "label"
 	case opTombstone:
 		return "tombstone"
+	case opTypedLabel:
+		return "typedlabel"
+	case opMetaV2:
+		return "metav2"
 	}
 	return fmt.Sprintf("op%#x", op)
 }

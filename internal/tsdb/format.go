@@ -26,6 +26,15 @@ import (
 //	                       XOR chain continues across frames)
 //	opLabel     payload := uvarint(start) | uvarint(end) | anomalous(1B)
 //	opTombstone payload := (empty; retires the ID — quarantine or removal)
+//	opTypedLabel payload := uvarint(start) | uvarint(end) | anomalous(1B) |
+//	                       class(1B) (a label action carrying the anomaly
+//	                       class; logs written before the op simply never
+//	                       contain it, so Loaded.Types stays nil for them)
+//	opMetaV2    payload := opMeta payload | predictor(1B) | evtQBits(8B LE)
+//	                       (written only for non-default predictor config —
+//	                       opMeta's payload is positional, so extension
+//	                       needs a new op, and defaulted series keep the
+//	                       original byte stream)
 //
 // One frame carries one group-commit batch: every sub-record the shard
 // appender accumulated before a single write+fsync. The CRC covers the kind
@@ -39,11 +48,13 @@ const (
 	segMagic    = "OPSEG001"
 	frameCommit = 0x01
 
-	opSeries    = 0x01
-	opMeta      = 0x02
-	opPoints    = 0x03
-	opLabel     = 0x04
-	opTombstone = 0x05
+	opSeries     = 0x01
+	opMeta       = 0x02
+	opPoints     = 0x03
+	opLabel      = 0x04
+	opTombstone  = 0x05
+	opTypedLabel = 0x06
+	opMetaV2     = 0x07
 
 	// maxFrame bounds a single frame; anything claiming more is structural
 	// corruption, not a large batch (the appender splits bigger batches).
@@ -89,9 +100,10 @@ type subRecord struct {
 	count     uint64
 	stream    []byte
 	streamOff int
-	// opLabel
+	// opLabel / opTypedLabel
 	start, end int
 	anomalous  bool
+	class      byte // opTypedLabel
 }
 
 // parseSubs decodes the sub-records of a commit-frame body (kind byte and
@@ -117,10 +129,18 @@ func parseSubs(body []byte, fn func(sub *subRecord) error) error {
 			}
 			sub.name = string(body[n : n+int(ln)])
 			body = body[n+int(ln):]
-		case opMeta:
+		case opMeta, opMetaV2:
 			rest, meta, err := parseMeta(body)
 			if err != nil {
 				return err
+			}
+			if op == opMetaV2 {
+				if len(rest) < 9 {
+					return fmt.Errorf("%w: bad meta sub-record", ErrCorrupt)
+				}
+				meta.Predictor = rest[0]
+				meta.EVTQ = math.Float64frombits(binary.LittleEndian.Uint64(rest[1:]))
+				rest = rest[9:]
 			}
 			sub.meta, body = meta, rest
 		case opPoints:
@@ -138,17 +158,24 @@ func parseSubs(body []byte, fn func(sub *subRecord) error) error {
 			sub.stream = body[n2 : n2+int(ln)]
 			sub.streamOff = len(full) - len(body) + n2
 			body = body[n2+int(ln):]
-		case opLabel:
+		case opLabel, opTypedLabel:
+			tail := 1 // anomalous flag
+			if op == opTypedLabel {
+				tail = 2 // flag + class
+			}
 			start, n1 := takeUvarint(body)
 			body = body[n1:]
 			end, n2 := takeUvarint(body)
 			body = body[n2:]
-			if n1 == 0 || n2 == 0 || len(body) < 1 ||
+			if n1 == 0 || n2 == 0 || len(body) < tail ||
 				start > math.MaxInt32 || end > math.MaxInt32 {
 				return fmt.Errorf("%w: bad label sub-record", ErrCorrupt)
 			}
 			sub.start, sub.end, sub.anomalous = int(start), int(end), body[0] != 0
-			body = body[1:]
+			if op == opTypedLabel {
+				sub.class = body[1]
+			}
+			body = body[tail:]
 		case opTombstone:
 			// empty payload
 		default:
@@ -170,6 +197,12 @@ func appendMeta(b []byte, m Meta) []byte {
 	b = appendUvarint(b, uint64(m.RetrainEvery))
 	b = appendUvarint(b, uint64(len(m.WebhookURL)))
 	return append(b, m.WebhookURL...)
+}
+
+func appendMetaV2(b []byte, m Meta) []byte {
+	b = appendMeta(b, m)
+	b = append(b, m.Predictor)
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(m.EVTQ))
 }
 
 func parseMeta(b []byte) (rest []byte, m Meta, err error) {

@@ -62,6 +62,13 @@ type Meta struct {
 	Trees           int       `json:"trees"`
 	WebhookURL      string    `json:"webhook_url,omitempty"`
 	RetrainEvery    int       `json:"retrain_every,omitempty"`
+	// Predictor and EVTQ carry the series' cThld-predictor configuration
+	// (core.PredictorKind wire code; 0 = EWMA). A series with non-default
+	// values writes an opMetaV2 record; zero-valued config keeps the
+	// original opMeta byte stream so old logs and new default-config logs
+	// stay bit-identical.
+	Predictor uint8   `json:"predictor,omitempty"`
+	EVTQ      float64 `json:"evt_q,omitempty"`
 }
 
 // Loaded is a series reconstructed from its log.
@@ -69,6 +76,11 @@ type Loaded struct {
 	Meta   Meta
 	Values []float64
 	Labels []bool
+	// Types carries the per-point anomaly class (core.AnomalyClass wire
+	// codes; 0 = none/untyped). It is nil when the log holds no typed label
+	// record — legacy logs and series labeled without a type — and otherwise
+	// runs parallel to Labels.
+	Types []uint8
 }
 
 // Option configures Open.
@@ -326,6 +338,23 @@ func (s *Store) AppendLabel(ctx context.Context, name string, start, end int, an
 	return s.send(ctx, &request{op: reqLabel, name: name, start: start, end: end, anomalous: anomalous})
 }
 
+// AppendTypedLabel durably records one label action carrying an anomaly
+// class over the half-open range [start, end). Context semantics match
+// AppendPoints. class uses the core.AnomalyClass wire codes; replay exposes
+// it via Loaded.Types.
+func (s *Store) AppendTypedLabel(ctx context.Context, name string, start, end int, anomalous bool, class uint8) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if start < 0 || end <= start {
+		return fmt.Errorf("tsdb: invalid label range [%d, %d)", start, end)
+	}
+	if err := s.migrateLegacy(name); err != nil {
+		return err
+	}
+	return s.send(ctx, &request{op: reqTypedLabel, name: name, start: start, end: end, anomalous: anomalous, class: class})
+}
+
 // send enqueues one request on the owning shard's appender and waits for
 // the commit ack (or ctx).
 func (s *Store) send(ctx context.Context, req *request) error {
@@ -403,7 +432,7 @@ func (sh *shard) replay(name string, id uint64, extents []extent) (*Loaded, xorC
 			switch sub.op {
 			case opSeries:
 				// The interning record; nothing to replay.
-			case opMeta:
+			case opMeta, opMetaV2:
 				if haveMeta {
 					return corrupt("duplicate meta")
 				}
@@ -422,15 +451,30 @@ func (sh *shard) replay(name string, id uint64, extents []extent) (*Loaded, xorC
 				for len(loaded.Labels) < len(loaded.Values) {
 					loaded.Labels = append(loaded.Labels, false)
 				}
-			case opLabel:
+				for loaded.Types != nil && len(loaded.Types) < len(loaded.Values) {
+					loaded.Types = append(loaded.Types, 0)
+				}
+			case opLabel, opTypedLabel:
 				if !haveMeta {
 					return corrupt("label before meta")
 				}
 				if sub.end > len(loaded.Labels) {
 					return corrupt("label [%d, %d) beyond %d points", sub.start, sub.end, len(loaded.Labels))
 				}
+				if sub.op == opTypedLabel && loaded.Types == nil {
+					loaded.Types = make([]uint8, len(loaded.Labels))
+				}
+				class := uint8(0)
+				if sub.anomalous && sub.op == opTypedLabel {
+					class = sub.class
+				}
 				for i := sub.start; i < sub.end; i++ {
 					loaded.Labels[i] = sub.anomalous
+					if loaded.Types != nil {
+						// A plain label over a typed range clears the class:
+						// the channels never disagree about anomalousness.
+						loaded.Types[i] = class
+					}
 				}
 			case opTombstone:
 				// Unreachable for a live binding; ignore.
